@@ -1,0 +1,21 @@
+"""Ablation: the §3.4 historical-results cache, on vs off."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_inference_cache
+
+
+def test_ablation_inference_cache(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, ablation_inference_cache, ctx, results_dir
+    )
+    rows = {r["cache"]: r for r in result.rows}
+    on, off = rows["on"], rows["off"]
+    # The cache collapses per-trial inference tuning down to one tune per
+    # distinct architecture (ResNet has 3 depth choices).
+    assert on["inference_tunes"] <= 3
+    assert off["inference_tunes"] > on["inference_tunes"]
+    # Without it, the inference lane does strictly more work: energy and
+    # stalls can only grow.
+    assert off["tuning_energy_kj"] >= on["tuning_energy_kj"]
+    assert off["stall_s"] >= on["stall_s"]

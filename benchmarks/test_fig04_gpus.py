@@ -1,0 +1,22 @@
+"""Fig 4: number of training GPUs x batch size."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_04_gpus
+
+
+def test_fig04_gpus(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_04_gpus, ctx, results_dir)
+    small = {r["gpus"]: r for r in result.rows if r["batch"] == 32}
+    large = {r["gpus"]: r for r in result.rows if r["batch"] == 1024}
+    # Fig 4a: with batch 32, more GPUs make training *slower* — the paper
+    # measures degradation of up to ~120 %.
+    assert small[8]["runtime_m"] > small[1]["runtime_m"]
+    assert 50 <= small[8]["vs_1gpu_runtime_pct"] <= 150
+    assert small[8]["energy_kj"] > small[1]["energy_kj"]
+    # Fig 4b: with batch 1024, runtime improves but sub-linearly...
+    assert large[8]["runtime_m"] < large[1]["runtime_m"]
+    speedup = large[1]["runtime_m"] / large[8]["runtime_m"]
+    assert speedup < 8.0
+    # ...while energy does NOT improve along with it.
+    assert large[8]["energy_kj"] >= large[1]["energy_kj"] * 0.95

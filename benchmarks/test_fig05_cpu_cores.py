@@ -1,0 +1,28 @@
+"""Fig 5: inference CPU cores x batch size on the edge device."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_05_cpu_cores
+
+
+def test_fig05_cpu_cores(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_05_cpu_cores, ctx, results_dir)
+    single = {r["cores"]: r for r in result.rows if r["batch"] == 1}
+    multi = {r["cores"]: r for r in result.rows if r["batch"] == 10}
+    # Fig 5a: single-image inference — throughput does not grow with
+    # cores, energy does.
+    assert single[4]["throughput_sps"] <= single[1]["throughput_sps"] * 1.25
+    assert single[4]["energy_per_img_j"] > single[1]["energy_per_img_j"]
+    # Fig 5b: multi-image — throughput grows with cores, but 2 -> 4 cores
+    # buys little throughput for a clear energy premium (paper: +9 %
+    # throughput, +33 % energy).
+    assert multi[4]["throughput_sps"] > multi[1]["throughput_sps"]
+    throughput_gain = (
+        multi[4]["throughput_sps"] / multi[2]["throughput_sps"] - 1
+    )
+    energy_premium = (
+        multi[4]["energy_per_img_j"] / multi[2]["energy_per_img_j"] - 1
+    )
+    assert throughput_gain < 0.35
+    assert energy_premium > 0.10
+    assert energy_premium > throughput_gain

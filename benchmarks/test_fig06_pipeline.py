@@ -1,0 +1,22 @@
+"""Fig 6: pipelined overlap of the model and inference tuning servers."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_06_pipeline
+
+
+def test_fig06_pipeline(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_06_pipeline, ctx, results_dir)
+    model = [r for r in result.rows if r["lane"] == "model"
+             and r["label"].startswith("trial:")]
+    inference = [r for r in result.rows if r["lane"] == "inference"]
+    assert len(model) == 3 and len(inference) == 3
+    # Every inference job is fully contained within its trial's window:
+    # the async server adds no wall-clock overhead (paper §3.3).
+    for trial, job in zip(model, inference):
+        assert job["start_s"] >= trial["start_s"]
+        assert job["end_s"] <= trial["end_s"]
+    stalls = [r for r in result.rows if r["label"].startswith("stall:")]
+    assert not stalls
+    # The model lane runs back to back: makespan = 3 trials exactly.
+    assert model[-1]["end_s"] == sum(r["duration_s"] for r in model)

@@ -1,0 +1,25 @@
+"""Fig 10: trial placement of grid, random and BOHB searches."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_10_search_flow
+
+
+def _mean_late_score(rows, algorithm):
+    """Average objective of the last 4 trials of one algorithm."""
+    scores = [r["score"] for r in rows if r["algorithm"] == algorithm]
+    return sum(scores[-4:]) / 4
+
+
+def test_fig10_search_flow(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_10_search_flow, ctx, results_dir)
+    algorithms = {r["algorithm"] for r in result.rows}
+    assert algorithms == {"grid", "random", "bohb"}
+    for algorithm in algorithms:
+        count = sum(1 for r in result.rows if r["algorithm"] == algorithm)
+        assert count == 9
+    # BOHB's later trials concentrate on the promising region: their mean
+    # objective beats grid's systematic sweep (the paper's visual claim).
+    assert _mean_late_score(result.rows, "bohb") < _mean_late_score(
+        result.rows, "grid"
+    )

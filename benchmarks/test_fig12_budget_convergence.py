@@ -1,0 +1,48 @@
+"""Fig 12: trial duration and accuracy convergence per budget strategy."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_12_budget_convergence
+
+
+def _rows_for(result, budget):
+    return [r for r in result.rows if r["budget"] == budget]
+
+
+def test_fig12_budget_convergence(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, figure_12_budget_convergence, ctx, results_dir
+    )
+    epochs = _rows_for(result, "epochs")
+    dataset = _rows_for(result, "dataset")
+    multi = _rows_for(result, "multi-budget")
+    assert epochs and dataset and multi
+    target = ctx.target_for("IC")
+
+    def best_accuracy(rows):
+        return max(r["accuracy"] for r in rows)
+
+    def time_to_target(rows):
+        """Cumulative trial time until the target accuracy is reached."""
+        elapsed = 0.0
+        for row in rows:
+            elapsed += row["duration_m"]
+            if row["accuracy"] >= target:
+                return elapsed
+        return float("inf")
+
+    # Fig 12b: epoch and multi budgets reach the target accuracy; the
+    # dataset budget plateaus well below it (paper: stuck around 40 %).
+    assert best_accuracy(epochs) >= target
+    assert best_accuracy(multi) >= target
+    assert best_accuracy(dataset) < min(
+        best_accuracy(epochs), best_accuracy(multi)
+    )
+    # Fig 12a/b combined: multi-budget reaches the target in at most
+    # about the cumulative trial time of the epoch budget (usually much
+    # less — its trials are far cheaper — though on easy tasks where the
+    # epoch ladder saturates early the two converge).
+    assert time_to_target(multi) < 1.25 * time_to_target(epochs)
+    # Dataset-budget trials are the cheapest of all (Fig 12a).
+    mean = lambda rows: sum(r["duration_m"] for r in rows) / len(rows)  # noqa: E731
+    assert mean(dataset) < mean(multi) < mean(epochs)

@@ -1,0 +1,42 @@
+"""Fig 13: the three budget strategies across the four workloads."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_13_budget_comparison
+
+WORKLOADS = ("IC", "SR", "NLP", "OD")
+
+
+def test_fig13_budget_comparison(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, figure_13_budget_comparison, ctx, results_dir
+    )
+    table = {
+        (r["workload"], r["budget"]): r for r in result.rows
+    }
+    assert len(table) == 12
+    multi_runtime_wins = 0
+    multi_energy_wins = 0
+    for workload in WORKLOADS:
+        multi = table[(workload, "multi-budget")]
+        epochs = table[(workload, "epochs")]
+        if multi["tuning_runtime_m"] <= epochs["tuning_runtime_m"]:
+            multi_runtime_wins += 1
+        if multi["tuning_energy_kj"] <= epochs["tuning_energy_kj"]:
+            multi_energy_wins += 1
+    # The paper's claim: multi-budget performs consistently better than
+    # the epoch budget (roughly 50 % cheaper on OD).  Require it to win on
+    # at least 3 of 4 workloads on both axes.
+    assert multi_runtime_wins >= 3
+    assert multi_energy_wins >= 3
+    # Inference recommendations converge to similar optima regardless of
+    # budget — the paper makes this observation for the IC workload
+    # ("the inference configuration of these 3 approaches are very
+    # similar"); check IC's throughput stays within a 3x band.
+    values = [
+        table[("IC", budget)]["inference_throughput_sps"]
+        for budget in ("epochs", "dataset", "multi-budget")
+        if table[("IC", budget)]["inference_throughput_sps"] != ""
+    ]
+    if len(values) >= 2:
+        assert max(values) <= 3.0 * min(values)

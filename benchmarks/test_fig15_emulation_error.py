@@ -1,0 +1,21 @@
+"""Fig 15: inference emulation percent error vs physical edge devices."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_15_emulation_error
+
+
+def test_fig15_emulation_error(benchmark, ctx, results_dir):
+    result = run_experiment(
+        benchmark, figure_15_emulation_error, ctx, results_dir
+    )
+    rows = {r["metric"]: r for r in result.rows}
+    assert set(rows) == {"throughput", "energy"}
+    for metric, row in rows.items():
+        # Paper §2.1: "the error ... is small (at most 20 % in our
+        # experiments)"; the box plot's bulk sits well under that.
+        assert row["p50"] <= 20.0, metric
+        assert row["mean"] <= 25.0, metric
+        # Outliers exist (the whiskers) but stay bounded.
+        assert row["max"] <= 80.0, metric
+        assert row["count"] >= 50

@@ -1,0 +1,42 @@
+"""Fig 16: runtime-based vs energy-based objective functions."""
+
+from conftest import run_experiment
+
+from repro.experiments import figure_16_objectives
+
+WORKLOADS = ("IC", "SR", "NLP", "OD")
+
+
+def test_fig16_objectives(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, figure_16_objectives, ctx, results_dir)
+    by_key = {(r["workload"], r["objective"]): r for r in result.rows}
+    assert len(by_key) == 8
+    # Fig 16c/d: the runtime-focused objective recommends configurations
+    # with BOTH higher inference throughput and higher per-image energy
+    # than the energy-focused one (throughput costs watts).
+    direction_holds = 0
+    for workload in WORKLOADS:
+        runtime_run = by_key[(workload, "obj:runtime")]
+        energy_run = by_key[(workload, "obj:energy")]
+        if (
+            runtime_run["inference_throughput_sps"]
+            >= energy_run["inference_throughput_sps"] * 0.99
+            and runtime_run["inference_energy_j"]
+            >= energy_run["inference_energy_j"] * 0.99
+        ):
+            direction_holds += 1
+    assert direction_holds >= 3
+    # Fig 16a/b: tuning cost differences between the two objectives stay
+    # moderate (paper: energy strongly correlates with runtime, so the
+    # two objectives land close — diffs bounded, not orders of magnitude).
+    for workload in WORKLOADS:
+        runtime_run = by_key[(workload, "obj:runtime")]
+        energy_run = by_key[(workload, "obj:energy")]
+        ratio = (
+            runtime_run["tuning_runtime_m"] / energy_run["tuning_runtime_m"]
+        )
+        assert 1 / 3 <= ratio <= 3, workload
+        ratio_energy = (
+            runtime_run["tuning_energy_kj"] / energy_run["tuning_energy_kj"]
+        )
+        assert 1 / 3 <= ratio_energy <= 3, workload

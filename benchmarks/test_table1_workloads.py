@@ -1,0 +1,15 @@
+"""Table 1: the four evaluation workloads."""
+
+from conftest import run_experiment
+
+from repro.experiments import table_01_workloads
+
+
+def test_table1_workloads(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, table_01_workloads, ctx, results_dir)
+    ids = result.column("id")
+    assert ids == ["IC", "SR", "NLP", "OD"]
+    # Table 1's real-corpus metadata is preserved verbatim.
+    sizes = dict(zip(ids, result.column("train_files")))
+    assert sizes == {"IC": 50_000, "SR": 85_511, "NLP": 120_000,
+                     "OD": 164_000}

@@ -1,0 +1,21 @@
+"""Table 2: feature matrix vs related systems."""
+
+from conftest import run_experiment
+
+from repro.experiments import table_02_features
+
+
+def test_table2_features(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, table_02_features, ctx, results_dir)
+    rows = {row["system"]: row for row in result.rows}
+    edgetune = rows["EdgeTune (this repo)"]
+    # The paper's claim: only EdgeTune supports everything at once.
+    feature_columns = [c for c in result.columns if c != "system"]
+    assert all(edgetune[f] == "yes" for f in feature_columns)
+    for name, row in rows.items():
+        if name == "EdgeTune (this repo)":
+            continue
+        assert any(row[f] == "no" for f in feature_columns), name
+    # HyperPower specifically lacks inference awareness (used in Fig 17).
+    assert rows["HyperPower"]["inference"] == "no"
+    assert rows["HyperPower"]["system_params"] == "no"

@@ -1,0 +1,73 @@
+"""EdgeTune against the paper's baselines on one workload (Figs 14/17).
+
+Runs four tuning systems on the speech-recognition workload:
+
+* **EdgeTune** — onefold, inference-aware, multi-budget;
+* **Tune** — hyperparameters only, epoch budgets, accuracy objective;
+* **HyperPower** — power-aware BO with early termination, no inference;
+* **Hierarchical** — hyperparameters first, system parameters second.
+
+Run:  python examples/compare_tuning_systems.py
+"""
+
+import warnings
+
+warnings.filterwarnings("ignore", category=RuntimeWarning)
+
+from repro import EdgeTune  # noqa: E402
+from repro.baselines import (  # noqa: E402
+    HierarchicalTuner,
+    HyperPowerBaseline,
+    TuneBaseline,
+)
+from repro.budgets import EpochBudget  # noqa: E402
+
+WORKLOAD = "SR"
+TARGET = 0.7
+SAMPLES = 500
+SEED = 7
+
+
+def describe(result) -> None:
+    print(f"--- {result.system} ---")
+    print(f"  trials:          {result.num_trials}")
+    print(f"  best accuracy:   {result.best_accuracy:.3f}")
+    print(f"  best config:     {result.best_configuration}")
+    print(f"  tuning runtime:  {result.tuning_runtime_minutes:.1f} m")
+    print(f"  tuning energy:   {result.tuning_energy_kj:.0f} kJ")
+    if result.inference is not None:
+        m = result.inference.measurement
+        print(f"  inference rec:   {result.inference.configuration} -> "
+              f"{m.throughput_sps:.2f}/s at "
+              f"{m.energy_per_sample_j:.2f} J/sample")
+    else:
+        print("  inference rec:   none (inference-unaware system)")
+    print()
+
+
+def main() -> None:
+    runs = [
+        EdgeTune(workload=WORKLOAD, seed=SEED, samples=SAMPLES,
+                 target_accuracy=TARGET).tune(),
+        TuneBaseline(workload=WORKLOAD, seed=SEED, samples=SAMPLES,
+                     budget=EpochBudget(), target_accuracy=TARGET).tune(),
+        HyperPowerBaseline(workload=WORKLOAD, seed=SEED, samples=SAMPLES,
+                           target_accuracy=TARGET).tune(),
+        HierarchicalTuner(workload=WORKLOAD, seed=SEED,
+                          samples=SAMPLES).tune(),
+    ]
+    for result in runs:
+        describe(result)
+
+    edgetune, tune = runs[0], runs[1]
+    runtime_diff = (
+        edgetune.tuning_runtime_s / tune.tuning_runtime_s - 1
+    ) * 100
+    energy_diff = (edgetune.tuning_energy_j / tune.tuning_energy_j - 1) * 100
+    print("=== EdgeTune vs Tune (paper Fig 14) ===")
+    print(f"runtime: {runtime_diff:+.0f} %   energy: {energy_diff:+.0f} % "
+          "(negative = EdgeTune wins)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Deployment planning across edge devices for a trained model.
+
+Given one architecture, sweep the emulated edge platforms (ARMv7 board,
+Raspberry Pi 3B+, Intel i7 NUC) and their system parameters to answer the
+deployment question EdgeTune's inference recommendations automate: which
+device/cores/frequency/batch serves this model best, under a throughput
+or an energy objective?
+
+Run:  python examples/edge_device_planning.py
+"""
+
+from repro.core import InferenceTuningServer
+from repro.hardware import edge_device_names
+from repro.nn.models import build_m5
+from repro.objectives import InferenceObjective
+from repro.storage import TrialDatabase
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("SR")
+    train_set, _ = workload.load(seed=7, samples=200)
+    model = build_m5(train_set.sample_shape, train_set.num_classes,
+                     embedding_dim=64, seed=7)
+    flops, _ = model.flops(train_set.sample_shape)
+    params = model.parameter_count()
+    print(f"architecture: M5 (embedding 64), {params} params, "
+          f"{flops} FLOPs/sample (scaled)\n")
+
+    database = TrialDatabase()
+    for metric in ("throughput", "energy"):
+        print(f"=== objective: best {metric} ===")
+        for device in edge_device_names():
+            server = InferenceTuningServer(
+                device=device,
+                objective=InferenceObjective(metric),
+                database=database,
+                seed=7,
+            )
+            recommendation, _ = server.tune(
+                architecture_key=f"m5-64:{device}:{metric}",
+                forward_flops_per_sample=flops,
+                parameter_count=params,
+                space=workload.inference_space(device),
+            )
+            measurement = recommendation.measurement
+            configuration = recommendation.configuration
+            print(f"  {device:14s} -> batch "
+                  f"{configuration['inference_batch_size']:>3}, "
+                  f"{configuration['cores']} cores @ "
+                  f"{configuration['frequency_ghz']} GHz: "
+                  f"{measurement.throughput_sps:7.2f} samples/s, "
+                  f"{measurement.energy_per_sample_j:6.3f} J/sample")
+        print()
+
+    print("(the Inference Tuning Server cached every architecture/device/"
+          f"objective tuple: {database.inference_cache_size()} entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Batch-size planning for the paper's two deployment scenarios (Fig 8).
+
+A server receiving N-sample queries at a fixed frequency, and a
+multi-stream system receiving Poisson single-sample queries, both benefit
+from multi-sample inference — but the right batch size depends on the
+device's latency curve and the load.  This example builds the latency
+curve from the hardware emulator for a tuned architecture and lets the
+Batching optimizer pick the sweet spot for each scenario.
+
+Run:  python examples/multi_stream_batching.py
+"""
+
+from repro.batching import (
+    MultiStreamScenario,
+    ServerScenario,
+    optimize_batch_size,
+)
+from repro.hardware import Emulator
+from repro.nn.models import build_resnet
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("IC")
+    train_set, _ = workload.load(seed=7, samples=200)
+    model = build_resnet(train_set.sample_shape, train_set.num_classes,
+                         num_layers=18, seed=7)
+    flops, _ = model.flops(train_set.sample_shape)
+    emulator = Emulator()
+
+    def latency_on(device: str, cores: int):
+        """Latency curve batch -> seconds for one device configuration."""
+
+        def latency(batch_size: int) -> float:
+            return emulator.measure_inference(
+                forward_flops_per_sample=flops,
+                parameter_count=model.parameter_count(),
+                batch_size=batch_size,
+                device=device,
+                cores=cores,
+            ).batch_latency_s
+
+        return latency
+
+    latency = latency_on("i7nuc", cores=4)
+
+    print("=== Scenario 1: server (Fig 8 top) ===")
+    print("queries of 64 samples arrive every 4 s")
+    scenario = ServerScenario(samples_per_query=64, period_s=4.0)
+    sweep = optimize_batch_size(latency, scenario)
+    for result in sweep.results:
+        marker = " <= best" if result is sweep.best else ""
+        print(f"  batch {result.batch_size:>3}: mean response "
+              f"{result.mean_response_s:7.3f} s, throughput "
+              f"{result.throughput_sps:6.1f}/s, "
+              f"{'stable' if result.stable else 'OVERLOADED'}{marker}")
+
+    print("\n=== Scenario 2: multi-stream (Fig 8 bottom) ===")
+    print("single-sample queries arrive at 30/s (Poisson)")
+    stream = MultiStreamScenario(arrival_rate_sps=30.0, seed=1)
+    sweep = optimize_batch_size(latency, stream)
+    for result in sweep.results:
+        marker = " <= best" if result is sweep.best else ""
+        print(f"  batch {result.batch_size:>3}: mean response "
+              f"{result.mean_response_s:7.3f} s, p95 "
+              f"{result.p95_response_s:7.3f} s, "
+              f"{'stable' if result.stable else 'OVERLOADED'}{marker}")
+
+    print(f"\nrecommended batch sizes: server={sweep.best_batch_size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim enabling legacy editable installs offline.
+
+The sandbox has no network and no ``wheel`` package, so PEP 660 editable
+wheels cannot be built; with this shim ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop``, which works with the preinstalled
+setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

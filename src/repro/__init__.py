@@ -1,0 +1,70 @@
+"""EdgeTune reproduction: inference-aware multi-parameter tuning.
+
+Reimplementation of *EdgeTune: Inference-Aware Multi-Parameter Tuning*
+(Rocha, Felber, Schiavoni, Chen — Middleware 2022) as a self-contained
+Python library: a numpy NN engine, synthetic workloads, an edge-device
+hardware emulator, multi-fidelity search algorithms, the multi-budget
+trial strategy, and the onefold Model/Inference tuning servers.
+
+Quick start::
+
+    from repro import EdgeTune
+
+    result = EdgeTune(workload="IC", device="armv7", seed=7,
+                      samples=600).tune()
+    print(result.best_configuration, result.best_accuracy)
+    print(result.inference.configuration)
+"""
+
+from .budgets import DatasetBudget, EpochBudget, MultiBudget, TrialBudget
+from .core import (
+    EdgeTune,
+    InferenceRecommendation,
+    InferenceTuningServer,
+    ModelTuningServer,
+    TrialRecord,
+    TuningRunResult,
+)
+from .hardware import DeviceSpec, Emulator, RealEdgeDevice, get_device
+from .objectives import (
+    AccuracyObjective,
+    InferenceObjective,
+    PowerAwareObjective,
+    RatioObjective,
+)
+from .space import Categorical, Configuration, Float, Integer, ParameterSpace
+from .storage import TrialDatabase
+from .workloads import Workload, get_workload, workload_ids
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdgeTune",
+    "ModelTuningServer",
+    "InferenceTuningServer",
+    "TuningRunResult",
+    "TrialRecord",
+    "InferenceRecommendation",
+    "MultiBudget",
+    "EpochBudget",
+    "DatasetBudget",
+    "TrialBudget",
+    "RatioObjective",
+    "AccuracyObjective",
+    "PowerAwareObjective",
+    "InferenceObjective",
+    "Emulator",
+    "RealEdgeDevice",
+    "DeviceSpec",
+    "get_device",
+    "ParameterSpace",
+    "Configuration",
+    "Categorical",
+    "Integer",
+    "Float",
+    "TrialDatabase",
+    "Workload",
+    "get_workload",
+    "workload_ids",
+    "__version__",
+]

@@ -1,0 +1,115 @@
+"""Top-level command-line interface.
+
+Tune a workload end to end from the shell::
+
+    python -m repro tune IC --device armv7 --target 0.8
+    python -m repro tune SR --system tune --budget epochs
+    python -m repro devices
+    python -m repro workloads
+
+(`python -m repro.experiments ...` regenerates the paper's tables/figures.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+
+
+def _cmd_tune(args) -> int:
+    from . import EdgeTune
+    from .baselines import HierarchicalTuner, HyperPowerBaseline, TuneBaseline
+    from .budgets import build_budget
+
+    warnings.filterwarnings("ignore", category=RuntimeWarning)
+    common = dict(
+        workload=args.workload,
+        seed=args.seed,
+        samples=args.samples,
+        target_accuracy=args.target,
+    )
+    if args.system == "edgetune":
+        tuner = EdgeTune(device=args.device, budget=args.budget,
+                         tuning_metric=args.metric, **common)
+    elif args.system == "tune":
+        tuner = TuneBaseline(budget=build_budget(args.budget), **common)
+    elif args.system == "hyperpower":
+        tuner = HyperPowerBaseline(budget=build_budget(args.budget), **common)
+    else:
+        common.pop("target_accuracy")
+        tuner = HierarchicalTuner(device=args.device, tuning_metric=args.metric,
+                                  **common)
+    result = tuner.tune()
+    print(f"system:           {result.system}")
+    print(f"workload:         {result.workload_id}")
+    print(f"trials:           {result.num_trials}")
+    print(f"best accuracy:    {result.best_accuracy:.3f}")
+    print(f"best config:      {result.best_configuration}")
+    print(f"tuning runtime:   {result.tuning_runtime_minutes:.1f} simulated minutes")
+    print(f"tuning energy:    {result.tuning_energy_kj:.1f} kJ")
+    if result.inference is not None:
+        measurement = result.inference.measurement
+        print(f"deployment:       {result.inference.configuration} on "
+              f"{result.inference.device}")
+        print(f"                  {measurement.throughput_sps:.2f} samples/s, "
+              f"{measurement.energy_per_sample_j:.3f} J/sample")
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from .hardware import DEVICES
+
+    for name, spec in sorted(DEVICES.items()):
+        print(f"{name:14s} [{spec.device_class:6s}] {spec.cores} cores @ "
+              f"{spec.max_frequency_ghz} GHz, {spec.memory_gb} GB RAM"
+              + (f", {spec.gpus} GPUs" if spec.gpus else ""))
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from .workloads import WORKLOADS
+
+    for workload_id, workload in WORKLOADS.items():
+        row = workload.table1
+        print(f"{workload_id:4s} {row.type_label:28s} "
+              f"{workload.model_name:8s} on {workload.dataset_name} "
+              f"({row.datasize}, {row.train_files} train files)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EdgeTune reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    tune = subparsers.add_parser("tune", help="run a tuning job")
+    tune.add_argument("workload", choices=["IC", "SR", "NLP", "OD"])
+    tune.add_argument("--system", default="edgetune",
+                      choices=["edgetune", "tune", "hyperpower",
+                               "hierarchical"])
+    tune.add_argument("--device", default="armv7")
+    tune.add_argument("--budget", default="multi-budget")
+    tune.add_argument("--metric", default="runtime",
+                      choices=["runtime", "energy"])
+    tune.add_argument("--target", type=float, default=None,
+                      help="target accuracy (e.g. 0.8)")
+    tune.add_argument("--seed", type=int, default=7)
+    tune.add_argument("--samples", type=int, default=600)
+    tune.set_defaults(func=_cmd_tune)
+
+    devices = subparsers.add_parser("devices", help="list emulated devices")
+    devices.set_defaults(func=_cmd_devices)
+
+    workloads = subparsers.add_parser("workloads",
+                                      help="list Table 1 workloads")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Baseline tuning systems the paper compares against."""
+
+from .hierarchical import HierarchicalTuner
+from .hyperpower import HYPERPOWER_GPUS, HyperPowerBaseline
+from .tune import TUNE_DEFAULT_GPUS, TuneBaseline
+
+__all__ = [
+    "TuneBaseline",
+    "TUNE_DEFAULT_GPUS",
+    "HyperPowerBaseline",
+    "HYPERPOWER_GPUS",
+    "HierarchicalTuner",
+]

@@ -1,0 +1,151 @@
+"""Hierarchical tuning baseline (paper §4.1, Fig 9 left).
+
+The alternative to EdgeTune's *onefold* approach: first tune the
+hyperparameters with the system parameters fixed, then tune the system
+parameters only for the winning hyperparameter values.  The two phases run
+back to back, so their runtimes and energies add — and phase 1's choice
+cannot account for how hyper and system parameters interact, which is the
+drawback the onefold design removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..budgets import BudgetStrategy, MultiBudget
+from ..errors import TuningError
+from ..hardware import Emulator
+from ..objectives import RatioObjective
+from ..rng import SeedLike, derive_seed, ensure_seed
+from ..storage import TrialDatabase
+from ..workloads import TRAIN_GPU_RANGE, Workload, get_workload
+from ..core.inference_server import InferenceTuningServer, architecture_key_of
+from ..core.model_server import TRIAL_OVERHEAD_S, ModelTuningServer
+from ..core.results import TuningRunResult
+from ..nn import train_model
+
+
+class HierarchicalTuner:
+    """Two-phase hyper-then-system tuning with the same building blocks."""
+
+    def __init__(
+        self,
+        workload: Union[str, Workload] = "IC",
+        device: str = "armv7",
+        tuning_metric: str = "runtime",
+        algorithm: str = "bohb",
+        budget: Optional[BudgetStrategy] = None,
+        seed: SeedLike = None,
+        database: Optional[TrialDatabase] = None,
+        emulator: Optional[Emulator] = None,
+        max_trials: Optional[int] = None,
+        samples: Optional[int] = None,
+        phase1_gpus: int = 1,
+    ):
+        self.workload = (
+            get_workload(workload) if isinstance(workload, str) else workload
+        )
+        self.device = device
+        self.tuning_metric = tuning_metric
+        self.algorithm = algorithm
+        self.budget = budget or MultiBudget()
+        self.seed = ensure_seed(seed)
+        self.database = database or TrialDatabase()
+        self.emulator = emulator or Emulator()
+        self.max_trials = max_trials
+        self.samples = samples
+        self.phase1_gpus = phase1_gpus
+
+    def tune(self) -> TuningRunResult:
+        """Phase 1: hyperparameters (fixed system); phase 2: GPUs only."""
+        inference_server = InferenceTuningServer(
+            device=self.device,
+            emulator=self.emulator,
+            database=self.database,
+            seed=derive_seed(self.seed, "hier-inference"),
+        )
+        phase1 = ModelTuningServer(
+            workload=self.workload,
+            algorithm=self.algorithm,
+            budget=self.budget,
+            objective=RatioObjective(self.tuning_metric),
+            emulator=self.emulator,
+            inference_server=inference_server,
+            database=self.database,
+            seed=derive_seed(self.seed, "hier-phase1"),
+            include_system_parameters=False,
+            fixed_gpus=self.phase1_gpus,
+            max_trials=self.max_trials,
+            samples=self.samples,
+            system_name="hierarchical",
+        )
+        result1 = phase1.run()
+
+        # Phase 2: re-train the winning hyperparameters at full budget for
+        # every candidate GPU count and keep the cheapest.
+        train_set, eval_set = self.workload.load(
+            seed=self.seed, samples=self.samples
+        )
+        family = self.workload.family
+        full_budget = self.budget.budget(self.budget.max_iteration)
+        best_gpus = self.phase1_gpus
+        best_cost = float("inf")
+        phase2_runtime = 0.0
+        phase2_energy = 0.0
+        train_batch = int(result1.best_configuration["train_batch_size"])
+        real_batch, learning_rate = self.workload.effective_training(
+            train_batch
+        )
+        for gpus in range(TRAIN_GPU_RANGE[0], TRAIN_GPU_RANGE[1] + 1):
+            model = family.instantiate(
+                train_set.sample_shape,
+                train_set.num_classes,
+                result1.best_configuration,
+                seed=derive_seed(self.seed, "hier-phase2", gpus),
+            )
+            outcome = train_model(
+                model,
+                family.make_loss(train_set.num_classes),
+                train_set,
+                eval_set,
+                epochs=full_budget.epochs,
+                batch_size=real_batch,
+                lr=learning_rate,
+                data_fraction=full_budget.data_fraction,
+                seed=derive_seed(self.seed, "hier-phase2-train", gpus),
+            )
+            measurement = self.emulator.measure_training(
+                train_total_flops=outcome.train_total_flops,
+                forward_flops_per_sample=outcome.forward_flops_per_sample,
+                parameter_count=outcome.parameter_count,
+                samples_seen=outcome.samples_seen,
+                batch_size=train_batch,
+                device="titan-server",
+                gpus=gpus,
+            )
+            phase2_runtime += measurement.runtime_s + TRIAL_OVERHEAD_S
+            phase2_energy += measurement.energy_j
+            cost = (
+                measurement.runtime_s
+                if self.tuning_metric == "runtime"
+                else measurement.energy_j
+            )
+            if cost < best_cost:
+                best_cost = cost
+                best_gpus = gpus
+
+        best_configuration = dict(result1.best_configuration)
+        best_configuration["gpus"] = best_gpus
+        return TuningRunResult(
+            system="hierarchical",
+            workload_id=self.workload.workload_id,
+            best_configuration=best_configuration,
+            best_accuracy=result1.best_accuracy,
+            best_score=result1.best_score,
+            tuning_runtime_s=result1.tuning_runtime_s + phase2_runtime,
+            tuning_energy_j=result1.tuning_energy_j + phase2_energy,
+            trials=result1.trials,
+            inference=result1.inference,
+            stall_s=result1.stall_s,
+            best_model=result1.best_model,
+        )

@@ -1,0 +1,66 @@
+"""The Tune baseline (paper §5.1 "Baseline").
+
+Ray Tune configured with the same search algorithm as EdgeTune (BOHB) but
+*without* EdgeTune's additions: it tunes hyperparameters only (no system
+parameters — every trial runs on a fixed default GPU allocation), uses the
+conventional epoch-based budget, optimises model accuracy alone, and has
+no Inference Tuning Server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..budgets import BudgetStrategy, MultiBudget
+from ..hardware import Emulator
+from ..objectives import AccuracyObjective
+from ..rng import SeedLike
+from ..storage import TrialDatabase
+from ..workloads import Workload, get_workload
+from ..core.model_server import ModelTuningServer
+from ..core.results import TuningRunResult
+
+#: Default static GPU allocation used for every Tune trial (Ray Tune's
+#: common one-GPU-per-trial setting); never revisited during tuning —
+#: exactly the blind spot system-parameter tuning removes.
+TUNE_DEFAULT_GPUS = 1
+
+
+class TuneBaseline:
+    """Hyperparameter-only, inference-unaware tuning."""
+
+    def __init__(
+        self,
+        workload: Union[str, Workload] = "IC",
+        algorithm: str = "bohb",
+        budget: Optional[BudgetStrategy] = None,
+        seed: SeedLike = None,
+        database: Optional[TrialDatabase] = None,
+        emulator: Optional[Emulator] = None,
+        max_trials: Optional[int] = None,
+        target_accuracy: Optional[float] = None,
+        samples: Optional[int] = None,
+        fixed_gpus: int = TUNE_DEFAULT_GPUS,
+    ):
+        resolved = (
+            get_workload(workload) if isinstance(workload, str) else workload
+        )
+        self.server = ModelTuningServer(
+            workload=resolved,
+            algorithm=algorithm,
+            budget=budget or MultiBudget(),
+            objective=AccuracyObjective(),
+            emulator=emulator or Emulator(),
+            inference_server=None,
+            database=database or TrialDatabase(),
+            seed=seed,
+            include_system_parameters=False,
+            fixed_gpus=fixed_gpus,
+            max_trials=max_trials,
+            target_accuracy=target_accuracy,
+            samples=samples,
+            system_name="tune",
+        )
+
+    def tune(self) -> TuningRunResult:
+        return self.server.run()

@@ -1,0 +1,27 @@
+"""Multi-sample inference batching: scenarios, queueing, optimizer (§3.4)."""
+
+from .queueing import (
+    BatchingResult,
+    simulate_multistream_scenario,
+    simulate_multistream_timeout,
+    simulate_server_scenario,
+)
+from .scenarios import (
+    DEFAULT_BATCH_CANDIDATES,
+    BatchingSweep,
+    MultiStreamScenario,
+    ServerScenario,
+    optimize_batch_size,
+)
+
+__all__ = [
+    "BatchingResult",
+    "simulate_server_scenario",
+    "simulate_multistream_scenario",
+    "simulate_multistream_timeout",
+    "ServerScenario",
+    "MultiStreamScenario",
+    "BatchingSweep",
+    "optimize_batch_size",
+    "DEFAULT_BATCH_CANDIDATES",
+]

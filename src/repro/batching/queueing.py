@@ -1,0 +1,210 @@
+"""Queueing simulations for the two multi-sample inference scenarios.
+
+Paper §3.4 / Fig 8: the *Batching* subcomponent of the Inference Tuning
+Server must pick an inference batch size for
+
+* a **server** scenario — queries of N samples arrive at a fixed
+  frequency, and the batch size decides how the N samples are split into
+  device-sized inference calls;
+* a **multi-stream** scenario — single-sample queries arrive randomly
+  (Poisson), and aggregating them into batches can reduce the overall
+  mean response time.
+
+Both are simulated in virtual time with a caller-supplied latency model
+``latency_fn(batch_size) -> seconds`` (usually a closure over the hardware
+emulator for one device configuration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+LatencyFn = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class BatchingResult:
+    """Steady-state statistics of one (scenario, batch size) simulation."""
+
+    batch_size: int
+    mean_response_s: float
+    p95_response_s: float
+    throughput_sps: float
+    #: Fraction of simulated time the inference engine was busy.
+    utilisation: float
+    samples_processed: int
+
+    @property
+    def stable(self) -> bool:
+        """Heuristic stability flag: the engine keeps up with arrivals."""
+        return self.utilisation < 0.999
+
+
+def _percentile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(int(q * (len(ordered) - 1)), len(ordered) - 1)
+    return ordered[index]
+
+
+def simulate_server_scenario(
+    latency_fn: LatencyFn,
+    samples_per_query: int,
+    period_s: float,
+    batch_size: int,
+    num_queries: int = 200,
+) -> BatchingResult:
+    """Fixed-frequency N-sample queries, FIFO service.
+
+    Each query is served as ``ceil(N/b)`` back-to-back inference calls of
+    at most ``b`` samples; a query's response time is measured from its
+    arrival to the completion of its last call.
+    """
+    if samples_per_query < 1 or batch_size < 1:
+        raise ConfigurationError("samples_per_query and batch_size must be >= 1")
+    if period_s <= 0:
+        raise ConfigurationError(f"period must be positive, got {period_s}")
+    full_calls, remainder = divmod(samples_per_query, batch_size)
+    service = full_calls * latency_fn(batch_size)
+    if remainder:
+        service += latency_fn(remainder)
+    engine_free = 0.0
+    busy = 0.0
+    responses: List[float] = []
+    for index in range(num_queries):
+        arrival = index * period_s
+        start = max(arrival, engine_free)
+        engine_free = start + service
+        busy += service
+        responses.append(engine_free - arrival)
+    horizon = max(engine_free, (num_queries - 1) * period_s + service)
+    return BatchingResult(
+        batch_size=batch_size,
+        mean_response_s=sum(responses) / len(responses),
+        p95_response_s=_percentile(responses, 0.95),
+        throughput_sps=num_queries * samples_per_query / horizon,
+        utilisation=min(busy / horizon, 1.0),
+        samples_processed=num_queries * samples_per_query,
+    )
+
+
+def simulate_multistream_scenario(
+    latency_fn: LatencyFn,
+    arrival_rate_sps: float,
+    batch_size: int,
+    num_samples: int = 2000,
+    seed: SeedLike = None,
+) -> BatchingResult:
+    """Poisson single-sample arrivals with greedy batch aggregation.
+
+    Whenever the engine is free it immediately takes up to ``batch_size``
+    queued samples (at least one); samples arriving while it is busy wait
+    in FIFO order.  Larger batches amortise per-call cost but make early
+    arrivals wait for the batch to fill only implicitly (greedy policy
+    never waits idle — the standard dynamic batching used by serving
+    systems).
+    """
+    if arrival_rate_sps <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if batch_size < 1:
+        raise ConfigurationError("batch_size must be >= 1")
+    rng = make_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate_sps, size=num_samples)
+    arrivals = gaps.cumsum()
+    engine_free = 0.0
+    busy = 0.0
+    responses: List[float] = []
+    index = 0
+    while index < len(arrivals):
+        # The engine wakes at max(first waiting arrival, engine free time)
+        start = max(arrivals[index], engine_free)
+        # Take every sample that has arrived by `start`, up to batch_size.
+        take = 1
+        while (
+            take < batch_size
+            and index + take < len(arrivals)
+            and arrivals[index + take] <= start
+        ):
+            take += 1
+        service = latency_fn(take)
+        finish = start + service
+        busy += service
+        for offset in range(take):
+            responses.append(finish - arrivals[index + offset])
+        engine_free = finish
+        index += take
+    horizon = max(engine_free, arrivals[-1])
+    return BatchingResult(
+        batch_size=batch_size,
+        mean_response_s=sum(responses) / len(responses),
+        p95_response_s=_percentile(responses, 0.95),
+        throughput_sps=num_samples / horizon,
+        utilisation=min(busy / horizon, 1.0),
+        samples_processed=num_samples,
+    )
+
+
+def simulate_multistream_timeout(
+    latency_fn: LatencyFn,
+    arrival_rate_sps: float,
+    batch_size: int,
+    max_wait_s: float,
+    num_samples: int = 2000,
+    seed: SeedLike = None,
+) -> BatchingResult:
+    """Poisson arrivals with *timeout-based* batch aggregation.
+
+    Unlike the greedy policy, the engine deliberately waits for the batch
+    to fill — but at most ``max_wait_s`` after the batch's first sample
+    arrived.  This is the classic serving-system knob trading per-sample
+    latency for better amortisation under bursty load.
+    """
+    if arrival_rate_sps <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if batch_size < 1:
+        raise ConfigurationError("batch_size must be >= 1")
+    if max_wait_s < 0:
+        raise ConfigurationError("max_wait_s must be non-negative")
+    rng = make_rng(seed)
+    arrivals = rng.exponential(1.0 / arrival_rate_sps, size=num_samples).cumsum()
+    engine_free = 0.0
+    busy = 0.0
+    responses: List[float] = []
+    index = 0
+    while index < len(arrivals):
+        first_arrival = arrivals[index]
+        deadline = first_arrival + max_wait_s
+        # Collect until either the batch fills or the deadline passes;
+        # dispatch cannot happen before the engine frees up anyway.
+        dispatch = max(first_arrival, engine_free)
+        take = 1
+        while take < batch_size and index + take < len(arrivals):
+            next_arrival = arrivals[index + take]
+            if next_arrival <= max(dispatch, deadline):
+                take += 1
+                dispatch = max(dispatch, next_arrival)
+            else:
+                break
+        start = max(dispatch, engine_free)
+        if take < batch_size:
+            start = max(start, min(deadline, start))
+        service = latency_fn(take)
+        finish = start + service
+        busy += service
+        for offset in range(take):
+            responses.append(finish - arrivals[index + offset])
+        engine_free = finish
+        index += take
+    horizon = max(engine_free, arrivals[-1])
+    return BatchingResult(
+        batch_size=batch_size,
+        mean_response_s=sum(responses) / len(responses),
+        p95_response_s=_percentile(responses, 0.95),
+        throughput_sps=num_samples / horizon,
+        utilisation=min(busy / horizon, 1.0),
+        samples_processed=num_samples,
+    )

@@ -1,0 +1,88 @@
+"""Scenario descriptions and the batch-size optimizer.
+
+The Batching subcomponent (§3.4) sweeps candidate inference batch sizes
+under the user's deployment scenario and returns the best one by mean
+response time — the quantity both Fig 8 scenarios care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike
+from .queueing import (
+    BatchingResult,
+    LatencyFn,
+    simulate_multistream_scenario,
+    simulate_server_scenario,
+)
+
+#: Default batch sizes swept by the optimizer (paper range: 1..100).
+DEFAULT_BATCH_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 100)
+
+
+@dataclass(frozen=True)
+class ServerScenario:
+    """Queries of ``samples_per_query`` samples every ``period_s`` seconds."""
+
+    samples_per_query: int
+    period_s: float
+    num_queries: int = 200
+
+    def simulate(self, latency_fn: LatencyFn, batch_size: int) -> BatchingResult:
+        return simulate_server_scenario(
+            latency_fn,
+            samples_per_query=self.samples_per_query,
+            period_s=self.period_s,
+            batch_size=batch_size,
+            num_queries=self.num_queries,
+        )
+
+
+@dataclass(frozen=True)
+class MultiStreamScenario:
+    """Poisson single-sample arrivals at ``arrival_rate_sps`` per second."""
+
+    arrival_rate_sps: float
+    num_samples: int = 2000
+    seed: int = 0
+
+    def simulate(self, latency_fn: LatencyFn, batch_size: int) -> BatchingResult:
+        return simulate_multistream_scenario(
+            latency_fn,
+            arrival_rate_sps=self.arrival_rate_sps,
+            batch_size=batch_size,
+            num_samples=self.num_samples,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class BatchingSweep:
+    """Outcome of a batch-size sweep: all results plus the chosen one."""
+
+    results: List[BatchingResult]
+    best: BatchingResult
+
+    @property
+    def best_batch_size(self) -> int:
+        return self.best.batch_size
+
+
+def optimize_batch_size(
+    latency_fn: LatencyFn,
+    scenario,
+    candidates: Sequence[int] = DEFAULT_BATCH_CANDIDATES,
+) -> BatchingSweep:
+    """Sweep ``candidates`` and pick the stable batch size minimising mean
+    response time (unstable configurations are considered only if nothing
+    is stable)."""
+    if not candidates:
+        raise ConfigurationError("candidates must be non-empty")
+    results = [scenario.simulate(latency_fn, b) for b in candidates]
+    stable = [r for r in results if r.stable]
+    pool = stable or results
+    best = min(pool, key=lambda r: r.mean_response_s)
+    return BatchingSweep(results=results, best=best)

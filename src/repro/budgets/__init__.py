@@ -1,0 +1,21 @@
+"""Budget strategies: epoch-based, dataset-based, and the paper's
+multi-budget (Algorithm 2)."""
+
+from .base import (
+    BudgetStrategy,
+    DatasetBudget,
+    EpochBudget,
+    MultiBudget,
+    TrialBudget,
+)
+from .registry import BUDGET_NAMES, build_budget
+
+__all__ = [
+    "TrialBudget",
+    "BudgetStrategy",
+    "EpochBudget",
+    "DatasetBudget",
+    "MultiBudget",
+    "build_budget",
+    "BUDGET_NAMES",
+]

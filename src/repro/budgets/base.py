@@ -1,0 +1,156 @@
+"""Trial-budget strategies (paper §4.3, Fig 11).
+
+A budget strategy converts the scheduler's abstract *fidelity* (the
+iteration level ``it`` of Algorithm 2) into a concrete
+:class:`TrialBudget` — how many epochs to run and on what fraction of the
+training data.  Three strategies are compared in the paper:
+
+* **epoch-based**: epochs grow with the iteration, full dataset each time;
+* **dataset-based**: one epoch, dataset fraction grows with the iteration;
+* **multi-budget** (the paper's contribution): both dimensions grow
+  simultaneously and saturate independently at their own maxima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BudgetError
+
+
+@dataclass(frozen=True)
+class TrialBudget:
+    """Concrete fidelity of one training trial."""
+
+    epochs: int
+    data_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise BudgetError(f"epochs must be >= 1, got {self.epochs}")
+        if not 0.0 < self.data_fraction <= 1.0:
+            raise BudgetError(
+                f"data_fraction must be in (0, 1], got {self.data_fraction}"
+            )
+
+    @property
+    def relative_cost(self) -> float:
+        """Training cost relative to one full-dataset epoch."""
+        return self.epochs * self.data_fraction
+
+
+class BudgetStrategy:
+    """Maps an iteration level to a :class:`TrialBudget`."""
+
+    name: str = "base"
+
+    def budget(self, iteration: int) -> TrialBudget:
+        raise NotImplementedError
+
+    def _check_iteration(self, iteration: int) -> int:
+        if iteration < 1:
+            raise BudgetError(f"iteration must be >= 1, got {iteration}")
+        return int(iteration)
+
+    @property
+    def max_iteration(self) -> int:
+        """Iteration at which the budget saturates (both axes at max)."""
+        raise NotImplementedError
+
+
+class EpochBudget(BudgetStrategy):
+    """Epoch-based budget: ``epochs = min(min_epochs * it, max_epochs)``,
+    always on the full dataset."""
+
+    name = "epochs"
+
+    def __init__(self, min_epochs: int = 1, max_epochs: int = 16):
+        if min_epochs < 1 or max_epochs < min_epochs:
+            raise BudgetError(
+                f"invalid epoch range [{min_epochs}, {max_epochs}]"
+            )
+        self.min_epochs = min_epochs
+        self.max_epochs = max_epochs
+
+    def budget(self, iteration: int) -> TrialBudget:
+        iteration = self._check_iteration(iteration)
+        return TrialBudget(
+            epochs=min(self.min_epochs * iteration, self.max_epochs),
+            data_fraction=1.0,
+        )
+
+    @property
+    def max_iteration(self) -> int:
+        return -(-self.max_epochs // self.min_epochs)  # ceil division
+
+
+class DatasetBudget(BudgetStrategy):
+    """Dataset-based budget: one epoch on
+    ``min(min_fraction * it, 1)`` of the data."""
+
+    name = "dataset"
+
+    def __init__(self, min_fraction: float = 0.1):
+        if not 0.0 < min_fraction <= 1.0:
+            raise BudgetError(
+                f"min_fraction must be in (0, 1], got {min_fraction}"
+            )
+        self.min_fraction = min_fraction
+
+    def budget(self, iteration: int) -> TrialBudget:
+        iteration = self._check_iteration(iteration)
+        return TrialBudget(
+            epochs=1,
+            data_fraction=min(self.min_fraction * iteration, 1.0),
+        )
+
+    @property
+    def max_iteration(self) -> int:
+        import math
+
+        return int(math.ceil(1.0 / self.min_fraction))
+
+
+class MultiBudget(BudgetStrategy):
+    """The paper's multi-budget (Algorithm 2): epochs *and* dataset
+    fraction grow together with the iteration, saturating independently.
+
+    Example from §4.3: min_epochs=2, min_fraction=0.1, max_epochs=10 —
+    iteration 5 onward runs 10 epochs while the dataset keeps growing
+    until iteration 10.
+    """
+
+    name = "multi-budget"
+
+    def __init__(
+        self,
+        min_epochs: int = 1,
+        max_epochs: int = 16,
+        min_fraction: float = 0.1,
+    ):
+        if min_epochs < 1 or max_epochs < min_epochs:
+            raise BudgetError(
+                f"invalid epoch range [{min_epochs}, {max_epochs}]"
+            )
+        if not 0.0 < min_fraction <= 1.0:
+            raise BudgetError(
+                f"min_fraction must be in (0, 1], got {min_fraction}"
+            )
+        self.min_epochs = min_epochs
+        self.max_epochs = max_epochs
+        self.min_fraction = min_fraction
+
+    def budget(self, iteration: int) -> TrialBudget:
+        iteration = self._check_iteration(iteration)
+        return TrialBudget(
+            epochs=min(self.min_epochs * iteration, self.max_epochs),
+            data_fraction=min(self.min_fraction * iteration, 1.0),
+        )
+
+    @property
+    def max_iteration(self) -> int:
+        import math
+
+        epochs_at = -(-self.max_epochs // self.min_epochs)
+        data_at = int(math.ceil(1.0 / self.min_fraction))
+        return max(epochs_at, data_at)

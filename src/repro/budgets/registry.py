@@ -1,0 +1,22 @@
+"""Budget-strategy registry."""
+
+from __future__ import annotations
+
+from ..errors import BudgetError
+from .base import BudgetStrategy, DatasetBudget, EpochBudget, MultiBudget
+
+BUDGET_NAMES = ("epochs", "dataset", "multi-budget")
+
+
+def build_budget(name: str, **kwargs) -> BudgetStrategy:
+    """Build a budget strategy by name (see :data:`BUDGET_NAMES`)."""
+    key = name.lower().replace("_", "-")
+    if key == "epochs":
+        return EpochBudget(**kwargs)
+    if key == "dataset":
+        return DatasetBudget(**kwargs)
+    if key in ("multi-budget", "multibudget", "multi"):
+        return MultiBudget(**kwargs)
+    raise BudgetError(
+        f"unknown budget strategy {name!r}; expected one of {BUDGET_NAMES}"
+    )

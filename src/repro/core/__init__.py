@@ -1,0 +1,26 @@
+"""EdgeTune core: the Model and Inference tuning servers and the facade."""
+
+from .edgetune import EdgeTune
+from .inference_server import (
+    InferenceTrialRecord,
+    InferenceTuningServer,
+    architecture_key_of,
+)
+from .model_server import TRIAL_OVERHEAD_S, ModelTuningServer
+from .results import (
+    InferenceRecommendation,
+    TrialRecord,
+    TuningRunResult,
+)
+
+__all__ = [
+    "EdgeTune",
+    "ModelTuningServer",
+    "InferenceTuningServer",
+    "InferenceTrialRecord",
+    "architecture_key_of",
+    "InferenceRecommendation",
+    "TrialRecord",
+    "TuningRunResult",
+    "TRIAL_OVERHEAD_S",
+]

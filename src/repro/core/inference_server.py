@@ -1,0 +1,226 @@
+"""The Inference Tuning Server (paper §3.4, Algorithm 1 lines 11-18).
+
+Given an architecture (identified by its FLOP/parameter footprint), the
+server searches the inference parameter space — inference batch size, CPU
+cores, CPU frequency — on an *emulated* edge device, and returns the
+configuration optimising the user's inference objective.
+
+Two properties from the paper are reproduced faithfully:
+
+* **historical look-up** — results are cached in the persistent database
+  keyed by architecture/device/objective, so an architecture is never
+  re-tuned (§3.4);
+* **simulation cost accounting** — the server runs on the tuning host's
+  CPUs; each candidate costs simulation time there (not edge-device
+  time), which is what lets the whole job hide inside one training trial
+  (§3.3).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TuningError
+from ..hardware import Emulator, get_device
+from ..objectives import InferenceObjective
+from ..rng import SeedLike, derive_seed, ensure_seed
+from ..search import build_searcher
+from ..space import Configuration, ParameterSpace
+from ..storage import StoredInferenceResult, TrialDatabase
+from ..telemetry import InferenceMeasurement
+from .results import InferenceRecommendation
+
+#: Fixed simulation setup cost per candidate configuration, seconds of
+#: tuning-server CPU time (model (re)shaping, device model setup).
+SIM_SETUP_S = 0.3
+
+#: Simulation cost per evaluated sample, seconds (forward passes replayed
+#: on one server core).
+SIM_PER_SAMPLE_S = 0.005
+
+#: Number of batched inference calls evaluated per candidate.
+EVAL_CALLS = 3
+
+#: Power drawn by the inference server's share of the tuning host, W
+#: (a few active server cores; the server is CPU-only, §3.2).
+INFERENCE_SERVER_POWER_W = 35.0
+
+
+@dataclass
+class InferenceTrialRecord:
+    """One evaluated inference configuration."""
+
+    configuration: Dict[str, Any]
+    measurement: InferenceMeasurement
+    score: float
+    sim_cost_s: float
+
+
+class InferenceTuningServer:
+    """Tunes inference hyper/system parameters for given architectures."""
+
+    def __init__(
+        self,
+        device: str = "armv7",
+        objective: Optional[InferenceObjective] = None,
+        algorithm: str = "grid",
+        num_trials: int = 32,
+        grid_resolution: int = 4,
+        emulator: Optional[Emulator] = None,
+        database: Optional[TrialDatabase] = None,
+        seed: SeedLike = None,
+        use_cache: bool = True,
+    ):
+        self.device = get_device(device).name
+        self.objective = objective or InferenceObjective("energy")
+        self.algorithm = algorithm
+        self.num_trials = num_trials
+        self.grid_resolution = grid_resolution
+        self.emulator = emulator or Emulator()
+        self.database = database or TrialDatabase()
+        self.seed = ensure_seed(seed)
+        #: §3.4's historical look-up; disabled only by ablation studies.
+        self.use_cache = use_cache
+
+    # -- cache ------------------------------------------------------------
+    def cached(self, architecture_key: str) -> Optional[InferenceRecommendation]:
+        if not self.use_cache:
+            return None
+        stored = self.database.lookup_inference(
+            architecture_key, self.device, self.objective.name
+        )
+        if stored is None:
+            return None
+        measurement = InferenceMeasurement(
+            batch_latency_s=stored.batch_latency_s,
+            throughput_sps=stored.throughput_sps,
+            energy_per_sample_j=stored.energy_per_sample_j,
+            power_w=stored.power_w,
+            working_set_bytes=0,
+            device=self.device,
+            batch_size=int(
+                stored.configuration.get("inference_batch_size", 1)
+            ),
+            cores=int(stored.configuration.get("cores", 1)),
+        )
+        return InferenceRecommendation(
+            configuration=stored.configuration,
+            measurement=measurement,
+            device=self.device,
+            objective=self.objective.name,
+            tuning_runtime_s=0.0,  # cache hits cost (effectively) nothing
+            tuning_energy_j=0.0,
+            cache_hit=True,
+        )
+
+    # -- tuning ---------------------------------------------------------------
+    def _candidates(self, space: ParameterSpace) -> List[Configuration]:
+        if self.algorithm == "grid":
+            return space.grid(self.grid_resolution)
+        searcher = build_searcher(
+            self.algorithm, space, seed=derive_seed(self.seed, "inf-search")
+        )
+        configurations: List[Configuration] = []
+        for _ in range(self.num_trials):
+            configuration = searcher.suggest()
+            if configuration is None:
+                break
+            configurations.append(configuration)
+        return configurations
+
+    def tune(
+        self,
+        architecture_key: str,
+        forward_flops_per_sample: float,
+        parameter_count: int,
+        space: ParameterSpace,
+    ) -> Tuple[InferenceRecommendation, List[InferenceTrialRecord]]:
+        """Tune inference parameters for one architecture.
+
+        Returns the recommendation plus the per-candidate records (the
+        latter feed benchmark analyses; most callers ignore them).
+        Checks the historical cache first.
+        """
+        cached = self.cached(architecture_key)
+        if cached is not None:
+            return cached, []
+        records: List[InferenceTrialRecord] = []
+        best: Optional[InferenceTrialRecord] = None
+        total_sim_s = 0.0
+        for configuration in self._candidates(space):
+            batch = int(configuration["inference_batch_size"])
+            cores = int(configuration.get("cores", 1))
+            frequency = configuration.get("frequency_ghz")
+            measurement = self.emulator.measure_inference(
+                forward_flops_per_sample=forward_flops_per_sample,
+                parameter_count=parameter_count,
+                batch_size=batch,
+                device=self.device,
+                cores=cores,
+                frequency_ghz=frequency,
+            )
+            score = self.objective.score(measurement)
+            sim_cost = SIM_SETUP_S + SIM_PER_SAMPLE_S * batch * EVAL_CALLS
+            total_sim_s += sim_cost
+            record = InferenceTrialRecord(
+                configuration=configuration.to_dict(),
+                measurement=measurement,
+                score=score,
+                sim_cost_s=sim_cost,
+            )
+            records.append(record)
+            if best is None or score < best.score:
+                best = record
+        if best is None:
+            raise TuningError(
+                "inference search produced no candidate configurations"
+            )
+        tuning_energy = total_sim_s * INFERENCE_SERVER_POWER_W
+        recommendation = InferenceRecommendation(
+            configuration=best.configuration,
+            measurement=best.measurement,
+            device=self.device,
+            objective=self.objective.name,
+            tuning_runtime_s=total_sim_s,
+            tuning_energy_j=tuning_energy,
+            cache_hit=False,
+        )
+        self.database.store_inference(
+            StoredInferenceResult(
+                architecture_key=architecture_key,
+                device=self.device,
+                objective=self.objective.name,
+                configuration=best.configuration,
+                batch_latency_s=best.measurement.batch_latency_s,
+                throughput_sps=best.measurement.throughput_sps,
+                energy_per_sample_j=best.measurement.energy_per_sample_j,
+                power_w=best.measurement.power_w,
+                tuning_runtime_s=total_sim_s,
+                tuning_energy_j=tuning_energy,
+            )
+        )
+        return recommendation, records
+
+
+def architecture_key_of(
+    model_name: str, forward_flops_per_sample: float, parameter_count: int
+) -> str:
+    """Canonical cache key for the historical look-up (§3.4).
+
+    Inference performance depends only on the *structure* the device
+    executes — captured exactly by the per-sample FLOPs and the parameter
+    count.  Keying on those (rather than raw hyperparameter values) makes
+    reuse automatic for parameters that do not change the structure, e.g.
+    YOLO's dropout rate: the paper's "results can be reused for different
+    parameters as long as they do not affect the architecture".
+    """
+    return json.dumps(
+        {
+            "family": model_name,
+            "flops": int(forward_flops_per_sample),
+            "params": int(parameter_count),
+        },
+        sort_keys=True,
+    )

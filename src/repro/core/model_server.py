@@ -1,0 +1,332 @@
+"""The Model Tuning Server (paper §3.3, Algorithm 1 lines 1-10).
+
+Runs budgeted training trials proposed by a multi-fidelity scheduler,
+asynchronously requesting inference tuning for every new architecture, and
+scores each trial with the combined objective.  All training is *real*
+(numpy SGD on the synthetic workload); all runtime/energy is *virtual*:
+
+* trials are placed on a shared **GPU pool** (greedy list scheduling with
+  synchronous rung barriers), so tuning runtime is the schedule makespan —
+  a trial asking for 8 GPUs runs alone while eight 1-GPU trials overlap;
+* inference-tuning jobs run pipelined on the CPU-only inference lane,
+  hidden inside trial durations unless they finish late, in which case the
+  rung barrier *stalls* (§3.3's containment argument, made measurable);
+* tuning energy sums every trial's consumption — parallelism hides
+  latency, never joules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..budgets import BudgetStrategy, MultiBudget
+from ..errors import TuningError
+from ..hardware import Emulator, get_device
+from ..nn import train_model
+from ..objectives import RatioObjective, TuningObjective
+from ..rng import SeedLike, derive_seed, ensure_seed
+from ..search import TrialReport, build_scheduler
+from ..sim.pool import GpuPool
+from ..storage import TrialDatabase
+from ..workloads import Workload
+from .inference_server import InferenceTuningServer, architecture_key_of
+from .results import InferenceRecommendation, TrialRecord, TuningRunResult
+
+#: Per-trial fixed orchestration overhead on the tuning server, seconds
+#: (checkpointing, worker startup — present in any real tuning system).
+TRIAL_OVERHEAD_S = 10.0
+
+
+class ModelTuningServer:
+    """Drives the tuning loop for one workload."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        algorithm: str = "bohb",
+        budget: Optional[BudgetStrategy] = None,
+        objective: Optional[TuningObjective] = None,
+        emulator: Optional[Emulator] = None,
+        inference_server: Optional[InferenceTuningServer] = None,
+        database: Optional[TrialDatabase] = None,
+        seed: SeedLike = None,
+        include_system_parameters: bool = True,
+        fixed_gpus: int = 1,
+        max_trials: Optional[int] = None,
+        target_accuracy: Optional[float] = None,
+        samples: Optional[int] = None,
+        system_name: str = "edgetune",
+        eta: int = 2,
+        server_device: str = "titan-server",
+        stop_on_target: bool = True,
+    ):
+        self.workload = workload
+        self.algorithm = algorithm
+        self.budget = budget or MultiBudget()
+        self.objective = objective or RatioObjective("runtime")
+        self.emulator = emulator or Emulator()
+        self.inference_server = inference_server
+        self.database = database or TrialDatabase()
+        self.seed = ensure_seed(seed)
+        self.include_system_parameters = include_system_parameters
+        self.fixed_gpus = fixed_gpus
+        self.max_trials = max_trials
+        self.target_accuracy = target_accuracy
+        self.samples = samples
+        self.system_name = system_name
+        self.eta = eta
+        self.server_device = server_device
+        self.stop_on_target = stop_on_target
+        self._sizing_cache: Dict[tuple, Tuple[int, int]] = {}
+
+    # -- architecture sizing ---------------------------------------------------
+    def _architecture_key(self, configuration, train_set):
+        """(cache key, flops/sample, params) for a configuration.
+
+        Builds a randomly-initialised probe model per distinct set of
+        model-kind hyperparameters (Algorithm 1's ``model.random_init()``)
+        and memoises the sizing so repeated structures cost nothing.
+        """
+        model_values = tuple(
+            sorted(configuration.subset(["model"]).items())
+        )
+        cached = self._sizing_cache.get(model_values)
+        if cached is None:
+            probe = self.workload.family.instantiate(
+                train_set.sample_shape,
+                train_set.num_classes,
+                configuration.to_dict(),
+                seed=derive_seed(self.seed, "probe", repr(model_values)),
+            )
+            flops, _ = probe.flops(train_set.sample_shape)
+            cached = (int(flops), probe.parameter_count())
+            self._sizing_cache[model_values] = cached
+        flops, params = cached
+        key = architecture_key_of(self.workload.family.name, flops, params)
+        return key, flops, params
+
+    # -- single trial -------------------------------------------------------
+    def _execute_trial(self, trial, train_set, eval_set):
+        """Train + measure one trial.
+
+        Returns ``(partial_record_fields, model, inference_rec,
+        inference_is_new)`` — scheduling onto the pool happens in
+        :meth:`run`, which owns the virtual timeline.
+        """
+        configuration = trial.configuration
+        budget = self.budget.budget(trial.fidelity)
+        family = self.workload.family
+
+        inference_rec: Optional[InferenceRecommendation] = None
+        inference_is_new = False
+        if self.inference_server is not None:
+            inference_key, flops, params = self._architecture_key(
+                configuration, train_set
+            )
+            inference_rec = self.inference_server.cached(inference_key)
+            if inference_rec is None:
+                inference_rec, _ = self.inference_server.tune(
+                    inference_key,
+                    forward_flops_per_sample=flops,
+                    parameter_count=params,
+                    space=self.workload.inference_space(
+                        self.inference_server.device
+                    ),
+                )
+                inference_is_new = True
+
+        model = family.instantiate(
+            train_set.sample_shape,
+            train_set.num_classes,
+            configuration.to_dict(),
+            seed=self.workload.model_seed(self.seed, trial.trial_id),
+        )
+        loss = family.make_loss(train_set.num_classes)
+        configured_batch = int(configuration["train_batch_size"])
+        real_batch, learning_rate = self.workload.effective_training(
+            configured_batch
+        )
+        result = train_model(
+            model,
+            loss,
+            train_set,
+            eval_set,
+            epochs=budget.epochs,
+            batch_size=real_batch,
+            lr=learning_rate,
+            data_fraction=budget.data_fraction,
+            seed=derive_seed(self.seed, "train", trial.trial_id),
+        )
+        gpus = (
+            int(configuration["gpus"])
+            if self.include_system_parameters and "gpus" in configuration
+            else self.fixed_gpus
+        )
+        training_measurement = self.emulator.measure_training(
+            train_total_flops=result.train_total_flops,
+            forward_flops_per_sample=result.forward_flops_per_sample,
+            parameter_count=result.parameter_count,
+            samples_seen=result.samples_seen,
+            batch_size=configured_batch,
+            device=self.server_device,
+            gpus=gpus,
+        )
+        score = self.objective.score(
+            result.accuracy,
+            training_measurement,
+            inference_rec.measurement if inference_rec else None,
+        )
+        return (
+            budget,
+            result,
+            training_measurement,
+            gpus,
+            score,
+            model,
+            inference_rec,
+            inference_is_new,
+        )
+
+    # -- full run ----------------------------------------------------------------
+    def run(self) -> TuningRunResult:
+        """Execute the tuning loop to completion and return the result."""
+        train_set, eval_set = self.workload.load(
+            seed=self.seed, samples=self.samples
+        )
+        space = self.workload.training_space(
+            include_system=self.include_system_parameters
+        )
+        scheduler = build_scheduler(
+            self.algorithm,
+            space,
+            seed=derive_seed(self.seed, "scheduler"),
+            max_fidelity=self.budget.max_iteration,
+            eta=self.eta,
+            num_trials=self.max_trials,
+        )
+        pool = GpuPool(get_device(self.server_device).gpus or 1)
+        inference_lane_free = 0.0
+        rung_key: Optional[Tuple[int, int]] = None
+        rung_end = 0.0  # completion time of the current rung (incl. stalls)
+        barrier = 0.0  # earliest start for trials of the current rung
+        stall_total = 0.0
+        records: List[TrialRecord] = []
+        best: Optional[TrialRecord] = None
+        best_model = None
+        inference_energy_total = 0.0
+
+        while True:
+            if self.max_trials is not None and len(records) >= self.max_trials:
+                break
+            trial = scheduler.next_trial()
+            if trial is None:
+                if scheduler.finished:
+                    break
+                raise TuningError("scheduler stalled awaiting reports")
+            if (trial.bracket, trial.rung) != rung_key:
+                # Synchronous halving: a new rung starts only after every
+                # trial (and pending inference job) of the previous one.
+                rung_key = (trial.bracket, trial.rung)
+                barrier = max(barrier, rung_end)
+            (
+                budget,
+                result,
+                training_measurement,
+                gpus,
+                score,
+                model,
+                inference_rec,
+                inference_is_new,
+            ) = self._execute_trial(trial, train_set, eval_set)
+
+            placement = pool.schedule(
+                width=gpus,
+                duration=training_measurement.runtime_s + TRIAL_OVERHEAD_S,
+                earliest=barrier,
+            )
+            trial_end = placement.end
+            stall = 0.0
+            if inference_is_new and inference_rec is not None:
+                # Pipelined CPU lane: job starts when the trial starts and
+                # the lane is free; its result is needed by the trial's
+                # promotion decision (the rung barrier).
+                job_start = max(inference_lane_free, placement.start)
+                job_end = job_start + inference_rec.tuning_runtime_s
+                inference_lane_free = job_end
+                inference_energy_total += inference_rec.tuning_energy_j
+                if job_end > trial_end:
+                    stall = job_end - trial_end
+                    trial_end = job_end
+            stall_total += stall
+            rung_end = max(rung_end, trial_end)
+
+            record = TrialRecord(
+                trial_id=trial.trial_id,
+                configuration=trial.configuration.to_dict(),
+                fidelity=trial.fidelity,
+                epochs=budget.epochs,
+                data_fraction=budget.data_fraction,
+                accuracy=result.accuracy,
+                score=score,
+                training=training_measurement,
+                inference=inference_rec.measurement if inference_rec else None,
+                bracket=trial.bracket,
+                rung=trial.rung,
+                stall_s=stall,
+            )
+            records.append(record)
+            self.database.record_trial(
+                experiment=f"{self.system_name}:{self.workload.workload_id}",
+                trial_id=trial.trial_id,
+                configuration=record.configuration,
+                fidelity=trial.fidelity,
+                epochs=budget.epochs,
+                data_fraction=budget.data_fraction,
+                accuracy=result.accuracy,
+                score=score,
+                train_runtime_s=training_measurement.runtime_s,
+                train_energy_j=training_measurement.energy_j,
+            )
+            scheduler.report(
+                TrialReport(trial=trial, score=score, accuracy=result.accuracy)
+            )
+            if best is None or self._better(record, best):
+                best = record
+                best_model = model
+            if (
+                self.stop_on_target
+                and self.target_accuracy is not None
+                and record.fidelity >= self.budget.max_iteration
+                and record.accuracy >= self.target_accuracy
+            ):
+                break
+
+        if best is None:
+            raise TuningError("tuning produced no trials")
+        inference_rec_final: Optional[InferenceRecommendation] = None
+        if self.inference_server is not None:
+            key, _, _ = self._architecture_key(
+                space.configuration(**best.configuration), train_set
+            )
+            inference_rec_final = self.inference_server.cached(key)
+        return TuningRunResult(
+            system=self.system_name,
+            workload_id=self.workload.workload_id,
+            best_configuration=best.configuration,
+            best_accuracy=best.accuracy,
+            best_score=best.score,
+            tuning_runtime_s=max(pool.makespan, rung_end),
+            tuning_energy_j=sum(r.training.energy_j for r in records)
+            + inference_energy_total,
+            trials=records,
+            inference=inference_rec_final,
+            stall_s=stall_total,
+            best_model=best_model,
+        )
+
+    @staticmethod
+    def _better(candidate: TrialRecord, incumbent: TrialRecord) -> bool:
+        """Prefer higher fidelity; within a fidelity, lower score."""
+        if candidate.fidelity != incumbent.fidelity:
+            return candidate.fidelity > incumbent.fidelity
+        return candidate.score < incumbent.score

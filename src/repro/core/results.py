@@ -1,0 +1,85 @@
+"""Result records produced by tuning runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..telemetry import InferenceMeasurement, TrainingMeasurement
+
+
+@dataclass(frozen=True)
+class InferenceRecommendation:
+    """What EdgeTune hands the user for deployment (§3.1 output):
+    the optimal inference configuration for the tuned architecture,
+    with its estimated metrics and the cost of finding it."""
+
+    configuration: Dict[str, Any]
+    measurement: InferenceMeasurement
+    device: str
+    objective: str
+    tuning_runtime_s: float
+    tuning_energy_j: float
+    cache_hit: bool = False
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One completed training trial."""
+
+    trial_id: int
+    configuration: Dict[str, Any]
+    fidelity: int
+    epochs: int
+    data_fraction: float
+    accuracy: float
+    score: float
+    training: TrainingMeasurement
+    inference: Optional[InferenceMeasurement] = None
+    bracket: int = 0
+    rung: int = 0
+    stall_s: float = 0.0
+
+    @property
+    def trial_runtime_s(self) -> float:
+        """Virtual duration of the trial on the model lane (incl. stall)."""
+        return self.training.runtime_s + self.stall_s
+
+
+@dataclass
+class TuningRunResult:
+    """Outcome of a whole tuning run (EdgeTune or a baseline)."""
+
+    system: str
+    workload_id: str
+    best_configuration: Dict[str, Any]
+    best_accuracy: float
+    best_score: float
+    tuning_runtime_s: float
+    tuning_energy_j: float
+    trials: List[TrialRecord] = field(default_factory=list)
+    inference: Optional[InferenceRecommendation] = None
+    stall_s: float = 0.0
+    #: the trained winning model (a live Module), when retained
+    best_model: Optional[object] = None
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def tuning_runtime_minutes(self) -> float:
+        return self.tuning_runtime_s / 60.0
+
+    @property
+    def tuning_energy_kj(self) -> float:
+        return self.tuning_energy_j / 1e3
+
+    def accuracy_trajectory(self) -> List[float]:
+        """Best accuracy reached after each trial (convergence curves)."""
+        best = 0.0
+        trajectory = []
+        for record in self.trials:
+            best = max(best, record.accuracy)
+            trajectory.append(best)
+        return trajectory

@@ -1,0 +1,16 @@
+"""Synthetic datasets mirroring the paper's Table 1 workloads."""
+
+from .base import TASKS, Dataset
+from .registry import build_dataset, dataset_names
+from .synthetic import make_agnews, make_cifar10, make_coco, make_speech_commands
+
+__all__ = [
+    "TASKS",
+    "Dataset",
+    "build_dataset",
+    "dataset_names",
+    "make_cifar10",
+    "make_speech_commands",
+    "make_agnews",
+    "make_coco",
+]

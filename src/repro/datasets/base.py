@@ -1,0 +1,144 @@
+"""Dataset container with the operations tuning budgets need.
+
+A :class:`Dataset` is an in-memory (features, targets) pair plus metadata.
+Budgets slice it two ways: :meth:`subset` implements the *dataset-fraction*
+budget axis (Algorithm 2's ``data.subset(data_frac)``), and :meth:`batches`
+yields mini-batches for the SGD loop.  Both are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import BudgetError, ShapeError
+from ..rng import SeedLike, make_rng
+
+#: Supported learning tasks.
+TASKS = ("classification", "detection")
+
+
+@dataclass
+class Dataset:
+    """An in-memory supervised dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"synthetic-cifar10"``.
+    features:
+        Array of shape ``(N, ...)``.
+    targets:
+        ``(N,)`` integer class ids for classification, ``(N, 5)``
+        (4 box coordinates + class id) for detection.
+    num_classes:
+        Number of target classes.
+    task:
+        One of :data:`TASKS`.
+    """
+
+    name: str
+    features: np.ndarray
+    targets: np.ndarray
+    num_classes: int
+    task: str = "classification"
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.targets = np.asarray(self.targets)
+        if self.task not in TASKS:
+            raise ShapeError(f"unknown task {self.task!r}")
+        if len(self.features) != len(self.targets):
+            raise ShapeError(
+                f"features ({len(self.features)}) and targets "
+                f"({len(self.targets)}) disagree in length"
+            )
+        if self.num_classes < 2:
+            raise ShapeError("datasets need at least 2 classes")
+        if self.task == "detection" and (
+            self.targets.ndim != 2 or self.targets.shape[1] != 5
+        ):
+            raise ShapeError("detection targets must have shape (N, 5)")
+
+    # -- basic container -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Shape of a single sample (no batch axis)."""
+        return tuple(self.features.shape[1:])
+
+    # -- budget operations ------------------------------------------------------
+    def subset(self, fraction: float, rng: SeedLike = None) -> "Dataset":
+        """A random subset containing ``fraction`` of the samples.
+
+        The paper's dataset-based budget (§4.3) trains each trial on a
+        fraction of the data proportional to its iteration.  ``fraction`` is
+        clipped to (0, 1]; at least one sample is always kept.
+        """
+        if not 0.0 < fraction <= 1.0 + 1e-12:
+            raise BudgetError(f"fraction must be in (0, 1], got {fraction}")
+        fraction = min(fraction, 1.0)
+        if fraction == 1.0:
+            return self
+        count = max(1, int(math.floor(len(self) * fraction)))
+        generator = make_rng(rng)
+        indices = generator.permutation(len(self))[:count]
+        return Dataset(
+            name=self.name,
+            features=self.features[indices],
+            targets=self.targets[indices],
+            num_classes=self.num_classes,
+            task=self.task,
+        )
+
+    def split(
+        self, test_fraction: float = 0.2, rng: SeedLike = None
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Deterministic train/validation split (paper §2.1 uses 20 %)."""
+        if not 0.0 < test_fraction < 1.0:
+            raise BudgetError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        generator = make_rng(rng)
+        indices = generator.permutation(len(self))
+        test_count = max(1, int(len(self) * test_fraction))
+        test_idx, train_idx = indices[:test_count], indices[test_count:]
+        if len(train_idx) == 0:
+            raise BudgetError("split leaves no training samples")
+        make = lambda idx: Dataset(  # noqa: E731 - tiny local factory
+            name=self.name,
+            features=self.features[idx],
+            targets=self.targets[idx],
+            num_classes=self.num_classes,
+            task=self.task,
+        )
+        return make(train_idx), make(test_idx)
+
+    def batches(
+        self, batch_size: int, rng: SeedLike = None, shuffle: bool = True
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield mini-batches; the last partial batch is kept."""
+        if batch_size <= 0:
+            raise BudgetError(f"batch size must be positive, got {batch_size}")
+        order = np.arange(len(self))
+        if shuffle:
+            make_rng(rng).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.features[idx], self.targets[idx]
+
+    def take(self, count: int) -> "Dataset":
+        """The first ``count`` samples (no shuffling)."""
+        count = max(1, min(count, len(self)))
+        return Dataset(
+            name=self.name,
+            features=self.features[:count],
+            targets=self.targets[:count],
+            num_classes=self.num_classes,
+            task=self.task,
+        )

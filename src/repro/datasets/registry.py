@@ -1,0 +1,37 @@
+"""Dataset registry keyed by the paper's workload IDs (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import WorkloadError
+from ..rng import SeedLike
+from .base import Dataset
+from .synthetic import make_agnews, make_cifar10, make_coco, make_speech_commands
+
+_BUILDERS: Dict[str, Callable[..., Dataset]] = {
+    "cifar10": make_cifar10,
+    "speechcommands": make_speech_commands,
+    "agnews": make_agnews,
+    "coco": make_coco,
+}
+
+
+def dataset_names() -> list:
+    """Names accepted by :func:`build_dataset`."""
+    return sorted(_BUILDERS)
+
+
+def build_dataset(name: str, seed: SeedLike = None, **overrides) -> Dataset:
+    """Build a synthetic dataset by canonical name.
+
+    ``overrides`` are forwarded to the generator (``samples``, ``noise``,
+    size parameters, ...), so tests and benchmarks can scale workloads.
+    """
+    key = name.lower().replace("-", "").replace("_", "")
+    key = key.replace("synthetic", "")
+    if key not in _BUILDERS:
+        raise WorkloadError(
+            f"unknown dataset {name!r}; expected one of {dataset_names()}"
+        )
+    return _BUILDERS[key](seed=seed, **overrides)

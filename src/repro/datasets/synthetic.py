@@ -1,0 +1,188 @@
+"""Synthetic stand-ins for the paper's four datasets (Table 1).
+
+The real datasets (CIFAR10, Speech Commands, AG News, COCO) are not
+available offline, so each generator below builds a *structurally
+equivalent* synthetic dataset: same modality, same label structure, scaled
+down so the numpy NN engine trains in milliseconds.  Each class is generated
+from a random prototype plus noise, so the classes are genuinely separable
+and models exhibit real accuracy-vs-budget learning curves — the property
+the tuning system actually exercises.
+
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import SeedLike, derive_seed, make_rng
+from .base import Dataset
+
+
+def _prototype_classification(
+    rng: np.random.Generator,
+    samples: int,
+    shape: tuple,
+    num_classes: int,
+    noise: float,
+    name: str,
+) -> Dataset:
+    """Shared recipe: per-class prototype + gaussian noise."""
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, *shape))
+    targets = rng.integers(num_classes, size=samples)
+    features = prototypes[targets] + rng.normal(0.0, noise, size=(samples, *shape))
+    return Dataset(
+        name=name,
+        features=features,
+        targets=targets,
+        num_classes=num_classes,
+    )
+
+
+def make_cifar10(
+    samples: int = 2000,
+    image_size: int = 8,
+    channels: int = 3,
+    num_classes: int = 10,
+    noise: float = 3.0,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Synthetic CIFAR10: ``channels``×``image_size``² images, 10 classes.
+
+    The real CIFAR10 is 3×32×32 with 50 000 train files; we keep the
+    3-channel image structure and 10 classes but shrink resolution and count
+    so real training stays fast.
+    """
+    rng = make_rng(seed)
+    return _prototype_classification(
+        rng,
+        samples,
+        (channels, image_size, image_size),
+        num_classes,
+        noise,
+        "synthetic-cifar10",
+    )
+
+
+def make_speech_commands(
+    samples: int = 2000,
+    length: int = 128,
+    num_classes: int = 10,
+    noise: float = 0.8,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Synthetic Speech Commands: 1-channel waveforms of spoken keywords.
+
+    Each class is a band-limited signal with a class-specific fundamental
+    frequency and harmonics (the structure keyword-spotting models key on),
+    plus white noise.
+    """
+    rng = make_rng(seed)
+    time = np.linspace(0.0, 1.0, length)
+    targets = rng.integers(num_classes, size=samples)
+    # Class k has fundamental (k+2) Hz with two harmonics and a random phase.
+    phases = rng.uniform(0, 2 * np.pi, size=(samples, 3))
+    amplitudes = rng.uniform(0.6, 1.4, size=(samples, 3))
+    fundamentals = targets + 2
+    signal = np.zeros((samples, length))
+    for harmonic in range(3):
+        freq = fundamentals[:, None] * (harmonic + 1)
+        signal += amplitudes[:, harmonic : harmonic + 1] * np.sin(
+            2 * np.pi * freq * time[None, :] + phases[:, harmonic : harmonic + 1]
+        )
+    signal += rng.normal(0.0, noise, size=signal.shape)
+    return Dataset(
+        name="synthetic-speechcommands",
+        features=signal[:, None, :],  # (N, 1, L) channel-first
+        targets=targets,
+        num_classes=num_classes,
+    )
+
+
+def make_agnews(
+    samples: int = 2000,
+    sequence_length: int = 24,
+    embedding_dim: int = 12,
+    num_classes: int = 4,
+    noise: float = 0.8,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Synthetic AG News: embedded token sequences in 4 topic classes.
+
+    Real AG News is bag-of-words text in 4 classes.  We generate sequences of
+    already-embedded tokens where each class draws tokens from a
+    class-specific distribution over a small topic vocabulary — the same
+    signal (topical word statistics) an RNN classifier exploits.
+    """
+    rng = make_rng(seed)
+    vocabulary_size = 4 * num_classes
+    vocabulary = rng.normal(0.0, 1.0, size=(vocabulary_size, embedding_dim))
+    targets = rng.integers(num_classes, size=samples)
+    # Class-conditional token distribution: peaked on the class's own slice
+    # of the vocabulary, with mass on shared tokens.
+    features = np.zeros((samples, sequence_length, embedding_dim))
+    for cls in range(num_classes):
+        mask = targets == cls
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        weights = np.full(vocabulary_size, 1.0)
+        weights[cls * 4 : (cls + 1) * 4] = 6.0
+        weights /= weights.sum()
+        tokens = rng.choice(
+            vocabulary_size, size=(count, sequence_length), p=weights
+        )
+        features[mask] = vocabulary[tokens]
+    features += rng.normal(0.0, noise, size=features.shape)
+    return Dataset(
+        name="synthetic-agnews",
+        features=features,
+        targets=targets,
+        num_classes=num_classes,
+    )
+
+
+def make_coco(
+    samples: int = 2000,
+    image_size: int = 8,
+    channels: int = 3,
+    num_classes: int = 8,
+    noise: float = 0.4,
+    seed: SeedLike = None,
+) -> Dataset:
+    """Synthetic COCO: images containing one bright object patch + box labels.
+
+    Real COCO has 80 classes and multiple objects; we keep the detection
+    *task structure* — predict a bounding box and a class — with a single
+    object per image, which is what the YOLO-lite reproduction model and
+    :class:`~repro.nn.losses.DetectionLoss` consume.
+    """
+    rng = make_rng(seed)
+    # Objects cover most of the frame so the compact YOLO-lite trunk can
+    # both localise and classify them from the 8x8 synthetic images.
+    object_size = max(3, (image_size * 5) // 8)
+    class_textures = rng.normal(0.0, 1.0, size=(num_classes, channels, object_size, object_size))
+    features = rng.normal(0.0, noise, size=(samples, channels, image_size, image_size))
+    targets = np.zeros((samples, 5))
+    classes = rng.integers(num_classes, size=samples)
+    max_origin = image_size - object_size
+    origins = rng.integers(0, max_origin + 1, size=(samples, 2))
+    for i in range(samples):
+        y, x = origins[i]
+        cls = classes[i]
+        features[i, :, y : y + object_size, x : x + object_size] += (
+            class_textures[cls] + 2.0
+        )
+        # Normalised (cx, cy, w, h) box, YOLO-style.
+        targets[i, 0] = (x + object_size / 2) / image_size
+        targets[i, 1] = (y + object_size / 2) / image_size
+        targets[i, 2] = object_size / image_size
+        targets[i, 3] = object_size / image_size
+        targets[i, 4] = cls
+    return Dataset(
+        name="synthetic-coco",
+        features=features,
+        targets=targets,
+        num_classes=num_classes,
+        task="detection",
+    )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the EdgeTune reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while the
+library itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter value or configuration is invalid for its space."""
+
+
+class SearchSpaceError(ReproError):
+    """A parameter space is malformed (empty, inconsistent bounds, ...)."""
+
+
+class BudgetError(ReproError):
+    """A trial budget is invalid (non-positive, min above max, ...)."""
+
+
+class ShapeError(ReproError):
+    """A tensor shape does not match what a layer or loss expects."""
+
+
+class NotFittedError(ReproError):
+    """An estimator or surrogate was used before being fitted."""
+
+
+class DeviceError(ReproError):
+    """An emulated device specification is invalid or unknown."""
+
+
+class WorkloadError(ReproError):
+    """A workload (model + dataset pair) is unknown or inconsistent."""
+
+
+class StorageError(ReproError):
+    """The persistent trial database rejected an operation."""
+
+
+class SchedulingError(ReproError):
+    """The discrete-event executor detected an inconsistent schedule."""
+
+
+class TuningError(ReproError):
+    """A tuning run could not complete (no trials, exhausted budget, ...)."""

@@ -1,0 +1,80 @@
+"""Experiment harness: one function per paper table/figure.
+
+Index (see DESIGN.md §4 for the full mapping):
+
+=============  =====================================================
+target         function
+=============  =====================================================
+Table 1        :func:`table_01_workloads`
+Table 2        :func:`table_02_features`
+Figure 1       :func:`figure_01_counters`
+Figure 2       :func:`figure_02_model_hparams`
+Figure 3       :func:`figure_03_batch_sizes`
+Figure 4       :func:`figure_04_gpus`
+Figure 5       :func:`figure_05_cpu_cores`
+Figure 6       :func:`figure_06_pipeline`
+Figure 10      :func:`figure_10_search_flow`
+Figure 12      :func:`figure_12_budget_convergence`
+Figure 13      :func:`figure_13_budget_comparison`
+Figure 14      :func:`figure_14_vs_tune`
+Figure 15      :func:`figure_15_emulation_error`
+Figure 16      :func:`figure_16_objectives`
+Figure 17      :func:`figure_17_vs_hyperpower`
+=============  =====================================================
+"""
+
+from .ablations import (
+    ablation_inference_cache,
+    ablation_onefold_vs_hierarchical,
+    ablation_reduction_factor,
+)
+from .budgets_exp import figure_12_budget_convergence, figure_13_budget_comparison
+from .comparisons import (
+    figure_14_vs_tune,
+    figure_16_objectives,
+    figure_17_vs_hyperpower,
+)
+from .error import figure_15_emulation_error
+from .motivation import (
+    figure_01_counters,
+    figure_02_model_hparams,
+    figure_03_batch_sizes,
+    figure_04_gpus,
+    figure_05_cpu_cores,
+)
+from .pipeline import figure_06_pipeline, figure_10_search_flow
+from .reporting import render_table, save_table
+from .runner import ACCURACY_TARGETS, ExperimentContext, ExperimentResult
+from .tables import edgetune_capabilities, table_01_workloads, table_02_features
+
+ALL_EXPERIMENTS = {
+    "table1": table_01_workloads,
+    "table2": table_02_features,
+    "fig01": figure_01_counters,
+    "fig02": figure_02_model_hparams,
+    "fig03": figure_03_batch_sizes,
+    "fig04": figure_04_gpus,
+    "fig05": figure_05_cpu_cores,
+    "fig06": figure_06_pipeline,
+    "fig10": figure_10_search_flow,
+    "fig12": figure_12_budget_convergence,
+    "fig13": figure_13_budget_comparison,
+    "fig14": figure_14_vs_tune,
+    "fig15": figure_15_emulation_error,
+    "fig16": figure_16_objectives,
+    "fig17": figure_17_vs_hyperpower,
+    # Ablations of prose claims (not numbered figures in the paper).
+    "ablation_onefold": ablation_onefold_vs_hierarchical,
+    "ablation_cache": ablation_inference_cache,
+    "ablation_eta": ablation_reduction_factor,
+}
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "ACCURACY_TARGETS",
+    "ALL_EXPERIMENTS",
+    "render_table",
+    "save_table",
+    "edgetune_capabilities",
+] + [name for name in dir() if name.startswith(("figure_", "table_"))]

@@ -1,0 +1,93 @@
+"""Pipelining and search-flow experiments: Figures 6 and 10."""
+
+from __future__ import annotations
+
+from ..rng import derive_seed
+from ..search import build_scheduler, build_searcher, TrialReport
+from ..sim import INFERENCE_LANE, MODEL_LANE, PipelinedExecutor
+from ..space import Float, ParameterSpace
+from .runner import ExperimentContext, ExperimentResult
+
+
+def figure_06_pipeline(ctx: ExperimentContext) -> ExperimentResult:
+    """Fig 6: model/inference server overlap for 3x3 parameter values.
+
+    Three model-parameter trials, each triggering an inference-tuning job
+    (three inference parameter values each); the inference lane pipelines
+    the jobs while the model lane keeps training.
+    """
+    result = ExperimentResult(
+        experiment_id="fig06",
+        title="Pipelined model/inference tuning servers (3 values each)",
+        columns=["lane", "label", "start_s", "end_s", "duration_s"],
+    )
+    executor = PipelinedExecutor()
+    trial_duration = 100.0
+    inference_duration = 3 * 12.0  # three inference values, 12 s each
+    for index in range(3):
+        executor.start_inference_job(f"arch-{index}", inference_duration)
+        executor.run_training_trial(f"model-{index}", trial_duration)
+        executor.await_inference(f"arch-{index}")
+    for lane in (MODEL_LANE, INFERENCE_LANE):
+        for segment in executor.lane_segments(lane):
+            result.add_row(
+                lane=segment.lane,
+                label=segment.label,
+                start_s=segment.start,
+                end_s=segment.end,
+                duration_s=segment.duration,
+            )
+    result.note(
+        f"model lane ends at {executor.model_time:.0f}s; total stall "
+        f"{executor.stall_time():.0f}s (inference hidden inside trials)"
+    )
+    return result
+
+
+def figure_10_search_flow(ctx: ExperimentContext) -> ExperimentResult:
+    """Fig 10: trial placement of grid vs random vs BOHB on a 2-D space.
+
+    The quality signal is a quadratic bowl; BOHB's trials should
+    concentrate near the optimum while grid/random spread uniformly.
+    """
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Trial flow: grid vs random vs BOHB on a 2-D landscape",
+        columns=["algorithm", "trial", "x", "y", "score"],
+    )
+    space = ParameterSpace([Float("x", 0.0, 1.0), Float("y", 0.0, 1.0)])
+    optimum = (0.7, 0.3)
+
+    def score_of(configuration) -> float:
+        return (
+            (configuration["x"] - optimum[0]) ** 2
+            + (configuration["y"] - optimum[1]) ** 2
+        )
+
+    for name in ("grid", "random", "bohb"):
+        kwargs = {"resolution": 3} if name == "grid" else {}
+        scheduler = build_scheduler(
+            name,
+            space,
+            seed=derive_seed(ctx.seed, "fig10", name),
+            max_fidelity=4,
+            num_trials=9,
+            **kwargs,
+        )
+        issued = 0
+        while issued < 9:
+            trial = scheduler.next_trial()
+            if trial is None:
+                break
+            value = score_of(trial.configuration)
+            result.add_row(
+                algorithm=name,
+                trial=issued + 1,
+                x=trial.configuration["x"],
+                y=trial.configuration["y"],
+                score=value,
+            )
+            scheduler.report(TrialReport(trial=trial, score=value))
+            issued += 1
+    result.note("BOHB concentrates later trials near the optimum (0.7, 0.3)")
+    return result

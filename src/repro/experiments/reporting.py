@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .runner import ExperimentResult
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Aligned text table in the style of the paper's reported rows."""
+    header = list(result.columns)
+    body: List[List[str]] = [
+        [_format(row.get(col, "")) for col in header] for row in result.rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in body)) if body else len(col)
+        for i, col in enumerate(header)
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    lines.append(
+        "  ".join(col.ljust(width) for col, width in zip(header, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    result: ExperimentResult,
+    label_column: str,
+    value_column: str,
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII bar chart of one numeric column.
+
+    The terminal-friendly equivalent of the paper's bar figures, e.g.::
+
+        render_bars(fig14_result, "system", "tuning_runtime_m")
+    """
+    rows = [
+        (str(row.get(label_column, "")), row.get(value_column))
+        for row in result.rows
+        if isinstance(row.get(value_column), (int, float))
+    ]
+    if not rows:
+        raise ValueError(
+            f"no numeric values in column {value_column!r}"
+        )
+    peak = max(abs(value) for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [f"== {result.experiment_id}: {value_column} =="]
+    for label, value in rows:
+        bar = "#" * max(1, int(round(abs(value) / peak * width)))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {_format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def save_table(result: ExperimentResult, directory) -> str:
+    """Write the rendered table under ``directory``; returns the path."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(render_table(result) + "\n")
+    return path

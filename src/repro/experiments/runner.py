@@ -1,0 +1,76 @@
+"""Shared experiment context and result containers.
+
+Every figure/table of the paper's evaluation has a function in this
+package returning an :class:`ExperimentResult`; the ``benchmarks/`` tree
+wraps them in pytest-benchmark targets and writes the rendered tables to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Accuracy targets per workload used by the tuning-run experiments
+#: (the paper tunes "to reach at least 80 %"; the harder synthetic
+#: detection/NLP tasks get proportionally scaled targets).
+ACCURACY_TARGETS = {"IC": 0.8, "SR": 0.7, "NLP": 0.6, "OD": 0.5}
+
+#: Fast mode shrinks the datasets, which lowers the reachable accuracy;
+#: targets scale down with it so the tuning dynamics stay comparable.
+ACCURACY_TARGETS_FAST = {"IC": 0.65, "SR": 0.5, "NLP": 0.45, "OD": 0.3}
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Knobs shared by all experiments.
+
+    ``fast=True`` shrinks datasets and trial counts so the whole harness
+    runs in minutes; the defaults reproduce the reported numbers.
+    """
+
+    seed: int = 7
+    samples: int = 600
+    device: str = "armv7"
+    fast: bool = False
+
+    @property
+    def run_samples(self) -> int:
+        return 300 if self.fast else self.samples
+
+    @property
+    def comparison_samples(self) -> int:
+        """Sample count for the system-comparison experiments (Fig 14/17).
+
+        These comparisons are calibration-sensitive: shrinking the dataset
+        changes which accuracy targets are reachable and flips outcomes,
+        so they always run at full scale.
+        """
+        return max(500, self.samples)
+
+    def target_for(self, workload_id: str) -> float:
+        table = ACCURACY_TARGETS_FAST if self.fast else ACCURACY_TARGETS
+        return table[workload_id]
+
+    def comparison_target_for(self, workload_id: str) -> float:
+        return ACCURACY_TARGETS[workload_id]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: rows of named values plus metadata."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)

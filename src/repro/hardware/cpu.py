@@ -1,0 +1,172 @@
+"""Analytical CPU execution model.
+
+Converts a FLOP tally into simulated runtime/power on an emulated device,
+reproducing the qualitative behaviours the paper measures:
+
+* single-sample inference barely speeds up with more cores, while its
+  energy *rises* (Fig 5a) — modelled by a batch-dependent parallel
+  fraction fed into Amdahl's law;
+* multi-sample inference scales with cores but with diminishing energy
+  efficiency (Fig 5b);
+* throughput grows with inference batch size, saturates, and decays once
+  the working set spills past the cache/RAM thresholds (Fig 3b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import DeviceError
+from .device import GIGA, DeviceSpec
+
+#: Fraction of the kernel that parallelises *within* a single sample
+#: (intra-operator parallelism).  Small, so 1-sample inference cannot use
+#: many cores — matching Fig 5a.
+INTRA_SAMPLE_PARALLELISM = 0.2
+
+#: SIMD/pipeline efficiency floor for tiny batches; efficiency approaches
+#: 1.0 as the batch grows.
+SIMD_EFFICIENCY_FLOOR = 0.6
+
+#: Batch size at which SIMD efficiency is halfway to its ceiling.
+SIMD_HALF_BATCH = 2.0
+
+#: Slowdown per doubling of working set beyond the last-level cache.
+CACHE_PENALTY_PER_DOUBLING = 0.10
+
+#: Approximate activation bytes generated per forward FLOP (calibrated so a
+#: ResNet-18-class workload produces a few MB of activations per sample).
+ACTIVATION_BYTES_PER_FLOP = 0.0016
+
+#: DRAM-contention slowdown per core beyond the second, applied when the
+#: working set spills past the LLC: extra cores then fight for memory
+#: bandwidth, so throughput saturates (Fig 5b's +9 % from 2 to 4 cores).
+DRAM_CONTENTION_PER_CORE = 0.2
+
+#: Allocated cores never fully sleep (spin loops, OS housekeeping), so the
+#: power model charges at least this activity fraction per core — the
+#: reason 4-core single-image inference costs more energy (Fig 5a).
+CORE_ACTIVITY_FLOOR = 0.7
+
+
+@dataclass(frozen=True)
+class CpuExecution:
+    """Result of simulating one kernel execution on CPU."""
+
+    runtime_s: float
+    power_w: float
+    utilisation: float
+    working_set_bytes: int
+
+    @property
+    def energy_j(self) -> float:
+        return self.runtime_s * self.power_w
+
+
+def parallel_fraction(batch_size: int, device: DeviceSpec) -> float:
+    """Amdahl parallelisable fraction as a function of batch size.
+
+    One sample exposes only intra-operator parallelism; each additional
+    sample adds data parallelism, bounded by the device's serial fraction.
+    """
+    if batch_size < 1:
+        raise DeviceError(f"batch size must be >= 1, got {batch_size}")
+    data_parallel = (batch_size - 1) / batch_size
+    combined = (
+        INTRA_SAMPLE_PARALLELISM
+        + (1.0 - INTRA_SAMPLE_PARALLELISM) * data_parallel
+    )
+    return (1.0 - device.serial_fraction) * combined
+
+
+def amdahl_speedup(cores: int, fraction: float) -> float:
+    """Classic Amdahl's-law speed-up for ``cores`` workers."""
+    return 1.0 / ((1.0 - fraction) + fraction / cores)
+
+
+def simd_efficiency(batch_size: int) -> float:
+    """Vector-unit utilisation: poor for tiny batches, ~1 for large ones."""
+    ramp = batch_size / (batch_size + SIMD_HALF_BATCH)
+    return SIMD_EFFICIENCY_FLOOR + (1.0 - SIMD_EFFICIENCY_FLOOR) * ramp
+
+
+def memory_penalty(working_set_bytes: int, device: DeviceSpec) -> float:
+    """Multiplicative slowdown from cache spill and RAM exhaustion.
+
+    Beyond the LLC the penalty grows logarithmically (more DRAM traffic);
+    beyond physical memory it grows quadratically (thrashing), producing
+    the post-saturation throughput decay of Fig 3b.
+    """
+    penalty = 1.0
+    llc_bytes = device.llc_kb * 1024.0
+    if working_set_bytes > llc_bytes:
+        penalty += CACHE_PENALTY_PER_DOUBLING * math.log2(
+            working_set_bytes / llc_bytes
+        )
+    ram_bytes = device.memory_gb * GIGA
+    if working_set_bytes > ram_bytes:
+        penalty *= (working_set_bytes / ram_bytes) ** 2
+    return penalty
+
+
+def working_set(
+    param_bytes: float, activation_bytes_per_sample: float, batch_size: int,
+    training: bool = False,
+) -> int:
+    """Resident bytes during execution.
+
+    Training roughly triples parameter residency (weights + gradients +
+    momentum) and keeps all activations for the backward pass — the paper's
+    observation (§2.1) that training memory use far exceeds inference.
+    """
+    factor = 3.0 if training else 1.0
+    activations = activation_bytes_per_sample * batch_size
+    if training:
+        activations *= 2.0  # forward + retained for backward
+    return int(param_bytes * factor + activations)
+
+
+def run_on_cpu(
+    flops: float,
+    param_bytes: float,
+    activation_bytes_per_sample: float,
+    batch_size: int,
+    device: DeviceSpec,
+    cores: int = 1,
+    frequency_ghz: float = None,
+    training: bool = False,
+) -> CpuExecution:
+    """Simulate executing ``flops`` total FLOPs of batched kernel work."""
+    cores = device.validate_cores(cores)
+    if frequency_ghz is None:
+        frequency_ghz = device.max_frequency_ghz
+    else:
+        device.validate_frequency(frequency_ghz)
+    if flops <= 0:
+        raise DeviceError(f"flops must be positive, got {flops}")
+
+    single_core_peak = device.peak_cpu_flops(1, frequency_ghz)
+    fraction = parallel_fraction(batch_size, device)
+    speedup = amdahl_speedup(cores, fraction)
+    efficiency = simd_efficiency(batch_size)
+    ws = working_set(
+        param_bytes, activation_bytes_per_sample, batch_size, training
+    )
+    if ws > device.llc_kb * 1024.0 and cores > 2:
+        # Memory-bound kernels: cores beyond the second contend for DRAM.
+        speedup /= 1.0 + DRAM_CONTENTION_PER_CORE * (cores - 2)
+        speedup = max(speedup, 1.0)
+    penalty = memory_penalty(ws, device)
+    runtime = flops * penalty / (single_core_peak * efficiency * speedup)
+    # Cores are busy in proportion to how well the kernel parallelises,
+    # but never below the spin/housekeeping floor.
+    utilisation = max(min(1.0, speedup / cores), CORE_ACTIVITY_FLOOR)
+    power = device.cpu_power_w(cores, frequency_ghz, utilisation)
+    return CpuExecution(
+        runtime_s=runtime,
+        power_w=power,
+        utilisation=utilisation,
+        working_set_bytes=ws,
+    )

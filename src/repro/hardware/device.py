@@ -1,0 +1,133 @@
+"""Emulated device specifications.
+
+A :class:`DeviceSpec` captures the analytical cost-model inputs for one
+platform: compute throughput, core scaling behaviour, memory hierarchy and
+power draw.  The registry in :mod:`repro.hardware.registry` instantiates the
+paper's platforms — the three edge devices of §2.1 (ARMv7 board, Raspberry
+Pi 3B+, Intel i7 NUC) plus the Titan RTX tuning server of §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import DeviceError
+
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of an emulated platform.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"raspberrypi3b"``.
+    device_class:
+        ``"edge"`` (inference target) or ``"server"`` (tuning host).
+    cores:
+        Number of physical CPU cores available.
+    frequencies_ghz:
+        Selectable CPU frequencies (a tunable system parameter); the last
+        entry is the nominal maximum.
+    flops_per_cycle:
+        Effective FLOPs per cycle per core (SIMD width x issue rate).
+    serial_fraction:
+        Amdahl serial fraction of the inference/training kernels on this
+        platform; bounds multi-core speed-up.
+    memory_gb / llc_kb / memory_bandwidth_gbps:
+        Memory capacity, last-level cache size, DRAM bandwidth.
+    idle_power_w / core_power_w:
+        Package idle power and incremental per-core active power at the
+        nominal frequency.  Power scales ~quadratically with frequency.
+    gpus / gpu_flops / gpu_memory_gb / gpu_idle_power_w / gpu_power_w:
+        GPU pool of the platform (zero on edge devices — the paper's
+        inference server is CPU-only, §3.2).
+    interconnect_gbps:
+        GPU-to-GPU bandwidth for multi-GPU gradient synchronisation.
+    sync_latency_s:
+        Fixed per-step collective-launch latency per extra GPU.
+    """
+
+    name: str
+    device_class: str
+    cores: int
+    frequencies_ghz: Tuple[float, ...]
+    flops_per_cycle: float
+    serial_fraction: float
+    memory_gb: float
+    llc_kb: float
+    memory_bandwidth_gbps: float
+    idle_power_w: float
+    core_power_w: float
+    gpus: int = 0
+    gpu_flops: float = 0.0
+    gpu_memory_gb: float = 0.0
+    gpu_idle_power_w: float = 0.0
+    gpu_power_w: float = 0.0
+    interconnect_gbps: float = 0.0
+    sync_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.device_class not in ("edge", "server"):
+            raise DeviceError(
+                f"device_class must be 'edge' or 'server', "
+                f"got {self.device_class!r}"
+            )
+        if self.cores <= 0:
+            raise DeviceError(f"{self.name}: cores must be positive")
+        if not self.frequencies_ghz or any(
+            f <= 0 for f in self.frequencies_ghz
+        ):
+            raise DeviceError(f"{self.name}: invalid frequency list")
+        if tuple(sorted(self.frequencies_ghz)) != tuple(self.frequencies_ghz):
+            raise DeviceError(f"{self.name}: frequencies must be ascending")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise DeviceError(f"{self.name}: serial_fraction out of range")
+        if self.gpus < 0 or (self.gpus > 0 and self.gpu_flops <= 0):
+            raise DeviceError(f"{self.name}: inconsistent GPU specification")
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def max_frequency_ghz(self) -> float:
+        return self.frequencies_ghz[-1]
+
+    def validate_frequency(self, frequency_ghz: float) -> float:
+        if frequency_ghz not in self.frequencies_ghz:
+            raise DeviceError(
+                f"{self.name}: frequency {frequency_ghz} GHz not in "
+                f"{self.frequencies_ghz}"
+            )
+        return frequency_ghz
+
+    def validate_cores(self, cores: int) -> int:
+        if not 1 <= cores <= self.cores:
+            raise DeviceError(
+                f"{self.name}: cores must be in [1, {self.cores}], got {cores}"
+            )
+        return cores
+
+    def validate_gpus(self, gpus: int) -> int:
+        if not 0 <= gpus <= self.gpus:
+            raise DeviceError(
+                f"{self.name}: gpus must be in [0, {self.gpus}], got {gpus}"
+            )
+        return gpus
+
+    def peak_cpu_flops(self, cores: int, frequency_ghz: float) -> float:
+        """Aggregate peak FLOP/s of ``cores`` at ``frequency_ghz``."""
+        return cores * frequency_ghz * GIGA * self.flops_per_cycle
+
+    def cpu_power_w(self, cores: int, frequency_ghz: float, utilisation: float) -> float:
+        """Package power: idle + active-core dynamic power.
+
+        Dynamic power scales with f^2 (voltage tracks frequency) and with
+        the fraction of time the cores are busy.
+        """
+        frequency_ratio = frequency_ghz / self.max_frequency_ghz
+        dynamic = cores * self.core_power_w * frequency_ratio**2
+        return self.idle_power_w + dynamic * max(0.0, min(utilisation, 1.0))

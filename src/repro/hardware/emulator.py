@@ -1,0 +1,174 @@
+"""Emulator facade: FLOP tallies in, simulated measurements out.
+
+This is the component the paper calls *simulating the edge devices in the
+tuning server* (§2.1, design option 3): instead of offloading models to
+physical boards, the Inference Tuning Server runs candidate configurations
+through this analytical model and feeds the estimates back into the tuning
+objective.
+
+Because the reproduction's numpy models are scaled-down, the emulator maps
+their FLOP/parameter tallies onto realistic workload magnitudes with two
+calibration constants (``flops_scale``, ``param_scale``) chosen so the
+ResNet-like IC workload lands near real ResNet-18 numbers (~2 GFLOPs and
+~47 MB of weights per sample).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import DeviceError
+from ..telemetry import InferenceMeasurement, TrainingMeasurement
+from .cpu import ACTIVATION_BYTES_PER_FLOP, run_on_cpu
+from .device import DeviceSpec
+from .gpu import run_training_on_gpus
+from .registry import get_device
+
+#: Virtual FLOPs represented by one measured FLOP of the scaled-down models.
+DEFAULT_FLOPS_SCALE = 75_000.0
+
+#: Virtual parameters represented by one actual parameter.
+DEFAULT_PARAM_SCALE = 1_000.0
+
+#: Virtual training samples represented by one actual sample: the synthetic
+#: datasets hold ~2k samples standing in for 50k-160k-file corpora
+#: (Table 1), so training cost is scaled up accordingly.
+DEFAULT_SAMPLE_SCALE = 500.0
+
+#: Bytes per (fp32) parameter.
+PARAM_BYTES = 4.0
+
+
+class Emulator:
+    """Analytical performance/energy emulator for training and inference."""
+
+    def __init__(
+        self,
+        flops_scale: float = DEFAULT_FLOPS_SCALE,
+        param_scale: float = DEFAULT_PARAM_SCALE,
+        sample_scale: float = DEFAULT_SAMPLE_SCALE,
+    ):
+        if flops_scale <= 0 or param_scale <= 0 or sample_scale <= 0:
+            raise DeviceError("emulator scales must be positive")
+        self.flops_scale = float(flops_scale)
+        self.param_scale = float(param_scale)
+        self.sample_scale = float(sample_scale)
+
+    # -- unit mapping -------------------------------------------------------
+    def virtual_flops(self, measured_flops: float) -> float:
+        return measured_flops * self.flops_scale
+
+    def virtual_param_bytes(self, parameter_count: int) -> float:
+        return parameter_count * self.param_scale * PARAM_BYTES
+
+    def activation_bytes_per_sample(self, forward_flops_per_sample: float) -> float:
+        return (
+            self.virtual_flops(forward_flops_per_sample)
+            * ACTIVATION_BYTES_PER_FLOP
+        )
+
+    # -- training ---------------------------------------------------------------
+    def measure_training(
+        self,
+        train_total_flops: float,
+        forward_flops_per_sample: float,
+        parameter_count: int,
+        samples_seen: int,
+        batch_size: int,
+        device: DeviceSpec | str = "titan-server",
+        gpus: int = 1,
+        cores: Optional[int] = None,
+        frequency_ghz: Optional[float] = None,
+    ) -> TrainingMeasurement:
+        """Simulate a training run on ``device``.
+
+        ``gpus > 0`` routes through the multi-GPU model (the tuning server);
+        ``gpus == 0`` trains on CPU (edge retraining scenarios).
+        """
+        spec = get_device(device) if isinstance(device, str) else device
+        flops = self.virtual_flops(train_total_flops) * self.sample_scale
+        param_bytes = self.virtual_param_bytes(parameter_count)
+        if gpus > 0:
+            steps = max(
+                1,
+                int(samples_seen * self.sample_scale) // max(batch_size, 1),
+            )
+            execution = run_training_on_gpus(
+                total_flops=flops,
+                steps=steps,
+                param_bytes=param_bytes,
+                batch_size=batch_size,
+                device=spec,
+                gpus=gpus,
+            )
+            return TrainingMeasurement(
+                runtime_s=execution.runtime_s,
+                energy_j=execution.energy_j,
+                power_w=execution.power_w,
+                working_set_bytes=execution.working_set_bytes,
+                device=spec.name,
+                gpus=gpus,
+                cores=cores or spec.cores,
+            )
+        execution = run_on_cpu(
+            flops=flops,
+            param_bytes=param_bytes,
+            activation_bytes_per_sample=self.activation_bytes_per_sample(
+                forward_flops_per_sample
+            ),
+            batch_size=batch_size,
+            device=spec,
+            cores=cores or spec.cores,
+            frequency_ghz=frequency_ghz,
+            training=True,
+        )
+        return TrainingMeasurement(
+            runtime_s=execution.runtime_s,
+            energy_j=execution.energy_j,
+            power_w=execution.power_w,
+            working_set_bytes=execution.working_set_bytes,
+            device=spec.name,
+            gpus=0,
+            cores=cores or spec.cores,
+        )
+
+    # -- inference -----------------------------------------------------------------
+    def measure_inference(
+        self,
+        forward_flops_per_sample: float,
+        parameter_count: int,
+        batch_size: int,
+        device: DeviceSpec | str,
+        cores: int = 1,
+        frequency_ghz: Optional[float] = None,
+    ) -> InferenceMeasurement:
+        """Simulate steady-state batched inference on an edge device."""
+        spec = get_device(device) if isinstance(device, str) else device
+        if batch_size < 1:
+            raise DeviceError(f"batch size must be >= 1, got {batch_size}")
+        flops = self.virtual_flops(forward_flops_per_sample) * batch_size
+        execution = run_on_cpu(
+            flops=flops,
+            param_bytes=self.virtual_param_bytes(parameter_count),
+            activation_bytes_per_sample=self.activation_bytes_per_sample(
+                forward_flops_per_sample
+            ),
+            batch_size=batch_size,
+            device=spec,
+            cores=cores,
+            frequency_ghz=frequency_ghz,
+            training=False,
+        )
+        throughput = batch_size / execution.runtime_s
+        energy_per_sample = execution.energy_j / batch_size
+        return InferenceMeasurement(
+            batch_latency_s=execution.runtime_s,
+            throughput_sps=throughput,
+            energy_per_sample_j=energy_per_sample,
+            power_w=execution.power_w,
+            working_set_bytes=execution.working_set_bytes,
+            device=spec.name,
+            batch_size=batch_size,
+            cores=cores,
+        )

@@ -1,0 +1,100 @@
+"""Analytical multi-GPU training model.
+
+Reproduces the paper's Fig 4 behaviours:
+
+* with a *small* batch (32), adding GPUs makes training **slower** — the
+  per-step gradient synchronisation dominates the shrinking per-GPU
+  compute, degrading runtime by up to ~120 %;
+* with a *large* batch (1024), runtime improves with GPUs but
+  sub-linearly, while energy **increases** because the extra devices burn
+  idle and communication power.
+
+The model is classic data parallelism: each optimisation step computes on
+``batch/g`` samples per GPU, then all-reduces the gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from .device import GIGA, DeviceSpec
+
+#: Per-GPU batch size at which a GPU reaches half of its peak utilisation;
+#: GPUs need reasonably big tiles to saturate their SMs.
+GPU_HALF_BATCH = 24.0
+
+#: Host-side input pipeline and kernel-launch overhead per step, seconds.
+STEP_LAUNCH_OVERHEAD_S = 1.2e-3
+
+
+@dataclass(frozen=True)
+class GpuExecution:
+    """Result of simulating a multi-GPU training run."""
+
+    runtime_s: float
+    power_w: float
+    compute_fraction: float
+    working_set_bytes: int
+
+    @property
+    def energy_j(self) -> float:
+        return self.runtime_s * self.power_w
+
+
+def gpu_efficiency(batch_per_gpu: float) -> float:
+    """SM utilisation as a function of the per-GPU batch."""
+    return batch_per_gpu / (batch_per_gpu + GPU_HALF_BATCH)
+
+
+def allreduce_time_s(param_bytes: float, gpus: int, device: DeviceSpec) -> float:
+    """Ring all-reduce cost per step: 2(g-1)/g of the gradient volume."""
+    if gpus <= 1:
+        return 0.0
+    bandwidth_bytes = device.interconnect_gbps * GIGA / 8.0
+    volume = 2.0 * (gpus - 1) / gpus * param_bytes
+    return volume / bandwidth_bytes + device.sync_latency_s * gpus
+
+
+def run_training_on_gpus(
+    total_flops: float,
+    steps: int,
+    param_bytes: float,
+    batch_size: int,
+    device: DeviceSpec,
+    gpus: int,
+) -> GpuExecution:
+    """Simulate a training run of ``steps`` optimisation steps.
+
+    ``total_flops`` is the full training FLOP tally (forward + backward),
+    spread evenly over the steps.
+    """
+    gpus = device.validate_gpus(gpus)
+    if gpus == 0:
+        raise DeviceError("run_training_on_gpus needs at least one GPU")
+    if steps <= 0 or total_flops <= 0:
+        raise DeviceError("steps and total_flops must be positive")
+    batch_per_gpu = max(batch_size / gpus, 1.0)
+    efficiency = gpu_efficiency(batch_per_gpu)
+    flops_per_step = total_flops / steps
+    compute_per_step = flops_per_step / (gpus * device.gpu_flops * efficiency)
+    comm_per_step = allreduce_time_s(param_bytes, gpus, device)
+    step_time = compute_per_step + comm_per_step + STEP_LAUNCH_OVERHEAD_S
+    runtime = step_time * steps
+    compute_fraction = compute_per_step / step_time
+    # GPUs draw near-peak power while computing (memory clocks stay up
+    # regardless of SM occupancy), idle-ish while syncing.
+    per_gpu_power = (
+        device.gpu_idle_power_w
+        + device.gpu_power_w * compute_fraction
+    )
+    host_power = device.idle_power_w + 2.0 * device.core_power_w
+    power = gpus * per_gpu_power + host_power
+    working_set = int(param_bytes * 3.0 * gpus)  # weights+grads+momentum per GPU
+    return GpuExecution(
+        runtime_s=runtime,
+        power_w=power,
+        compute_fraction=compute_fraction,
+        working_set_bytes=working_set,
+    )

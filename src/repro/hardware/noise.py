@@ -1,0 +1,98 @@
+"""The "real" edge device: emulator plus structured model error.
+
+The paper validates its inference emulation against physical boards and
+reports percent errors that are small for most configurations (≤~20 %,
+§2.1 / Fig 15).  To reproduce that experiment without hardware, the
+*ground-truth* device is modelled as the emulator's estimate deformed by a
+structured, deterministic perturbation:
+
+* a configuration-dependent multiplicative factor (log-normal-ish, from a
+  hashed seed) standing in for unmodelled microarchitectural effects;
+* a fixed per-call overhead (interrupts, frequency governor latency) that
+  hurts small batches more — a *systematic* bias, not just noise.
+
+Fig 15's error distribution then falls out of comparing the raw emulator
+against this ground-truth model across the inference search space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rng import spawn_rng
+from ..telemetry import InferenceMeasurement
+from .device import DeviceSpec
+from .emulator import Emulator
+from .registry import get_device
+
+#: Standard deviation of the multiplicative log-error.
+MODEL_ERROR_SIGMA = 0.12
+
+#: Fixed overhead per inference call on a real device, seconds.
+REAL_CALL_OVERHEAD_S = 2.0e-3
+
+#: Extra power draw unaccounted by the analytical model (peripherals), W.
+REAL_POWER_BIAS_W = 0.35
+
+
+@dataclass
+class RealEdgeDevice:
+    """Ground-truth stand-in for a physical edge board."""
+
+    device: DeviceSpec
+    emulator: Emulator
+    seed: int = 0
+
+    @classmethod
+    def of(
+        cls, device: DeviceSpec | str, emulator: Optional[Emulator] = None,
+        seed: int = 0,
+    ) -> "RealEdgeDevice":
+        spec = get_device(device) if isinstance(device, str) else device
+        return cls(device=spec, emulator=emulator or Emulator(), seed=seed)
+
+    def _error_factor(self, *context) -> float:
+        rng = spawn_rng(self.seed, self.device.name, *context)
+        return math.exp(float(rng.normal(0.0, MODEL_ERROR_SIGMA)))
+
+    def measure_inference(
+        self,
+        forward_flops_per_sample: float,
+        parameter_count: int,
+        batch_size: int,
+        cores: int = 1,
+        frequency_ghz: Optional[float] = None,
+    ) -> InferenceMeasurement:
+        """Measure inference as the physical board would report it."""
+        estimate = self.emulator.measure_inference(
+            forward_flops_per_sample=forward_flops_per_sample,
+            parameter_count=parameter_count,
+            batch_size=batch_size,
+            device=self.device,
+            cores=cores,
+            frequency_ghz=frequency_ghz,
+        )
+        latency_factor = self._error_factor(
+            "latency", batch_size, cores, parameter_count
+        )
+        power_factor = self._error_factor(
+            "power", batch_size, cores, parameter_count
+        )
+        real_latency = (
+            estimate.batch_latency_s * latency_factor + REAL_CALL_OVERHEAD_S
+        )
+        real_power = estimate.power_w * power_factor + REAL_POWER_BIAS_W
+        throughput = batch_size / real_latency
+        energy_per_sample = real_power * real_latency / batch_size
+        return InferenceMeasurement(
+            batch_latency_s=real_latency,
+            throughput_sps=throughput,
+            energy_per_sample_j=energy_per_sample,
+            power_w=real_power,
+            working_set_bytes=estimate.working_set_bytes,
+            device=self.device.name,
+            batch_size=batch_size,
+            cores=cores,
+        )

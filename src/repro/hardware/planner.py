@@ -1,0 +1,141 @@
+"""Deployment planner: pick device configurations that meet an SLO.
+
+A thin decision layer over the emulator that answers the question
+EdgeTune's users face after tuning (paper §1: "the tuned model might be
+deployed across different edge devices"): given an architecture and
+service-level objectives — minimum throughput and/or maximum J/sample —
+which (device, cores, frequency, batch) configurations qualify, and which
+is best under a chosen preference?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError, DeviceError
+from ..telemetry import InferenceMeasurement
+from .emulator import Emulator
+from .registry import edge_device_names, get_device
+
+#: Batch sizes swept per device by default.
+DEFAULT_PLAN_BATCHES = (1, 4, 16, 64)
+
+
+@dataclass(frozen=True)
+class DeploymentOption:
+    """One qualifying deployment configuration."""
+
+    device: str
+    cores: int
+    frequency_ghz: float
+    batch_size: int
+    measurement: InferenceMeasurement
+
+    @property
+    def throughput_sps(self) -> float:
+        return self.measurement.throughput_sps
+
+    @property
+    def energy_per_sample_j(self) -> float:
+        return self.measurement.energy_per_sample_j
+
+
+@dataclass
+class DeploymentPlan:
+    """All qualifying options, ranked according to the preference."""
+
+    options: List[DeploymentOption]
+    min_throughput_sps: Optional[float]
+    max_energy_per_sample_j: Optional[float]
+    prefer: str
+
+    @property
+    def best(self) -> Optional[DeploymentOption]:
+        return self.options[0] if self.options else None
+
+    @property
+    def feasible(self) -> bool:
+        return bool(self.options)
+
+
+class DeploymentPlanner:
+    """Sweeps emulated devices and ranks SLO-compliant configurations."""
+
+    def __init__(
+        self,
+        emulator: Optional[Emulator] = None,
+        devices: Optional[Sequence[str]] = None,
+        batch_sizes: Sequence[int] = DEFAULT_PLAN_BATCHES,
+    ):
+        self.emulator = emulator or Emulator()
+        self.devices = list(devices) if devices else edge_device_names()
+        if not self.devices:
+            raise DeviceError("planner needs at least one device")
+        if not batch_sizes or any(b < 1 for b in batch_sizes):
+            raise ConfigurationError("batch sizes must be positive")
+        self.batch_sizes = list(batch_sizes)
+
+    def plan(
+        self,
+        forward_flops_per_sample: float,
+        parameter_count: int,
+        min_throughput_sps: Optional[float] = None,
+        max_energy_per_sample_j: Optional[float] = None,
+        prefer: str = "energy",
+    ) -> DeploymentPlan:
+        """Enumerate, filter by the SLOs, and rank.
+
+        ``prefer`` is ``"energy"`` (least J/sample first) or
+        ``"throughput"`` (most samples/s first).
+        """
+        if prefer not in ("energy", "throughput"):
+            raise ConfigurationError(
+                f"prefer must be 'energy' or 'throughput', got {prefer!r}"
+            )
+        options: List[DeploymentOption] = []
+        for device_name in self.devices:
+            spec = get_device(device_name)
+            for cores in range(1, spec.cores + 1):
+                for frequency in spec.frequencies_ghz:
+                    for batch in self.batch_sizes:
+                        measurement = self.emulator.measure_inference(
+                            forward_flops_per_sample=forward_flops_per_sample,
+                            parameter_count=parameter_count,
+                            batch_size=batch,
+                            device=spec,
+                            cores=cores,
+                            frequency_ghz=frequency,
+                        )
+                        if (
+                            min_throughput_sps is not None
+                            and measurement.throughput_sps < min_throughput_sps
+                        ):
+                            continue
+                        if (
+                            max_energy_per_sample_j is not None
+                            and measurement.energy_per_sample_j
+                            > max_energy_per_sample_j
+                        ):
+                            continue
+                        options.append(
+                            DeploymentOption(
+                                device=spec.name,
+                                cores=cores,
+                                frequency_ghz=frequency,
+                                batch_size=batch,
+                                measurement=measurement,
+                            )
+                        )
+        if prefer == "energy":
+            options.sort(key=lambda o: (o.energy_per_sample_j,
+                                        -o.throughput_sps))
+        else:
+            options.sort(key=lambda o: (-o.throughput_sps,
+                                        o.energy_per_sample_j))
+        return DeploymentPlan(
+            options=options,
+            min_throughput_sps=min_throughput_sps,
+            max_energy_per_sample_j=max_energy_per_sample_j,
+            prefer=prefer,
+        )

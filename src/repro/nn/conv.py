@@ -1,0 +1,361 @@
+"""Convolutional and pooling layers (1-D for audio, 2-D for images).
+
+Implemented with im2col/col2im so the heavy lifting is a single matrix
+multiply per layer — fast enough in numpy for the scaled-down reproduction
+workloads while remaining a genuine convolution with exact gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..rng import SeedLike, make_rng
+from .initializers import he_normal, zeros
+from .module import Module, ParamTensor, Shape, check_ndim
+
+
+def _out_length(length: int, kernel: int, stride: int) -> int:
+    if length < kernel:
+        raise ShapeError(
+            f"input length {length} smaller than kernel {kernel}"
+        )
+    return (length - kernel) // stride + 1
+
+
+def _im2col_1d(inputs: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """(N, C, L) -> (N, Lo, C*K) patch matrix."""
+    batch, channels, length = inputs.shape
+    out_len = _out_length(length, kernel, stride)
+    idx = (np.arange(out_len) * stride)[:, None] + np.arange(kernel)[None, :]
+    # (N, C, Lo, K) -> (N, Lo, C, K) -> (N, Lo, C*K)
+    patches = inputs[:, :, idx]
+    return patches.transpose(0, 2, 1, 3).reshape(batch, out_len, channels * kernel)
+
+
+def _col2im_1d(
+    grad_cols: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Inverse scatter-add of :func:`_im2col_1d`."""
+    batch, channels, length = input_shape
+    out_len = grad_cols.shape[1]
+    grad = np.zeros(input_shape, dtype=np.float64)
+    cols = grad_cols.reshape(batch, out_len, channels, kernel).transpose(
+        0, 2, 1, 3
+    )  # (N, C, Lo, K)
+    for k in range(kernel):
+        positions = np.arange(out_len) * stride + k
+        np.add.at(grad, (slice(None), slice(None), positions), cols[:, :, :, k])
+    return grad
+
+
+class Conv1d(Module):
+    """1-D convolution over (N, C, L) inputs; used by the M5 audio model."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        rng: SeedLike = None,
+    ):
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ShapeError("Conv1d dimensions must be positive")
+        generator = make_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        fan_in = in_channels * kernel_size
+        self.weight = ParamTensor(
+            "weight", he_normal(generator, (fan_in, out_channels), fan_in)
+        )
+        self.bias = ParamTensor("bias", zeros((out_channels,)))
+        self._cols: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        check_ndim("Conv1d", inputs, 3)
+        if inputs.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv1d expected {self.in_channels} channels, "
+                f"got {inputs.shape[1]}"
+            )
+        self._input_shape = inputs.shape
+        self._cols = _im2col_1d(inputs, self.kernel_size, self.stride)
+        out = self._cols @ self.weight.value + self.bias.value
+        return out.transpose(0, 2, 1)  # (N, C_out, Lo)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None:
+            raise ShapeError("Conv1d.backward called before forward")
+        grad_out = grad_output.transpose(0, 2, 1)  # (N, Lo, C_out)
+        flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
+        flat_grad = grad_out.reshape(-1, self.out_channels)
+        self.weight.grad += flat_cols.T @ flat_grad
+        self.bias.grad += flat_grad.sum(axis=0)
+        grad_cols = grad_out @ self.weight.value.T
+        return _col2im_1d(
+            grad_cols, self._input_shape, self.kernel_size, self.stride
+        )
+
+    def parameters(self) -> List[ParamTensor]:
+        return [self.weight, self.bias]
+
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        channels, length = input_shape
+        out_len = _out_length(length, self.kernel_size, self.stride)
+        per_position = 2 * channels * self.kernel_size * self.out_channels
+        return per_position * out_len + self.out_channels * out_len, (
+            self.out_channels,
+            out_len,
+        )
+
+
+class MaxPool1d(Module):
+    """Non-overlapping 1-D max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int):
+        if kernel_size <= 0:
+            raise ShapeError("MaxPool1d kernel must be positive")
+        self.kernel_size = kernel_size
+        self._cache: Optional[tuple] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        check_ndim("MaxPool1d", inputs, 3)
+        batch, channels, length = inputs.shape
+        out_len = length // self.kernel_size
+        if out_len == 0:
+            raise ShapeError(
+                f"MaxPool1d: length {length} < kernel {self.kernel_size}"
+            )
+        trimmed = inputs[:, :, : out_len * self.kernel_size]
+        windows = trimmed.reshape(batch, channels, out_len, self.kernel_size)
+        argmax = windows.argmax(axis=3)
+        self._cache = (inputs.shape, out_len, argmax)
+        return windows.max(axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("MaxPool1d.backward called before forward")
+        input_shape, out_len, argmax = self._cache
+        batch, channels, _ = input_shape
+        grad = np.zeros(input_shape, dtype=np.float64)
+        windows = grad.reshape(batch, channels, -1)[
+            :, :, : out_len * self.kernel_size
+        ].reshape(batch, channels, out_len, self.kernel_size)
+        b_idx, c_idx, o_idx = np.ogrid[:batch, :channels, :out_len]
+        windows[b_idx, c_idx, o_idx, argmax] = grad_output
+        return grad
+
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        channels, length = input_shape
+        out_len = length // self.kernel_size
+        return channels * out_len * self.kernel_size, (channels, out_len)
+
+
+class GlobalAvgPool1d(Module):
+    """Average over the length axis: (N, C, L) -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        check_ndim("GlobalAvgPool1d", inputs, 3)
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ShapeError("GlobalAvgPool1d.backward called before forward")
+        batch, channels, length = self._input_shape
+        return np.repeat(
+            grad_output[:, :, None] / length, length, axis=2
+        )
+
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        channels, length = input_shape
+        return channels * length, (channels,)
+
+
+def _im2col_2d(
+    inputs: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, int, int]:
+    """(N, C, H, W) -> (N, Ho*Wo, C*K*K) patch matrix."""
+    batch, channels, height, width = inputs.shape
+    out_h = _out_length(height, kernel, stride)
+    out_w = _out_length(width, kernel, stride)
+    rows = (np.arange(out_h) * stride)[:, None] + np.arange(kernel)[None, :]
+    cols = (np.arange(out_w) * stride)[:, None] + np.arange(kernel)[None, :]
+    # Gather (N, C, Ho, K, Wo, K)
+    patches = inputs[:, :, rows][:, :, :, :, cols]
+    patches = patches.transpose(0, 2, 4, 1, 3, 5)  # (N, Ho, Wo, C, K, K)
+    return (
+        patches.reshape(batch, out_h * out_w, channels * kernel * kernel),
+        out_h,
+        out_w,
+    )
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) inputs (square kernels)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        rng: SeedLike = None,
+    ):
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ShapeError("Conv2d dimensions must be positive")
+        generator = make_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = ParamTensor(
+            "weight", he_normal(generator, (fan_in, out_channels), fan_in)
+        )
+        self.bias = ParamTensor("bias", zeros((out_channels,)))
+        self._cols: Optional[np.ndarray] = None
+        self._geometry: Optional[tuple] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        check_ndim("Conv2d", inputs, 4)
+        if inputs.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2d expected {self.in_channels} channels, "
+                f"got {inputs.shape[1]}"
+            )
+        cols, out_h, out_w = _im2col_2d(inputs, self.kernel_size, self.stride)
+        self._cols = cols
+        self._geometry = (inputs.shape, out_h, out_w)
+        out = cols @ self.weight.value + self.bias.value  # (N, Ho*Wo, C_out)
+        batch = inputs.shape[0]
+        return out.transpose(0, 2, 1).reshape(
+            batch, self.out_channels, out_h, out_w
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._geometry is None:
+            raise ShapeError("Conv2d.backward called before forward")
+        input_shape, out_h, out_w = self._geometry
+        batch, channels, height, width = input_shape
+        grad_out = grad_output.reshape(
+            batch, self.out_channels, out_h * out_w
+        ).transpose(0, 2, 1)  # (N, Ho*Wo, C_out)
+        flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
+        flat_grad = grad_out.reshape(-1, self.out_channels)
+        self.weight.grad += flat_cols.T @ flat_grad
+        self.bias.grad += flat_grad.sum(axis=0)
+        grad_cols = grad_out @ self.weight.value.T  # (N, Ho*Wo, C*K*K)
+        # Scatter-add back to the input tensor.
+        grad = np.zeros(input_shape, dtype=np.float64)
+        k = self.kernel_size
+        patches = grad_cols.reshape(batch, out_h, out_w, channels, k, k)
+        for dy in range(k):
+            for dx in range(k):
+                rows = np.arange(out_h) * self.stride + dy
+                cols_idx = np.arange(out_w) * self.stride + dx
+                np.add.at(
+                    grad,
+                    (slice(None), slice(None), rows[:, None], cols_idx[None, :]),
+                    patches[:, :, :, :, dy, dx].transpose(0, 3, 1, 2),
+                )
+        return grad
+
+    def parameters(self) -> List[ParamTensor]:
+        return [self.weight, self.bias]
+
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        channels, height, width = input_shape
+        out_h = _out_length(height, self.kernel_size, self.stride)
+        out_w = _out_length(width, self.kernel_size, self.stride)
+        per_position = (
+            2 * channels * self.kernel_size * self.kernel_size * self.out_channels
+        )
+        total = per_position * out_h * out_w + self.out_channels * out_h * out_w
+        return total, (self.out_channels, out_h, out_w)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling (kernel == stride)."""
+
+    def __init__(self, kernel_size: int):
+        if kernel_size <= 0:
+            raise ShapeError("MaxPool2d kernel must be positive")
+        self.kernel_size = kernel_size
+        self._cache: Optional[tuple] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        check_ndim("MaxPool2d", inputs, 4)
+        k = self.kernel_size
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = height // k, width // k
+        if out_h == 0 or out_w == 0:
+            raise ShapeError(
+                f"MaxPool2d: input {height}x{width} smaller than kernel {k}"
+            )
+        trimmed = inputs[:, :, : out_h * k, : out_w * k]
+        windows = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h, out_w, k * k
+        )
+        argmax = windows.argmax(axis=4)
+        self._cache = (inputs.shape, out_h, out_w, argmax)
+        return windows.max(axis=4)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("MaxPool2d.backward called before forward")
+        input_shape, out_h, out_w, argmax = self._cache
+        batch, channels, height, width = input_shape
+        k = self.kernel_size
+        grad = np.zeros(input_shape, dtype=np.float64)
+        flat_pos = argmax  # position within the k*k window
+        dy, dx = flat_pos // k, flat_pos % k
+        b_idx, c_idx, h_idx, w_idx = np.ogrid[:batch, :channels, :out_h, :out_w]
+        rows = h_idx * k + dy
+        cols = w_idx * k + dx
+        np.add.at(grad, (b_idx, c_idx, rows, cols), grad_output)
+        return grad
+
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        channels, height, width = input_shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        return channels * out_h * out_w * k * k, (channels, out_h, out_w)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over spatial axes: (N, C, H, W) -> (N, C)."""
+
+    def __init__(self) -> None:
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        check_ndim("GlobalAvgPool2d", inputs, 4)
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise ShapeError("GlobalAvgPool2d.backward called before forward")
+        batch, channels, height, width = self._input_shape
+        area = height * width
+        return np.broadcast_to(
+            grad_output[:, :, None, None] / area, self._input_shape
+        ).copy()
+
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        channels, height, width = input_shape
+        return channels * height * width, (channels,)

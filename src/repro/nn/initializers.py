@@ -1,0 +1,42 @@
+"""Weight initializers.
+
+All initializers take an explicit generator so model construction is
+reproducible.  He initialization is the default for ReLU networks; Xavier for
+tanh/linear paths (the RNN).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def he_normal(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He (Kaiming) normal initialization: std = sqrt(2 / fan_in)."""
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot uniform initialization on [-limit, limit]."""
+    limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Orthogonal square matrix, the standard choice for recurrent weights."""
+    matrix = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(matrix)
+    # Make the decomposition unique (and the matrix properly orthogonal)
+    # by fixing the sign of the diagonal of R.
+    return q * np.sign(np.diag(r))

@@ -1,0 +1,137 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class Loss:
+    """Base class: ``forward`` returns a scalar, ``backward`` the gradient
+    with respect to the predictions."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross entropy over integer class targets."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ShapeError(f"expected 2-D logits, got {logits.shape}")
+        targets = np.asarray(targets)
+        if targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"targets shape {targets.shape} does not match batch "
+                f"{logits.shape[0]}"
+            )
+        probabilities = softmax(logits)
+        self._cache = (probabilities, targets)
+        rows = np.arange(logits.shape[0])
+        clipped = np.clip(probabilities[rows, targets], 1e-12, None)
+        return float(-np.log(clipped).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("CrossEntropyLoss.backward called before forward")
+        probabilities, targets = self._cache
+        grad = probabilities.copy()
+        rows = np.arange(grad.shape[0])
+        grad[rows, targets] -= 1.0
+        return grad / grad.shape[0]
+
+
+class MSELoss(Loss):
+    """Mean squared error over arbitrary-shape targets."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"prediction shape {predictions.shape} != target shape "
+                f"{targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(((predictions - targets) ** 2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("MSELoss.backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size
+
+
+class DetectionLoss(Loss):
+    """Simplified single-object detection loss for the YOLO-lite workload.
+
+    Predictions are ``(N, 4 + num_classes)``: four box coordinates followed
+    by class logits.  The loss is MSE on the box plus cross entropy on the
+    class, weighted by ``box_weight`` — the same structure (localisation +
+    classification) as the real YOLO objective, reduced to one object per
+    image.
+    """
+
+    def __init__(self, num_classes: int, box_weight: float = 1.0):
+        if num_classes <= 1:
+            raise ShapeError("DetectionLoss needs at least 2 classes")
+        self.num_classes = num_classes
+        self.box_weight = float(box_weight)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        expected = 4 + self.num_classes
+        if predictions.ndim != 2 or predictions.shape[1] != expected:
+            raise ShapeError(
+                f"expected predictions (N, {expected}), got {predictions.shape}"
+            )
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != (predictions.shape[0], 5):
+            raise ShapeError(
+                "detection targets must be (N, 5): 4 box coords + class id"
+            )
+        boxes_pred = predictions[:, :4]
+        logits = predictions[:, 4:]
+        boxes_true = targets[:, :4]
+        classes = targets[:, 4].astype(int)
+        probabilities = softmax(logits)
+        rows = np.arange(predictions.shape[0])
+        box_loss = ((boxes_pred - boxes_true) ** 2).mean()
+        clipped = np.clip(probabilities[rows, classes], 1e-12, None)
+        class_loss = float(-np.log(clipped).mean())
+        self._cache = (boxes_pred, boxes_true, probabilities, classes)
+        return float(self.box_weight * box_loss + class_loss)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("DetectionLoss.backward called before forward")
+        boxes_pred, boxes_true, probabilities, classes = self._cache
+        batch = boxes_pred.shape[0]
+        grad = np.zeros((batch, 4 + self.num_classes))
+        grad[:, :4] = (
+            self.box_weight * 2.0 * (boxes_pred - boxes_true) / (batch * 4)
+        )
+        grad_class = probabilities.copy()
+        rows = np.arange(batch)
+        grad_class[rows, classes] -= 1.0
+        grad[:, 4:] = grad_class / batch
+        return grad

@@ -1,0 +1,109 @@
+"""Evaluation metrics beyond plain top-1 accuracy.
+
+Used by the examples and available to downstream users of the NN engine;
+the tuning servers themselves only need the task-aware accuracy in
+:mod:`repro.nn.trainer`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose true class is among the k largest logits."""
+    if logits.ndim != 2:
+        raise ShapeError(f"expected 2-D logits, got shape {logits.shape}")
+    targets = np.asarray(targets)
+    if targets.shape != (logits.shape[0],):
+        raise ShapeError("targets must be 1-D matching the batch")
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    hits = (top == targets[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, targets: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """``matrix[i, j]`` = count of class-i samples predicted as class j."""
+    predictions = np.asarray(predictions, dtype=int)
+    targets = np.asarray(targets, dtype=int)
+    if predictions.shape != targets.shape or predictions.ndim != 1:
+        raise ShapeError("predictions and targets must be equal 1-D arrays")
+    if ((predictions < 0) | (predictions >= num_classes)).any():
+        raise ShapeError("prediction out of class range")
+    if ((targets < 0) | (targets >= num_classes)).any():
+        raise ShapeError("target out of class range")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def precision_recall(
+    matrix: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-class precision and recall from a confusion matrix.
+
+    Classes with no predictions (or no samples) get 0 rather than NaN.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError("confusion matrix must be square")
+    true_positives = np.diag(matrix)
+    predicted = matrix.sum(axis=0)
+    actual = matrix.sum(axis=1)
+    precision = np.divide(
+        true_positives, predicted,
+        out=np.zeros_like(true_positives), where=predicted > 0,
+    )
+    recall = np.divide(
+        true_positives, actual,
+        out=np.zeros_like(true_positives), where=actual > 0,
+    )
+    return precision, recall
+
+
+def macro_f1(matrix: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    precision, recall = precision_recall(matrix)
+    denominator = precision + recall
+    f1 = np.divide(
+        2 * precision * recall, denominator,
+        out=np.zeros_like(precision), where=denominator > 0,
+    )
+    return float(f1.mean())
+
+
+def box_iou(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Element-wise IoU of (cx, cy, w, h) normalised boxes.
+
+    Used to evaluate the detection workload's localisation quality beyond
+    the trainer's centre-distance criterion.
+    """
+    boxes_a = np.asarray(boxes_a, dtype=np.float64)
+    boxes_b = np.asarray(boxes_b, dtype=np.float64)
+    if boxes_a.shape != boxes_b.shape or boxes_a.shape[-1] != 4:
+        raise ShapeError("boxes must be matching (N, 4) arrays")
+
+    def corners(boxes):
+        cx, cy, w, h = boxes[..., 0], boxes[..., 1], boxes[..., 2], boxes[..., 3]
+        return cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2
+
+    ax1, ay1, ax2, ay2 = corners(boxes_a)
+    bx1, by1, bx2, by2 = corners(boxes_b)
+    inter_w = np.clip(np.minimum(ax2, bx2) - np.maximum(ax1, bx1), 0, None)
+    inter_h = np.clip(np.minimum(ay2, by2) - np.maximum(ay1, by1), 0, None)
+    intersection = inter_w * inter_h
+    area_a = np.clip(ax2 - ax1, 0, None) * np.clip(ay2 - ay1, 0, None)
+    area_b = np.clip(bx2 - bx1, 0, None) * np.clip(by2 - by1, 0, None)
+    union = area_a + area_b - intersection
+    return np.divide(
+        intersection, union,
+        out=np.zeros_like(intersection), where=union > 0,
+    )

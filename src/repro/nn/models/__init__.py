@@ -1,0 +1,23 @@
+"""Reproduction model zoo: the paper's four workload architectures."""
+
+from .m5 import M5_EMBEDDING_CHOICES, build_m5
+from .registry import MODEL_FAMILIES, ModelFamily, get_model_family, model_names
+from .resnet import RESNET_LAYER_CHOICES, build_resnet, residual_blocks_for
+from .textrnn import TEXTRNN_STRIDE_RANGE, build_textrnn
+from .yolo import YOLO_DROPOUT_RANGE, build_yolo
+
+__all__ = [
+    "ModelFamily",
+    "MODEL_FAMILIES",
+    "get_model_family",
+    "model_names",
+    "build_resnet",
+    "residual_blocks_for",
+    "RESNET_LAYER_CHOICES",
+    "build_m5",
+    "M5_EMBEDDING_CHOICES",
+    "build_textrnn",
+    "TEXTRNN_STRIDE_RANGE",
+    "build_yolo",
+    "YOLO_DROPOUT_RANGE",
+]

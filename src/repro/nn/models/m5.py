@@ -1,0 +1,52 @@
+"""M5-like 1-D convolutional network for the SR (speech) workload.
+
+The paper tunes M5's *embedding dimension* in {32, 64, 128} (§5.1); here
+that is the channel width of the convolutional trunk, exactly as in the
+original M5 architecture (Dai et al.), scaled to the synthetic keyword
+dataset.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...rng import SeedLike, derive_seed, ensure_seed
+from ..conv import Conv1d, GlobalAvgPool1d, MaxPool1d
+from ..layers import Linear, ReLU, Sequential
+
+#: Paper's tunable values for the M5 embedding dimension.
+M5_EMBEDDING_CHOICES = (32, 64, 128)
+
+
+def build_m5(
+    sample_shape: tuple,
+    num_classes: int,
+    embedding_dim: int = 32,
+    seed: SeedLike = None,
+) -> Sequential:
+    """Construct the M5-like audio classifier.
+
+    ``sample_shape`` is ``(channels, length)``; the synthetic Speech
+    Commands dataset uses ``(1, 128)``.
+    """
+    if embedding_dim <= 0:
+        raise ConfigurationError(
+            f"embedding_dim must be positive, got {embedding_dim}"
+        )
+    channels, length = sample_shape
+    if length < 32:
+        raise ConfigurationError(
+            f"M5 needs input length >= 32, got {length}"
+        )
+    base_seed = ensure_seed(seed)
+    return Sequential(
+        Conv1d(channels, embedding_dim, kernel_size=8, stride=4,
+               rng=derive_seed(base_seed, "conv1")),
+        ReLU(),
+        MaxPool1d(2),
+        Conv1d(embedding_dim, embedding_dim, kernel_size=3,
+               rng=derive_seed(base_seed, "conv2")),
+        ReLU(),
+        MaxPool1d(2),
+        GlobalAvgPool1d(),
+        Linear(embedding_dim, num_classes, rng=derive_seed(base_seed, "head")),
+    )

@@ -1,0 +1,43 @@
+"""Recurrent text classifier for the NLP workload.
+
+The paper tunes a *stride* hyperparameter for the RNN model, varying from 1
+to 32 (§5.1).  We realise it as a subsampling stride on the token sequence
+before the recurrence: larger strides shorten the unrolled RNN (cheaper to
+train and serve) at the cost of discarding tokens.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...rng import SeedLike, derive_seed, ensure_seed
+from ..layers import Linear, Sequential
+from ..recurrent import ElmanRNN, SequenceStride
+
+#: Paper's stride range for the NLP workload.
+TEXTRNN_STRIDE_RANGE = (1, 32)
+
+
+def build_textrnn(
+    sample_shape: tuple,
+    num_classes: int,
+    stride: int = 1,
+    hidden_size: int = 32,
+    seed: SeedLike = None,
+) -> Sequential:
+    """Construct the stride-subsampled RNN classifier.
+
+    ``sample_shape`` is ``(sequence_length, embedding_dim)``.
+    """
+    if stride <= 0:
+        raise ConfigurationError(f"stride must be positive, got {stride}")
+    if hidden_size <= 0:
+        raise ConfigurationError(
+            f"hidden_size must be positive, got {hidden_size}"
+        )
+    sequence_length, embedding_dim = sample_shape
+    base_seed = ensure_seed(seed)
+    return Sequential(
+        SequenceStride(stride),
+        ElmanRNN(embedding_dim, hidden_size, rng=derive_seed(base_seed, "rnn")),
+        Linear(hidden_size, num_classes, rng=derive_seed(base_seed, "head")),
+    )

@@ -1,0 +1,53 @@
+"""YOLO-lite single-object detector for the OD workload.
+
+The paper tunes YOLO's *dropout rate* in [0.1, 0.5] (§5.1).  The
+reproduction keeps YOLO's essential output structure — a joint box-plus-
+class prediction trained with a localisation + classification loss — on a
+compact convolutional trunk suited to the synthetic COCO dataset.
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from ...rng import SeedLike, derive_seed, ensure_seed
+from ..conv import Conv2d, MaxPool2d
+from ..layers import Dropout, Flatten, Linear, ReLU, Sequential
+
+#: Paper's dropout range for the OD workload.
+YOLO_DROPOUT_RANGE = (0.1, 0.5)
+
+
+def build_yolo(
+    sample_shape: tuple,
+    num_classes: int,
+    dropout: float = 0.1,
+    trunk_channels: int = 12,
+    seed: SeedLike = None,
+) -> Sequential:
+    """Construct the YOLO-lite detector.
+
+    Output is ``(N, 4 + num_classes)``: a normalised (cx, cy, w, h) box
+    followed by class logits, consumed by
+    :class:`~repro.nn.losses.DetectionLoss`.
+    """
+    if not 0.0 <= dropout < 1.0:
+        raise ConfigurationError(f"dropout must be in [0, 1), got {dropout}")
+    channels, height, width = sample_shape
+    base_seed = ensure_seed(seed)
+    pooled = (height - 2) // 2  # after 3x3 conv (valid) and 2x2 pool
+    if pooled < 1:
+        raise ConfigurationError(
+            f"input {height}x{width} too small for the YOLO-lite trunk"
+        )
+    flat = trunk_channels * pooled * ((width - 2) // 2)
+    return Sequential(
+        Conv2d(channels, trunk_channels, kernel_size=3,
+               rng=derive_seed(base_seed, "conv")),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Dropout(dropout, rng=derive_seed(base_seed, "dropout")),
+        Linear(flat, 48, rng=derive_seed(base_seed, "fc1")),
+        ReLU(),
+        Linear(48, 4 + num_classes, rng=derive_seed(base_seed, "head")),
+    )

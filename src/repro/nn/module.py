@@ -1,0 +1,112 @@
+"""Module protocol for the from-scratch numpy NN engine.
+
+The engine uses explicit forward/backward passes (no autodiff tape).  Each
+:class:`Module` caches whatever it needs during ``forward`` and consumes it in
+``backward``.  This keeps the implementation small, easy to verify with
+numeric gradient checks, and fast enough to *really train* the reproduction
+workloads on synthetic data — the tuning system then observes genuine
+accuracy-versus-budget behaviour instead of a canned curve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+Shape = Tuple[int, ...]
+
+
+class ParamTensor:
+    """A trainable array together with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def __repr__(self) -> str:
+        return f"ParamTensor({self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and models."""
+
+    #: Set by :meth:`train` / :meth:`eval`; Dropout and BatchNorm branch on it.
+    training: bool = True
+
+    # -- computation --------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # -- parameters -----------------------------------------------------------
+    def parameters(self) -> List[ParamTensor]:
+        """All trainable tensors of this module (default: none)."""
+        return []
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    def children(self) -> Sequence["Module"]:
+        return ()
+
+    # -- cost model --------------------------------------------------------------
+    def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
+        """Per-sample forward FLOPs and the resulting output shape.
+
+        ``input_shape`` excludes the batch dimension.  The hardware emulator
+        multiplies these counts by batch size and device throughput to derive
+        simulated runtime and energy.
+        """
+        raise NotImplementedError
+
+
+def check_ndim(name: str, array: np.ndarray, ndim: int) -> None:
+    """Raise :class:`ShapeError` unless ``array`` has ``ndim`` dimensions."""
+    if array.ndim != ndim:
+        raise ShapeError(
+            f"{name} expected a {ndim}-D array, got shape {array.shape}"
+        )
+
+
+def as_batch(inputs: np.ndarray) -> np.ndarray:
+    """Coerce to float64 ndarray, promoting a single sample to a batch."""
+    array = np.asarray(inputs, dtype=np.float64)
+    if array.ndim == 1:
+        array = array[None, :]
+    return array

@@ -1,0 +1,160 @@
+"""Optimizers and learning-rate schedules.
+
+The paper's trials follow the standard stochastic gradient descent recipe
+(mini-batch SGD with momentum and weight decay, §2.1), so that is the core
+implementation; Adam is included because the tuner exposes the optimizer as a
+tunable training hyperparameter in the extended examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .module import ParamTensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, parameters: Sequence[ParamTensor], lr: float):
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+class SGD(Optimizer):
+    """Mini-batch SGD with classical momentum and decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[ParamTensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}"
+            )
+        if weight_decay < 0.0:
+            raise ConfigurationError("weight decay must be non-negative")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: List[np.ndarray] = [
+            np.zeros_like(p.value) for p in self.parameters
+        ]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            velocity *= self.momentum
+            velocity -= self.lr * grad
+            parameter.value += velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Sequence[ParamTensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, lr)
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1**self._step_count
+        correction2 = 1.0 - self.beta2**self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LRSchedule:
+    """Learning-rate schedule interface: rate as a function of epoch."""
+
+    def rate(self, epoch: int, base_lr: float) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    def rate(self, epoch: int, base_lr: float) -> float:
+        return base_lr
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, step_size: int = 10, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ConfigurationError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def rate(self, epoch: int, base_lr: float) -> float:
+        return base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, total_epochs: int, min_lr: float = 0.0):
+        if total_epochs <= 0:
+            raise ConfigurationError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def rate(self, epoch: int, base_lr: float) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * progress)
+        )
+
+
+OPTIMIZERS: Dict[str, type] = {"sgd": SGD, "adam": Adam}
+
+
+def build_optimizer(
+    name: str, parameters: Sequence[ParamTensor], **kwargs
+) -> Optimizer:
+    """Construct an optimizer by registry name (``sgd`` or ``adam``)."""
+    try:
+        cls = OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown optimizer {name!r}; expected one of {sorted(OPTIMIZERS)}"
+        ) from None
+    return cls(parameters, **kwargs)

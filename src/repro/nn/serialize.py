@@ -1,0 +1,66 @@
+"""Model weight serialization.
+
+EdgeTune's output includes the trained winning model (§3.1); this module
+lets users persist and restore its weights with numpy's ``npz`` format.
+Architecture is not serialized — rebuild the module graph first (model
+builders are deterministic given their hyperparameters and seed), then
+load the weights into it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ShapeError
+from .module import Module
+
+
+def state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """Flat mapping ``index.name -> value`` of all trainable tensors.
+
+    Parameters are keyed by their position in ``model.parameters()`` plus
+    their local name, which is stable for deterministically built models.
+    """
+    return {
+        f"{index}.{parameter.name}": parameter.value.copy()
+        for index, parameter in enumerate(model.parameters())
+    }
+
+
+def load_state_dict(model: Module, state: Dict[str, np.ndarray]) -> Module:
+    """Load weights produced by :func:`state_dict` into ``model``.
+
+    The model must have the same architecture (same parameter count,
+    names and shapes); mismatches raise :class:`ShapeError`.
+    """
+    parameters = model.parameters()
+    if len(state) != len(parameters):
+        raise ShapeError(
+            f"state has {len(state)} tensors, model has {len(parameters)}"
+        )
+    for index, parameter in enumerate(parameters):
+        key = f"{index}.{parameter.name}"
+        if key not in state:
+            raise ShapeError(f"missing tensor {key!r} in state")
+        value = np.asarray(state[key], dtype=np.float64)
+        if value.shape != parameter.value.shape:
+            raise ShapeError(
+                f"tensor {key!r}: shape {value.shape} does not match "
+                f"model shape {parameter.value.shape}"
+            )
+        parameter.value[...] = value
+    return model
+
+
+def save_model(model: Module, path: str) -> None:
+    """Persist a model's weights to an ``.npz`` file."""
+    np.savez(path, **state_dict(model))
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Restore weights saved by :func:`save_model` into ``model``."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    return load_state_dict(model, state)

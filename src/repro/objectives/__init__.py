@@ -1,0 +1,23 @@
+"""Tuning and inference objective functions (paper §4.4)."""
+
+from .base import (
+    ACCURACY_FLOOR,
+    INFERENCE_METRICS,
+    TRAINING_METRICS,
+    AccuracyObjective,
+    InferenceObjective,
+    PowerAwareObjective,
+    RatioObjective,
+    TuningObjective,
+)
+
+__all__ = [
+    "TuningObjective",
+    "RatioObjective",
+    "AccuracyObjective",
+    "PowerAwareObjective",
+    "InferenceObjective",
+    "ACCURACY_FLOOR",
+    "TRAINING_METRICS",
+    "INFERENCE_METRICS",
+]

@@ -1,0 +1,170 @@
+"""Objective functions (paper §4.4).
+
+The Model Tuning Server minimises a ratio of cost to accuracy:
+
+* runtime objective:  (training_time x inference_time) / accuracy
+* energy objective:   (training_energy x inference_energy) / accuracy
+
+The Inference Tuning Server minimises inference cost alone (runtime or
+energy), or maximises throughput.  Both are pluggable; scores are always
+*minimised*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..telemetry import InferenceMeasurement, TrainingMeasurement
+
+#: Accuracy floor guarding the ratio objectives against division by ~zero
+#: for untrained/diverged models.
+ACCURACY_FLOOR = 0.01
+
+TRAINING_METRICS = ("runtime", "energy")
+INFERENCE_METRICS = ("runtime", "energy", "throughput")
+
+
+class TuningObjective:
+    """Scores one model-server trial (lower is better)."""
+
+    name: str = "base"
+
+    def score(
+        self,
+        accuracy: float,
+        training: TrainingMeasurement,
+        inference: Optional[InferenceMeasurement],
+    ) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _safe_accuracy(accuracy: float) -> float:
+        if not 0.0 <= accuracy <= 1.0:
+            raise ConfigurationError(
+                f"accuracy must be in [0, 1], got {accuracy}"
+            )
+        return max(accuracy, ACCURACY_FLOOR)
+
+
+class RatioObjective(TuningObjective):
+    """The paper's ratio objectives (1) and (2) of §4.4.
+
+    ``metric='runtime'``: (training_time * inference_time) / accuracy.
+    ``metric='energy'``:  (training_energy * inference_energy) / accuracy.
+
+    When no inference measurement is available (non-inference-aware
+    baselines) the inference factor degenerates to 1, leaving a pure
+    training-cost/accuracy objective.
+
+    ``accuracy_target`` turns the ratio into the constrained form the
+    tuning service exposes to users ("achieve the target model accuracy",
+    §1): trials below the target rank strictly worse than any trial
+    meeting it; among the infeasible ones the score still balances how far
+    accuracy falls short against how expensive the trial was, so that
+    low-fidelity rungs (where nothing meets the target yet) keep promoting
+    configurations that are both promising *and* cheap.
+    """
+
+    #: Multiplier separating infeasible from feasible scores.  Larger than
+    #: any realistic cost spread between configurations.
+    _INFEASIBLE_PENALTY = 1e6
+
+    #: Exponent weighting accuracy shortfall against cost for infeasible
+    #: trials: a 10 % accuracy shortfall outweighs roughly a 4x cost gap.
+    _SHORTFALL_EXPONENT = 16.0
+
+    def __init__(self, metric: str = "runtime",
+                 accuracy_target: Optional[float] = None):
+        if metric not in TRAINING_METRICS:
+            raise ConfigurationError(
+                f"metric must be one of {TRAINING_METRICS}, got {metric!r}"
+            )
+        if accuracy_target is not None and not 0.0 < accuracy_target <= 1.0:
+            raise ConfigurationError(
+                f"accuracy_target must be in (0, 1], got {accuracy_target}"
+            )
+        self.metric = metric
+        self.accuracy_target = accuracy_target
+        self.name = f"ratio-{metric}"
+
+    def score(
+        self,
+        accuracy: float,
+        training: TrainingMeasurement,
+        inference: Optional[InferenceMeasurement],
+    ) -> float:
+        accuracy = self._safe_accuracy(accuracy)
+        if self.metric == "runtime":
+            train_cost = training.runtime_s
+            inference_cost = (
+                inference.latency_per_sample_s if inference else 1.0
+            )
+        else:
+            train_cost = training.energy_j
+            inference_cost = (
+                inference.energy_per_sample_j if inference else 1.0
+            )
+        ratio = train_cost * inference_cost / accuracy
+        if (
+            self.accuracy_target is not None
+            and accuracy < self.accuracy_target
+        ):
+            shortfall = self.accuracy_target - accuracy
+            return (
+                self._INFEASIBLE_PENALTY
+                * ratio
+                * (1.0 + shortfall) ** self._SHORTFALL_EXPONENT
+            )
+        return ratio
+
+
+class AccuracyObjective(TuningObjective):
+    """Pure model-accuracy objective (the Tune baseline's view): ignores
+    system cost and inference entirely."""
+
+    name = "accuracy"
+
+    def score(
+        self,
+        accuracy: float,
+        training: TrainingMeasurement,
+        inference: Optional[InferenceMeasurement],
+    ) -> float:
+        return 1.0 - self._safe_accuracy(accuracy)
+
+
+class PowerAwareObjective(TuningObjective):
+    """HyperPower-style objective: training energy divided by accuracy,
+    inference-unaware (Stamoulis et al. 2017)."""
+
+    name = "power-aware"
+
+    def score(
+        self,
+        accuracy: float,
+        training: TrainingMeasurement,
+        inference: Optional[InferenceMeasurement],
+    ) -> float:
+        accuracy = self._safe_accuracy(accuracy)
+        return training.energy_j / accuracy
+
+
+class InferenceObjective:
+    """Scores one inference-server trial (lower is better)."""
+
+    def __init__(self, metric: str = "energy"):
+        if metric not in INFERENCE_METRICS:
+            raise ConfigurationError(
+                f"metric must be one of {INFERENCE_METRICS}, got {metric!r}"
+            )
+        self.metric = metric
+        self.name = f"inference-{metric}"
+
+    def score(self, inference: InferenceMeasurement) -> float:
+        if self.metric == "runtime":
+            return inference.latency_per_sample_s
+        if self.metric == "energy":
+            return inference.energy_per_sample_j
+        return -inference.throughput_sps

@@ -1,0 +1,43 @@
+"""Search algorithms: grid, random, TPE, successive halving, HyperBand, BOHB."""
+
+from .base import (
+    ScheduledTrial,
+    Searcher,
+    SearcherScheduler,
+    TrialReport,
+    TrialScheduler,
+)
+from .bohb import BOHBScheduler
+from .grid import GridSearcher
+from .hyperband import HyperBandScheduler
+from .median_stopping import MedianStoppingScheduler
+from .random_search import RandomSearcher
+from .registry import (
+    SCHEDULER_NAMES,
+    SEARCHER_NAMES,
+    build_scheduler,
+    build_searcher,
+)
+from .successive_halving import SuccessiveHalvingScheduler, rung_fidelities
+from .tpe import ParzenEstimator, TPESampler
+
+__all__ = [
+    "Searcher",
+    "TrialScheduler",
+    "ScheduledTrial",
+    "TrialReport",
+    "SearcherScheduler",
+    "GridSearcher",
+    "RandomSearcher",
+    "TPESampler",
+    "ParzenEstimator",
+    "SuccessiveHalvingScheduler",
+    "rung_fidelities",
+    "HyperBandScheduler",
+    "MedianStoppingScheduler",
+    "BOHBScheduler",
+    "build_searcher",
+    "build_scheduler",
+    "SEARCHER_NAMES",
+    "SCHEDULER_NAMES",
+]

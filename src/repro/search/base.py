@@ -1,0 +1,150 @@
+"""Search-algorithm interfaces.
+
+Two layers, mirroring how Ray Tune (and the paper) organise tuning:
+
+* a :class:`Searcher` proposes configurations and learns from observed
+  scores (grid, random, TPE);
+* a :class:`TrialScheduler` additionally decides *fidelities* — how much
+  budget each proposed trial receives and which trials continue — the home
+  of successive halving, HyperBand and BOHB.
+
+Scores are **minimised** throughout (objective functions already encode
+"maximise accuracy" as a ratio to be minimised, paper §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import SearchSpaceError, TuningError
+from ..rng import SeedLike, ensure_seed
+from ..space import Configuration, ParameterSpace
+
+
+class Searcher:
+    """Proposes configurations over a fixed space."""
+
+    def __init__(self, space: ParameterSpace, seed: SeedLike = None):
+        if len(space) == 0:
+            raise SearchSpaceError("cannot search an empty space")
+        self.space = space
+        self.seed = ensure_seed(seed)
+
+    def suggest(self) -> Optional[Configuration]:
+        """Next configuration to try, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def observe(self, configuration: Configuration, score: float) -> None:
+        """Feed back an observed score (lower is better). Default: ignore."""
+
+    def reset(self) -> None:
+        """Restore the initial state (used by repeated experiments)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ScheduledTrial:
+    """A unit of work issued by a scheduler: configuration + fidelity.
+
+    ``fidelity`` is the iteration level ``it`` of the paper's Algorithm 2 —
+    the budget strategies translate it into concrete epochs / dataset
+    fractions.  ``rung``/``bracket`` locate the trial inside successive
+    halving; plain searchers issue everything at ``max_fidelity``.
+    """
+
+    trial_id: int
+    configuration: Configuration
+    fidelity: int
+    bracket: int = 0
+    rung: int = 0
+
+
+@dataclass
+class TrialReport:
+    """Observed outcome of a scheduled trial."""
+
+    trial: ScheduledTrial
+    score: float
+    accuracy: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.score != self.score:  # NaN guard
+            raise TuningError(
+                f"trial {self.trial.trial_id} reported a NaN score"
+            )
+
+
+class TrialScheduler:
+    """Issues :class:`ScheduledTrial`s and consumes :class:`TrialReport`s."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        max_fidelity: int,
+        seed: SeedLike = None,
+    ):
+        if len(space) == 0:
+            raise SearchSpaceError("cannot schedule over an empty space")
+        if max_fidelity < 1:
+            raise SearchSpaceError(
+                f"max_fidelity must be >= 1, got {max_fidelity}"
+            )
+        self.space = space
+        self.max_fidelity = int(max_fidelity)
+        self.seed = ensure_seed(seed)
+
+    def next_trial(self) -> Optional[ScheduledTrial]:
+        """The next trial to run, or ``None`` when the schedule is done."""
+        raise NotImplementedError
+
+    def report(self, report: TrialReport) -> None:
+        """Record the outcome of a trial previously issued."""
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> bool:
+        raise NotImplementedError
+
+
+class SearcherScheduler(TrialScheduler):
+    """Adapter: run a plain :class:`Searcher` for ``num_trials`` trials,
+    all at maximum fidelity (the "fixed budget" strawman of §2.2)."""
+
+    def __init__(
+        self,
+        searcher: Searcher,
+        num_trials: int,
+        max_fidelity: int = 1,
+        seed: SeedLike = None,
+    ):
+        super().__init__(searcher.space, max_fidelity, seed)
+        if num_trials < 1:
+            raise SearchSpaceError(f"num_trials must be >= 1, got {num_trials}")
+        self.searcher = searcher
+        self.num_trials = num_trials
+        self._issued = 0
+        self._reported = 0
+
+    def next_trial(self) -> Optional[ScheduledTrial]:
+        if self._issued >= self.num_trials:
+            return None
+        configuration = self.searcher.suggest()
+        if configuration is None:
+            return None
+        trial = ScheduledTrial(
+            trial_id=self._issued,
+            configuration=configuration,
+            fidelity=self.max_fidelity,
+        )
+        self._issued += 1
+        return trial
+
+    def report(self, report: TrialReport) -> None:
+        self._reported += 1
+        self.searcher.observe(report.trial.configuration, report.score)
+
+    @property
+    def finished(self) -> bool:
+        next_possible = self._issued < self.num_trials
+        return not next_possible and self._reported >= self._issued

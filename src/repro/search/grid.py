@@ -1,0 +1,41 @@
+"""Exhaustive grid search (paper §4.2, Fig 10 left).
+
+Enumerates the cartesian grid in a deterministic order.  For continuous or
+wide integer parameters, each axis is discretised to ``resolution`` points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rng import SeedLike
+from ..space import Configuration, ParameterSpace
+from .base import Searcher
+
+
+class GridSearcher(Searcher):
+    """Tries every grid point exactly once, in row-major order."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        resolution: int = 10,
+        seed: SeedLike = None,
+    ):
+        super().__init__(space, seed)
+        self.resolution = resolution
+        self._grid: List[Configuration] = space.grid(resolution)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._grid)
+
+    def suggest(self) -> Optional[Configuration]:
+        if self._cursor >= len(self._grid):
+            return None
+        configuration = self._grid[self._cursor]
+        self._cursor += 1
+        return configuration
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,130 @@
+"""HyperBand (Li et al. 2017).
+
+Runs a sequence of successive-halving brackets that trade off the number
+of configurations against the starting fidelity, hedging against workloads
+where low-fidelity scores are (or are not) predictive.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..errors import SearchSpaceError
+from ..rng import SeedLike, derive_seed
+from ..space import ParameterSpace
+from .base import ScheduledTrial, Searcher, TrialReport, TrialScheduler
+from .random_search import RandomSearcher
+from .successive_halving import SuccessiveHalvingScheduler
+
+SearcherFactory = Callable[[ParameterSpace, int], Searcher]
+
+
+def _default_searcher_factory(space: ParameterSpace, seed: int) -> Searcher:
+    return RandomSearcher(space, seed=seed)
+
+
+class HyperBandScheduler(TrialScheduler):
+    """Sequential HyperBand over successive-halving brackets.
+
+    ``searcher_factory`` builds the sampler used inside each bracket
+    (random for vanilla HyperBand; BOHB passes a shared TPE).
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        eta: int = 2,
+        min_fidelity: int = 1,
+        max_fidelity: int = 16,
+        seed: SeedLike = None,
+        searcher_factory: Optional[SearcherFactory] = None,
+        shared_searcher: Optional[Searcher] = None,
+    ):
+        super().__init__(space, max_fidelity, seed)
+        if eta < 2:
+            raise SearchSpaceError(f"eta must be >= 2, got {eta}")
+        self.eta = eta
+        self.min_fidelity = min_fidelity
+        self.searcher_factory = searcher_factory or _default_searcher_factory
+        self.shared_searcher = shared_searcher
+        self.s_max = int(
+            math.floor(math.log(max_fidelity / min_fidelity, eta))
+        )
+        self._bracket_plan = self._plan_brackets()
+        self._bracket_index = 0
+        self._active: Optional[SuccessiveHalvingScheduler] = None
+        self._trials_issued = 0
+
+    def _plan_brackets(self) -> List[dict]:
+        """Bracket parameters per Li et al., Alg. 1."""
+        plan = []
+        for s in range(self.s_max, -1, -1):
+            num_configs = int(
+                math.ceil((self.s_max + 1) / (s + 1) * self.eta**s)
+            )
+            start_fidelity = max(
+                self.min_fidelity,
+                int(self.max_fidelity * self.eta ** (-s)),
+            )
+            plan.append(
+                {
+                    "s": s,
+                    "num_configs": num_configs,
+                    "min_fidelity": start_fidelity,
+                }
+            )
+        return plan
+
+    def _open_next_bracket(self) -> Optional[SuccessiveHalvingScheduler]:
+        while self._bracket_index < len(self._bracket_plan):
+            spec = self._bracket_plan[self._bracket_index]
+            self._bracket_index += 1
+            searcher = self.shared_searcher or self.searcher_factory(
+                self.space, derive_seed(self.seed, "bracket", spec["s"])
+            )
+            bracket = SuccessiveHalvingScheduler(
+                space=self.space,
+                searcher=searcher,
+                num_configs=spec["num_configs"],
+                eta=self.eta,
+                min_fidelity=spec["min_fidelity"],
+                max_fidelity=self.max_fidelity,
+                seed=derive_seed(self.seed, "sha", spec["s"]),
+                bracket=spec["s"],
+                first_trial_id=self._trials_issued,
+            )
+            if not bracket.finished:
+                return bracket
+        return None
+
+    # -- TrialScheduler interface ------------------------------------------
+    def next_trial(self) -> Optional[ScheduledTrial]:
+        while True:
+            if self._active is None:
+                self._active = self._open_next_bracket()
+                if self._active is None:
+                    return None
+            trial = self._active.next_trial()
+            if trial is not None:
+                self._trials_issued = max(
+                    self._trials_issued, trial.trial_id + 1
+                )
+                return trial
+            if self._active.finished:
+                self._active = None
+                continue
+            return None  # bracket waiting on outstanding reports
+
+    def report(self, report: TrialReport) -> None:
+        if self._active is None:
+            raise SearchSpaceError("report received with no active bracket")
+        self._active.report(report)
+
+    @property
+    def finished(self) -> bool:
+        if self._active is not None and not self._active.finished:
+            return False
+        return self._bracket_index >= len(self._bracket_plan) and (
+            self._active is None or self._active.finished
+        )

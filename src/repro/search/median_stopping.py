@@ -1,0 +1,122 @@
+"""Median stopping rule (Golovin et al. 2017, Google Vizier).
+
+A lighter-weight early-termination scheduler than successive halving,
+included because the paper situates EdgeTune among tuning services
+(Vizier, SageMaker) that use it: trials run rung by rung through the
+fidelity ladder, and a trial is stopped as soon as its score is worse
+than the median of all completed scores at the same fidelity.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from ..errors import SearchSpaceError, TuningError
+from ..rng import SeedLike
+from ..space import ParameterSpace
+from .base import ScheduledTrial, Searcher, TrialReport, TrialScheduler
+from .successive_halving import rung_fidelities
+
+
+class MedianStoppingScheduler(TrialScheduler):
+    """Run ``num_trials`` configurations up the fidelity ladder, pruning
+    any trial that falls below the per-fidelity median."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        searcher: Searcher,
+        num_trials: int = 16,
+        eta: int = 2,
+        min_fidelity: int = 1,
+        max_fidelity: int = 16,
+        seed: SeedLike = None,
+        #: number of completed scores required before pruning activates
+        grace_trials: int = 3,
+    ):
+        super().__init__(space, max_fidelity, seed)
+        if num_trials < 1:
+            raise SearchSpaceError("num_trials must be >= 1")
+        if grace_trials < 1:
+            raise SearchSpaceError("grace_trials must be >= 1")
+        self.searcher = searcher
+        self.num_trials = num_trials
+        self.grace_trials = grace_trials
+        self.fidelities = rung_fidelities(min_fidelity, max_fidelity, eta)
+        #: configurations still alive, by trial id
+        self._alive: Dict[int, object] = {}
+        self._rung_of: Dict[int, int] = {}
+        self._scores_at: Dict[int, List[float]] = {}
+        self._pending: List[ScheduledTrial] = []
+        self._awaiting: Dict[int, ScheduledTrial] = {}
+        self._next_id = 0
+        self._seeded = False
+
+    def _seed_trials(self) -> None:
+        for _ in range(self.num_trials):
+            configuration = self.searcher.suggest()
+            if configuration is None:
+                break
+            trial = ScheduledTrial(
+                trial_id=self._next_id,
+                configuration=configuration,
+                fidelity=self.fidelities[0],
+                rung=0,
+            )
+            self._alive[trial.trial_id] = configuration
+            self._rung_of[trial.trial_id] = 0
+            self._pending.append(trial)
+            self._next_id += 1
+        if not self._pending:
+            raise TuningError("searcher produced no configurations")
+        self._seeded = True
+
+    # -- TrialScheduler interface ------------------------------------------
+    def next_trial(self) -> Optional[ScheduledTrial]:
+        if not self._seeded:
+            self._seed_trials()
+        if not self._pending:
+            return None
+        trial = self._pending.pop(0)
+        self._awaiting[trial.trial_id] = trial
+        return trial
+
+    def report(self, report: TrialReport) -> None:
+        trial = self._awaiting.pop(report.trial.trial_id, None)
+        if trial is None:
+            raise TuningError(
+                f"report for unknown trial {report.trial.trial_id}"
+            )
+        self.searcher.observe(trial.configuration, report.score)
+        rung = self._rung_of[trial.trial_id]
+        scores = self._scores_at.setdefault(rung, [])
+        scores.append(report.score)
+        # Median rule: prune if strictly worse than the median of
+        # completed scores at this fidelity (once enough are in).
+        if (
+            len(scores) >= self.grace_trials
+            and report.score > statistics.median(scores)
+        ):
+            del self._alive[trial.trial_id]
+            return
+        # Otherwise promote to the next fidelity (if any remains).
+        next_rung = rung + 1
+        if next_rung >= len(self.fidelities):
+            del self._alive[trial.trial_id]
+            return
+        self._rung_of[trial.trial_id] = next_rung
+        self._pending.append(
+            ScheduledTrial(
+                trial_id=trial.trial_id,
+                configuration=trial.configuration,
+                fidelity=self.fidelities[next_rung],
+                rung=next_rung,
+            )
+        )
+
+    @property
+    def finished(self) -> bool:
+        if not self._seeded:
+            return False
+        return not self._pending and not self._awaiting

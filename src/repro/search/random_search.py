@@ -1,0 +1,43 @@
+"""Random search (Bergstra & Bengio 2012; paper §4.2, Fig 10 middle).
+
+Samples configurations independently and uniformly; deduplicates exact
+repeats in finite spaces until the space is exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+from ..rng import SeedLike, make_rng
+from ..space import Configuration, ParameterSpace
+from .base import Searcher
+
+#: Resample attempts before giving up on finding an unseen configuration.
+MAX_DEDUP_ATTEMPTS = 64
+
+
+class RandomSearcher(Searcher):
+    """Uniform random sampling with exact-duplicate avoidance."""
+
+    def __init__(self, space: ParameterSpace, seed: SeedLike = None):
+        super().__init__(space, seed)
+        self._rng = make_rng(self.seed)
+        self._seen: Set[Configuration] = set()
+
+    def suggest(self) -> Optional[Configuration]:
+        finite = math.isfinite(self.space.cardinality)
+        if finite and len(self._seen) >= self.space.cardinality:
+            return None
+        for _ in range(MAX_DEDUP_ATTEMPTS):
+            configuration = self.space.sample(self._rng)
+            if configuration not in self._seen:
+                self._seen.add(configuration)
+                return configuration
+        # Dense finite space: fall back to returning a duplicate rather
+        # than stalling the tuning loop.
+        return self.space.sample(self._rng)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._seen.clear()

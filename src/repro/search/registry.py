@@ -1,0 +1,98 @@
+"""Construct searchers and schedulers by name.
+
+The paper lets users pick a different algorithm per server (§3.1 "Tuning
+algorithm"), e.g. BOHB for the Model Tuning Server and grid search for the
+Inference Tuning Server; this registry is that selection surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import SearchSpaceError
+from ..rng import SeedLike
+from ..space import ParameterSpace
+from .base import Searcher, SearcherScheduler, TrialScheduler
+from .bohb import BOHBScheduler
+from .grid import GridSearcher
+from .hyperband import HyperBandScheduler
+from .median_stopping import MedianStoppingScheduler
+from .random_search import RandomSearcher
+from .successive_halving import SuccessiveHalvingScheduler
+from .tpe import TPESampler
+
+SEARCHER_NAMES = ("grid", "random", "tpe")
+SCHEDULER_NAMES = (
+    "grid", "random", "tpe", "sha", "hyperband", "bohb", "median",
+)
+
+
+def build_searcher(
+    name: str, space: ParameterSpace, seed: SeedLike = None, **kwargs
+) -> Searcher:
+    """Build a plain searcher: ``grid``, ``random`` or ``tpe``."""
+    key = name.lower()
+    if key == "grid":
+        return GridSearcher(space, seed=seed, **kwargs)
+    if key == "random":
+        return RandomSearcher(space, seed=seed, **kwargs)
+    if key == "tpe":
+        return TPESampler(space, seed=seed, **kwargs)
+    raise SearchSpaceError(
+        f"unknown searcher {name!r}; expected one of {SEARCHER_NAMES}"
+    )
+
+
+def build_scheduler(
+    name: str,
+    space: ParameterSpace,
+    seed: SeedLike = None,
+    max_fidelity: int = 16,
+    min_fidelity: int = 1,
+    eta: int = 2,
+    num_trials: Optional[int] = None,
+    **kwargs,
+) -> TrialScheduler:
+    """Build a trial scheduler by name.
+
+    ``grid``/``random``/``tpe`` wrap the searcher to run ``num_trials``
+    full-fidelity trials (fixed-budget tuning); ``sha``, ``hyperband`` and
+    ``bohb`` are the multi-fidelity schedulers.
+    """
+    key = name.lower()
+    if key in SEARCHER_NAMES:
+        searcher = build_searcher(key, space, seed=seed, **kwargs)
+        if num_trials is None:
+            num_trials = (
+                len(searcher) if isinstance(searcher, GridSearcher) else 16
+            )
+        return SearcherScheduler(
+            searcher, num_trials=num_trials, max_fidelity=max_fidelity,
+            seed=seed,
+        )
+    if key == "sha":
+        searcher = build_searcher("random", space, seed=seed)
+        return SuccessiveHalvingScheduler(
+            space, searcher, eta=eta, min_fidelity=min_fidelity,
+            max_fidelity=max_fidelity, seed=seed, **kwargs,
+        )
+    if key == "hyperband":
+        return HyperBandScheduler(
+            space, eta=eta, min_fidelity=min_fidelity,
+            max_fidelity=max_fidelity, seed=seed, **kwargs,
+        )
+    if key == "bohb":
+        return BOHBScheduler(
+            space, eta=eta, min_fidelity=min_fidelity,
+            max_fidelity=max_fidelity, seed=seed, **kwargs,
+        )
+    if key == "median":
+        searcher = build_searcher("random", space, seed=seed)
+        return MedianStoppingScheduler(
+            space, searcher, num_trials=num_trials or 16, eta=eta,
+            min_fidelity=min_fidelity, max_fidelity=max_fidelity,
+            seed=seed, **kwargs,
+        )
+    raise SearchSpaceError(
+        f"unknown scheduler {name!r}; expected one of {SCHEDULER_NAMES}"
+    )

@@ -1,0 +1,133 @@
+"""Tree-structured Parzen Estimator sampler (Bergstra et al. 2011).
+
+The Bayesian-optimisation half of BOHB (Falkner et al. 2018): observations
+are split into a *good* quantile and the rest; two kernel-density
+estimators l(x) and g(x) are fitted over the unit hypercube, and new
+candidates maximise the density ratio l(x)/g(x).
+
+Implemented with per-dimension Gaussian Parzen windows over the unit-cube
+embedding of configurations, so categorical/integer/float parameters are
+handled uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SearchSpaceError
+from ..rng import SeedLike, make_rng
+from ..space import Configuration, ParameterSpace
+from .base import Searcher
+
+#: Fraction of observations treated as "good".
+DEFAULT_GAMMA = 0.25
+
+#: Random configurations evaluated before the model kicks in.
+DEFAULT_STARTUP_TRIALS = 8
+
+#: Candidates scored by the density ratio per suggestion.
+DEFAULT_CANDIDATES = 24
+
+#: Minimum Parzen bandwidth (keeps the KDE proper with few points).
+MIN_BANDWIDTH = 0.08
+
+
+class ParzenEstimator:
+    """Product of 1-D Gaussian mixture densities over the unit cube."""
+
+    def __init__(self, points: np.ndarray):
+        if points.ndim != 2 or len(points) == 0:
+            raise SearchSpaceError("ParzenEstimator needs an (n, d) array")
+        self.points = points
+        count, dims = points.shape
+        # Scott's rule per dimension, floored for stability.
+        spread = points.std(axis=0)
+        scott = spread * count ** (-1.0 / (dims + 4))
+        self.bandwidths = np.maximum(scott, MIN_BANDWIDTH)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one point: pick a kernel, perturb, reflect into [0, 1]."""
+        index = int(rng.integers(len(self.points)))
+        draw = self.points[index] + rng.normal(0.0, self.bandwidths)
+        # Reflect at the boundaries to keep the proposal inside the cube.
+        draw = np.abs(draw)
+        draw = 1.0 - np.abs(1.0 - draw)
+        return np.clip(draw, 0.0, 1.0)
+
+    def log_density(self, x: np.ndarray) -> float:
+        """Log of the mixture density at ``x`` (up to the same constant for
+        every estimator of equal dimension, which ratios cancel)."""
+        z = (x[None, :] - self.points) / self.bandwidths[None, :]
+        per_kernel = -0.5 * (z**2).sum(axis=1) - np.log(
+            self.bandwidths
+        ).sum()
+        peak = per_kernel.max()
+        return float(
+            peak + math.log(np.exp(per_kernel - peak).mean())
+        )
+
+
+class TPESampler(Searcher):
+    """TPE searcher over a :class:`ParameterSpace`."""
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        seed: SeedLike = None,
+        gamma: float = DEFAULT_GAMMA,
+        startup_trials: int = DEFAULT_STARTUP_TRIALS,
+        candidates: int = DEFAULT_CANDIDATES,
+    ):
+        super().__init__(space, seed)
+        if not 0.0 < gamma < 1.0:
+            raise SearchSpaceError(f"gamma must be in (0, 1), got {gamma}")
+        if startup_trials < 2:
+            raise SearchSpaceError("startup_trials must be >= 2")
+        self.gamma = gamma
+        self.startup_trials = startup_trials
+        self.candidates = candidates
+        self._rng = make_rng(self.seed)
+        self._observations: List[Tuple[np.ndarray, float]] = []
+
+    # -- observation -----------------------------------------------------
+    def observe(self, configuration: Configuration, score: float) -> None:
+        self._observations.append(
+            (configuration.to_unit_vector(), float(score))
+        )
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._observations.clear()
+
+    # -- suggestion ---------------------------------------------------------
+    def _split(self) -> Tuple[np.ndarray, np.ndarray]:
+        ordered = sorted(self._observations, key=lambda item: item[1])
+        n_good = max(2, int(math.ceil(self.gamma * len(ordered))))
+        good = np.array([vector for vector, _ in ordered[:n_good]])
+        bad_items = ordered[n_good:]
+        if len(bad_items) < 2:
+            bad_items = ordered  # degenerate split: reuse everything
+        bad = np.array([vector for vector, _ in bad_items])
+        return good, bad
+
+    def suggest(self) -> Optional[Configuration]:
+        if len(self._observations) < self.startup_trials:
+            return self.space.sample(self._rng)
+        good, bad = self._split()
+        good_kde = ParzenEstimator(good)
+        bad_kde = ParzenEstimator(bad)
+        best_vector: Optional[np.ndarray] = None
+        best_ratio = -math.inf
+        for _ in range(self.candidates):
+            candidate = good_kde.sample(self._rng)
+            ratio = good_kde.log_density(candidate) - bad_kde.log_density(
+                candidate
+            )
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_vector = candidate
+        assert best_vector is not None
+        return self.space.from_unit_vector(best_vector)

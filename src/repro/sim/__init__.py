@@ -1,0 +1,18 @@
+"""Virtual-time execution: clock and the two-lane pipelined executor."""
+
+from .clock import SimClock, TimelineSegment
+from .executor import (
+    INFERENCE_LANE,
+    MODEL_LANE,
+    LaneState,
+    PipelinedExecutor,
+)
+
+__all__ = [
+    "SimClock",
+    "TimelineSegment",
+    "PipelinedExecutor",
+    "LaneState",
+    "MODEL_LANE",
+    "INFERENCE_LANE",
+]

@@ -1,0 +1,53 @@
+"""Virtual clock for deterministic time accounting.
+
+All "runtime" in the reproduction is simulated: the hardware emulator says
+how long each piece of work takes, and :class:`SimClock` / the two-lane
+timeline add those durations up.  Nothing ever sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import SchedulingError
+
+
+class SimClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise SchedulingError(f"clock cannot start negative: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move forward by ``duration`` and return the new time."""
+        if duration < 0:
+            raise SchedulingError(f"cannot advance by {duration} < 0")
+        self._now += duration
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to ``timestamp`` if it is in the future; never rewinds."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One executed piece of work on a lane, for Fig 6-style renderings."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start

@@ -1,0 +1,133 @@
+"""Two-lane pipelined executor modelling the async Model/Inference servers.
+
+Paper Fig 6 and §3.3: for every training trial the Model Tuning Server
+*asynchronously* launches inference tuning for the trial's architecture;
+the Inference Tuning Server pipelines those requests on its own (CPU-only)
+lane.  Because an inference-tuning job is much shorter than a training
+trial, its result is normally ready before the trial finishes, so it adds
+no wall-clock overhead — but if it is not, the model lane *stalls* until
+the result arrives.  This executor reproduces exactly that accounting in
+virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SchedulingError
+from .clock import TimelineSegment
+
+MODEL_LANE = "model"
+INFERENCE_LANE = "inference"
+
+
+@dataclass
+class LaneState:
+    """Cursor and history of one execution lane."""
+
+    name: str
+    cursor: float = 0.0
+    busy_time: float = 0.0
+    segments: List[TimelineSegment] = field(default_factory=list)
+
+
+class PipelinedExecutor:
+    """Virtual-time scheduler for the two EdgeTune server lanes."""
+
+    def __init__(self) -> None:
+        self._lanes: Dict[str, LaneState] = {
+            MODEL_LANE: LaneState(MODEL_LANE),
+            INFERENCE_LANE: LaneState(INFERENCE_LANE),
+        }
+        #: completion time of each async inference job, by job key
+        self._inference_done: Dict[str, float] = {}
+
+    # -- lane primitives ------------------------------------------------------
+    def _run(
+        self, lane: str, duration: float, label: str,
+        earliest_start: float = 0.0,
+    ) -> TimelineSegment:
+        if duration < 0:
+            raise SchedulingError(f"negative duration for {label!r}")
+        state = self._lanes[lane]
+        start = max(state.cursor, earliest_start)
+        segment = TimelineSegment(
+            lane=lane, label=label, start=start, end=start + duration
+        )
+        state.cursor = segment.end
+        state.busy_time += duration
+        state.segments.append(segment)
+        return segment
+
+    # -- model-server operations ---------------------------------------------
+    def start_inference_job(self, key: str, duration: float) -> TimelineSegment:
+        """Queue an async inference-tuning job; returns its lane segment.
+
+        The job starts no earlier than the current model-lane time (it is
+        triggered by the trial that is about to run) and no earlier than
+        the inference lane frees up — the pipelining of Fig 6.
+        """
+        trigger_time = self._lanes[MODEL_LANE].cursor
+        segment = self._run(
+            INFERENCE_LANE, duration, f"inference:{key}",
+            earliest_start=trigger_time,
+        )
+        self._inference_done[key] = segment.end
+        return segment
+
+    def run_training_trial(self, label: str, duration: float) -> TimelineSegment:
+        """Run one training trial synchronously on the model lane."""
+        return self._run(MODEL_LANE, duration, f"trial:{label}")
+
+    def await_inference(self, key: str) -> float:
+        """Block the model lane until job ``key`` has completed.
+
+        Returns the stall duration (zero when the inference result was
+        ready in time — the common case the paper's design guarantees).
+        """
+        if key not in self._inference_done:
+            raise SchedulingError(f"no inference job with key {key!r}")
+        done = self._inference_done[key]
+        state = self._lanes[MODEL_LANE]
+        stall = max(0.0, done - state.cursor)
+        if stall > 0:
+            state.segments.append(
+                TimelineSegment(
+                    lane=MODEL_LANE,
+                    label=f"stall:{key}",
+                    start=state.cursor,
+                    end=done,
+                )
+            )
+            state.cursor = done
+        return stall
+
+    def inference_ready(self, key: str) -> bool:
+        """Whether job ``key`` finished by the current model-lane time."""
+        done = self._inference_done.get(key)
+        return done is not None and done <= self._lanes[MODEL_LANE].cursor
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def model_time(self) -> float:
+        """Virtual wall-clock of the tuning process (model-lane cursor)."""
+        return self._lanes[MODEL_LANE].cursor
+
+    @property
+    def inference_time(self) -> float:
+        return self._lanes[INFERENCE_LANE].cursor
+
+    def lane_segments(self, lane: str) -> List[TimelineSegment]:
+        return list(self._lanes[lane].segments)
+
+    def lane_busy(self, lane: str) -> float:
+        return self._lanes[lane].busy_time
+
+    def stall_time(self) -> float:
+        """Total model-lane time lost waiting on inference results."""
+        return sum(
+            segment.duration
+            for segment in self._lanes[MODEL_LANE].segments
+            if segment.label.startswith("stall:")
+        )

@@ -1,0 +1,14 @@
+"""Search-space primitives: parameters, spaces and configurations."""
+
+from .parameters import PARAMETER_KINDS, Categorical, Float, Integer, Parameter
+from .space import Configuration, ParameterSpace
+
+__all__ = [
+    "PARAMETER_KINDS",
+    "Parameter",
+    "Categorical",
+    "Integer",
+    "Float",
+    "ParameterSpace",
+    "Configuration",
+]

@@ -1,0 +1,303 @@
+"""Parameter definitions for tuning search spaces.
+
+EdgeTune tunes four kinds of parameters (paper §2.3): *model*
+hyperparameters (structure: layers, embedding dim, stride, dropout),
+*training* hyperparameters (batch size, learning rate, ...), *inference*
+hyperparameters (inference batch size) and *system* parameters (CPU cores,
+GPUs, CPU frequency, memory).  All of them reduce to three primitive types —
+categorical, integer and float — plus a ``kind`` tag that tells the tuner
+which sub-server owns the parameter and whether a change invalidates cached
+inference results (§3.4: only parameters affecting the *architecture* force
+the inference server to re-tune).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, SearchSpaceError
+
+#: Allowed values of :attr:`Parameter.kind`.
+PARAMETER_KINDS = (
+    "model",  # defines the network architecture (affects inference reuse)
+    "training",  # training-only hyperparameter (batch size, lr, epochs)
+    "inference",  # inference-only hyperparameter (inference batch size)
+    "system",  # system parameter (cores, GPUs, frequency, memory)
+)
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Base class for a single tunable parameter.
+
+    Attributes
+    ----------
+    name:
+        Unique name within a :class:`~repro.space.space.ParameterSpace`.
+    kind:
+        One of :data:`PARAMETER_KINDS`; drives ownership (model vs inference
+        server) and cache-reuse decisions.
+    """
+
+    name: str
+    kind: str = "training"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SearchSpaceError("parameter name must be non-empty")
+        if self.kind not in PARAMETER_KINDS:
+            raise SearchSpaceError(
+                f"unknown parameter kind {self.kind!r}; "
+                f"expected one of {PARAMETER_KINDS}"
+            )
+
+    # -- interface -------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value uniformly at random from the parameter's domain."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` lies in the parameter's domain."""
+        raise NotImplementedError
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if valid, raising :class:`ConfigurationError`."""
+        if not self.contains(value):
+            raise ConfigurationError(
+                f"value {value!r} is outside the domain of parameter "
+                f"{self.name!r}"
+            )
+        return value
+
+    def grid(self, resolution: int = 10) -> List[Any]:
+        """A finite list of domain values used by grid search."""
+        raise NotImplementedError
+
+    def to_unit(self, value: Any) -> float:
+        """Map ``value`` to [0, 1] for surrogate models (TPE/BOHB)."""
+        raise NotImplementedError
+
+    def from_unit(self, u: float) -> Any:
+        """Inverse of :meth:`to_unit` (clipping ``u`` into [0, 1])."""
+        raise NotImplementedError
+
+    @property
+    def cardinality(self) -> float:
+        """Number of distinct values (``math.inf`` for continuous)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Categorical(Parameter):
+    """A parameter taking one of a finite, ordered set of choices."""
+
+    choices: Tuple[Any, ...] = ()
+
+    def __init__(self, name: str, choices: Sequence[Any], kind: str = "training"):
+        object.__setattr__(self, "choices", tuple(choices))
+        super().__init__(name=name, kind=kind)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.choices) == 0:
+            raise SearchSpaceError(f"categorical {self.name!r} has no choices")
+        if len(set(map(repr, self.choices))) != len(self.choices):
+            raise SearchSpaceError(f"categorical {self.name!r} has duplicates")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def contains(self, value: Any) -> bool:
+        return any(value == c and type(value) is type(c) for c in self.choices)
+
+    def grid(self, resolution: int = 10) -> List[Any]:
+        return list(self.choices)
+
+    def to_unit(self, value: Any) -> float:
+        self.validate(value)
+        index = next(
+            i for i, c in enumerate(self.choices)
+            if value == c and type(value) is type(c)
+        )
+        if len(self.choices) == 1:
+            return 0.5
+        return index / (len(self.choices) - 1)
+
+    def from_unit(self, u: float) -> Any:
+        u = min(max(float(u), 0.0), 1.0)
+        index = int(round(u * (len(self.choices) - 1)))
+        return self.choices[index]
+
+    @property
+    def cardinality(self) -> float:
+        return float(len(self.choices))
+
+
+@dataclass(frozen=True)
+class Integer(Parameter):
+    """An integer parameter on ``[low, high]`` (inclusive).
+
+    ``log=True`` makes sampling and unit-mapping uniform in log space, the
+    right choice for scale-like parameters such as batch size.
+    """
+
+    low: int = 0
+    high: int = 1
+    log: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        low: int,
+        high: int,
+        log: bool = False,
+        kind: str = "training",
+    ):
+        object.__setattr__(self, "low", int(low))
+        object.__setattr__(self, "high", int(high))
+        object.__setattr__(self, "log", bool(log))
+        super().__init__(name=name, kind=kind)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.low > self.high:
+            raise SearchSpaceError(
+                f"integer {self.name!r}: low ({self.low}) > high ({self.high})"
+            )
+        if self.log and self.low <= 0:
+            raise SearchSpaceError(
+                f"integer {self.name!r}: log scale requires low > 0"
+            )
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high + 1)
+            return min(int(math.exp(rng.uniform(lo, hi))), self.high)
+        return int(rng.integers(self.low, self.high + 1))
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            return False
+        return self.low <= int(value) <= self.high
+
+    def grid(self, resolution: int = 10) -> List[int]:
+        span = self.high - self.low + 1
+        if span <= resolution:
+            return list(range(self.low, self.high + 1))
+        if self.log:
+            points = np.logspace(
+                math.log10(self.low), math.log10(self.high), resolution
+            )
+        else:
+            points = np.linspace(self.low, self.high, resolution)
+        values = sorted({int(round(p)) for p in points})
+        return [min(max(v, self.low), self.high) for v in values]
+
+    def to_unit(self, value: Any) -> float:
+        self.validate(value)
+        if self.low == self.high:
+            return 0.5
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return (math.log(int(value)) - lo) / (hi - lo)
+        return (int(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        u = min(max(float(u), 0.0), 1.0)
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            raw = math.exp(lo + u * (hi - lo))
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return min(max(int(round(raw)), self.low), self.high)
+
+    @property
+    def cardinality(self) -> float:
+        return float(self.high - self.low + 1)
+
+
+@dataclass(frozen=True)
+class Float(Parameter):
+    """A continuous parameter on ``[low, high]``."""
+
+    low: float = 0.0
+    high: float = 1.0
+    log: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        low: float,
+        high: float,
+        log: bool = False,
+        kind: str = "training",
+    ):
+        object.__setattr__(self, "low", float(low))
+        object.__setattr__(self, "high", float(high))
+        object.__setattr__(self, "log", bool(log))
+        super().__init__(name=name, kind=kind)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (self.low < self.high or self.low == self.high):
+            raise SearchSpaceError(
+                f"float {self.name!r}: low ({self.low}) > high ({self.high})"
+            )
+        if self.low > self.high:
+            raise SearchSpaceError(
+                f"float {self.name!r}: low ({self.low}) > high ({self.high})"
+            )
+        if self.log and self.low <= 0:
+            raise SearchSpaceError(
+                f"float {self.name!r}: log scale requires low > 0"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(
+                math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+            )
+        return float(rng.uniform(self.low, self.high))
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float, np.integer, np.floating)
+        ):
+            return False
+        return self.low <= float(value) <= self.high
+
+    def grid(self, resolution: int = 10) -> List[float]:
+        if self.low == self.high:
+            return [self.low]
+        if self.log:
+            return [
+                float(v)
+                for v in np.logspace(
+                    math.log10(self.low), math.log10(self.high), resolution
+                )
+            ]
+        return [float(v) for v in np.linspace(self.low, self.high, resolution)]
+
+    def to_unit(self, value: Any) -> float:
+        self.validate(value)
+        if self.low == self.high:
+            return 0.5
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return (math.log(float(value)) - lo) / (hi - lo)
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(float(u), 0.0), 1.0)
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return float(math.exp(lo + u * (hi - lo)))
+        return float(self.low + u * (self.high - self.low))
+
+    @property
+    def cardinality(self) -> float:
+        return math.inf if self.low < self.high else 1.0

@@ -1,0 +1,220 @@
+"""Parameter spaces and configurations.
+
+A :class:`ParameterSpace` is an ordered collection of
+:class:`~repro.space.parameters.Parameter` objects.  A
+:class:`Configuration` assigns one value to every parameter of a space and is
+the unit that search algorithms propose and trials evaluate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, SearchSpaceError
+from ..rng import SeedLike, make_rng
+from .parameters import Parameter
+
+
+class Configuration(Mapping):
+    """An immutable assignment of values to the parameters of a space.
+
+    Behaves as a read-only mapping from parameter name to value.  Two
+    configurations over the same space compare equal iff all values match;
+    configurations are hashable so they can key caches (the historical-result
+    look-up of the Inference Tuning Server relies on this).
+    """
+
+    __slots__ = ("_space", "_values", "_key")
+
+    def __init__(self, space: "ParameterSpace", values: Mapping[str, Any]):
+        missing = [p.name for p in space if p.name not in values]
+        if missing:
+            raise ConfigurationError(f"missing values for parameters {missing}")
+        extra = [name for name in values if name not in space.names]
+        if extra:
+            raise ConfigurationError(f"unknown parameters {extra}")
+        validated: Dict[str, Any] = {}
+        for parameter in space:
+            validated[parameter.name] = parameter.validate(values[parameter.name])
+        self._space = space
+        self._values = validated
+        self._key = tuple(
+            (name, repr(validated[name])) for name in space.names
+        )
+
+    # -- mapping interface -----------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- identity ----------------------------------------------------------
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Configuration) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Configuration({inner})"
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def space(self) -> "ParameterSpace":
+        return self._space
+
+    def subset(self, kinds: Iterable[str]) -> Dict[str, Any]:
+        """Values of parameters whose ``kind`` is in ``kinds``.
+
+        The inference server caches results keyed by the *model*-kind subset
+        only (§3.4): training-only parameters do not change the architecture,
+        so their inference results can be reused.
+        """
+        wanted = set(kinds)
+        return {
+            p.name: self._values[p.name]
+            for p in self._space
+            if p.kind in wanted
+        }
+
+    def architecture_key(self) -> Tuple[Tuple[str, str], ...]:
+        """Hashable key identifying the network architecture only."""
+        return tuple(
+            (name, repr(value))
+            for name, value in sorted(self.subset(["model"]).items())
+        )
+
+    def to_unit_vector(self) -> np.ndarray:
+        """Configuration as a point in the unit hypercube (for surrogates)."""
+        return np.array(
+            [p.to_unit(self._values[p.name]) for p in self._space],
+            dtype=float,
+        )
+
+    def replace(self, **updates: Any) -> "Configuration":
+        """A copy of this configuration with some values replaced."""
+        values = dict(self._values)
+        values.update(updates)
+        return Configuration(self._space, values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self._values)
+
+    def to_json(self) -> str:
+        return json.dumps(self._values, sort_keys=True, default=repr)
+
+
+class ParameterSpace:
+    """An ordered, named collection of parameters.
+
+    Parameters are kept in insertion order; that order defines the axes of
+    the unit hypercube used by model-based search algorithms.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter] = ()):
+        self._parameters: Dict[str, Parameter] = {}
+        for parameter in parameters:
+            self.add(parameter)
+
+    # -- construction ------------------------------------------------------
+    def add(self, parameter: Parameter) -> "ParameterSpace":
+        if parameter.name in self._parameters:
+            raise SearchSpaceError(f"duplicate parameter {parameter.name!r}")
+        self._parameters[parameter.name] = parameter
+        return self
+
+    # -- container interface ------------------------------------------------
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters.values())
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parameters
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise SearchSpaceError(f"no parameter named {name!r}") from None
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, ParameterSpace)
+            and list(self._parameters.values())
+            == list(other._parameters.values())
+        )
+
+    def __repr__(self) -> str:
+        return f"ParameterSpace({list(self._parameters.values())!r})"
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._parameters)
+
+    @property
+    def cardinality(self) -> float:
+        """Number of distinct configurations (``inf`` if any axis is)."""
+        total = 1.0
+        for parameter in self:
+            total *= parameter.cardinality
+        return total
+
+    def of_kind(self, *kinds: str) -> "ParameterSpace":
+        """A sub-space restricted to parameters of the given kinds."""
+        return ParameterSpace(p for p in self if p.kind in kinds)
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, rng: SeedLike = None) -> Configuration:
+        """Draw one configuration uniformly at random."""
+        generator = make_rng(rng)
+        if not self._parameters:
+            raise SearchSpaceError("cannot sample from an empty space")
+        return Configuration(
+            self, {p.name: p.sample(generator) for p in self}
+        )
+
+    def sample_many(self, count: int, rng: SeedLike = None) -> List[Configuration]:
+        generator = make_rng(rng)
+        return [self.sample(generator) for _ in range(count)]
+
+    def grid(self, resolution: int = 10) -> List[Configuration]:
+        """The full cartesian grid (used by grid search and Fig 10)."""
+        if not self._parameters:
+            raise SearchSpaceError("cannot enumerate an empty space")
+        axes = [(p.name, p.grid(resolution)) for p in self]
+        names = [name for name, _ in axes]
+        combos = itertools.product(*(values for _, values in axes))
+        return [
+            Configuration(self, dict(zip(names, combo))) for combo in combos
+        ]
+
+    def configuration(self, **values: Any) -> Configuration:
+        """Build a validated configuration from keyword values."""
+        return Configuration(self, values)
+
+    def from_unit_vector(self, vector: np.ndarray) -> Configuration:
+        """Map a unit-hypercube point back to a configuration."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(self),):
+            raise ConfigurationError(
+                f"expected a vector of length {len(self)}, got {vector.shape}"
+            )
+        values = {
+            p.name: p.from_unit(u) for p, u in zip(self, vector)
+        }
+        return Configuration(self, values)
+
+    def merge(self, other: "ParameterSpace") -> "ParameterSpace":
+        """A new space containing the parameters of both (names disjoint)."""
+        return ParameterSpace(list(self) + list(other))

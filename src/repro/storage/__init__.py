@@ -1,0 +1,5 @@
+"""Persistent trial database and the inference historical-result cache."""
+
+from .database import StoredInferenceResult, TrialDatabase
+
+__all__ = ["TrialDatabase", "StoredInferenceResult"]

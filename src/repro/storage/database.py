@@ -1,0 +1,271 @@
+"""Persistent trial database (the architecture box "Persistent Database").
+
+Backed by sqlite3 (stdlib); ``path=":memory:"`` gives an ephemeral store
+for tests.  Two tables:
+
+* ``trials`` — every training trial the Model Tuning Server ran;
+* ``inference_results`` — the Inference Tuning Server's historical
+  look-up table (§3.4): optimal inference configuration and metrics keyed
+  by architecture, so repeated architectures are never re-tuned.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import StorageError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS trials (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    experiment TEXT NOT NULL,
+    trial_id INTEGER NOT NULL,
+    configuration TEXT NOT NULL,
+    fidelity INTEGER NOT NULL,
+    epochs INTEGER NOT NULL,
+    data_fraction REAL NOT NULL,
+    accuracy REAL NOT NULL,
+    score REAL NOT NULL,
+    train_runtime_s REAL NOT NULL,
+    train_energy_j REAL NOT NULL,
+    created_at REAL NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_trials_experiment ON trials (experiment);
+
+CREATE TABLE IF NOT EXISTS inference_results (
+    architecture_key TEXT NOT NULL,
+    device TEXT NOT NULL,
+    objective TEXT NOT NULL,
+    configuration TEXT NOT NULL,
+    batch_latency_s REAL NOT NULL,
+    throughput_sps REAL NOT NULL,
+    energy_per_sample_j REAL NOT NULL,
+    power_w REAL NOT NULL,
+    tuning_runtime_s REAL NOT NULL,
+    tuning_energy_j REAL NOT NULL,
+    PRIMARY KEY (architecture_key, device, objective)
+);
+"""
+
+
+@dataclass
+class StoredInferenceResult:
+    """A cached inference-tuning outcome."""
+
+    architecture_key: str
+    device: str
+    objective: str
+    configuration: Dict[str, Any]
+    batch_latency_s: float
+    throughput_sps: float
+    energy_per_sample_j: float
+    power_w: float
+    tuning_runtime_s: float
+    tuning_energy_j: float
+
+
+class TrialDatabase:
+    """Thread-safe sqlite wrapper used by both tuning servers."""
+
+    def __init__(self, path: str = ":memory:"):
+        try:
+            self._connection = sqlite3.connect(path, check_same_thread=False)
+            self._connection.executescript(_SCHEMA)
+        except sqlite3.Error as error:
+            raise StorageError(f"could not open trial database: {error}")
+        self._lock = threading.Lock()
+        self.path = path
+
+    # -- trials ------------------------------------------------------------
+    def record_trial(
+        self,
+        experiment: str,
+        trial_id: int,
+        configuration: Dict[str, Any],
+        fidelity: int,
+        epochs: int,
+        data_fraction: float,
+        accuracy: float,
+        score: float,
+        train_runtime_s: float,
+        train_energy_j: float,
+    ) -> None:
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT INTO trials (experiment, trial_id, configuration, "
+                "fidelity, epochs, data_fraction, accuracy, score, "
+                "train_runtime_s, train_energy_j) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    experiment,
+                    trial_id,
+                    json.dumps(configuration, sort_keys=True, default=repr),
+                    fidelity,
+                    epochs,
+                    data_fraction,
+                    accuracy,
+                    score,
+                    train_runtime_s,
+                    train_energy_j,
+                ),
+            )
+
+    def trials_for(self, experiment: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT trial_id, configuration, fidelity, epochs, "
+                "data_fraction, accuracy, score, train_runtime_s, "
+                "train_energy_j FROM trials WHERE experiment = ? ORDER BY id",
+                (experiment,),
+            ).fetchall()
+        return [
+            {
+                "trial_id": row[0],
+                "configuration": json.loads(row[1]),
+                "fidelity": row[2],
+                "epochs": row[3],
+                "data_fraction": row[4],
+                "accuracy": row[5],
+                "score": row[6],
+                "train_runtime_s": row[7],
+                "train_energy_j": row[8],
+            }
+            for row in rows
+        ]
+
+    def trial_count(self, experiment: Optional[str] = None) -> int:
+        query = "SELECT COUNT(*) FROM trials"
+        args: tuple = ()
+        if experiment is not None:
+            query += " WHERE experiment = ?"
+            args = (experiment,)
+        with self._lock:
+            (count,) = self._connection.execute(query, args).fetchone()
+        return int(count)
+
+    # -- inference cache ------------------------------------------------------
+    def store_inference(self, result: StoredInferenceResult) -> None:
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO inference_results VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    result.architecture_key,
+                    result.device,
+                    result.objective,
+                    json.dumps(
+                        result.configuration, sort_keys=True, default=repr
+                    ),
+                    result.batch_latency_s,
+                    result.throughput_sps,
+                    result.energy_per_sample_j,
+                    result.power_w,
+                    result.tuning_runtime_s,
+                    result.tuning_energy_j,
+                ),
+            )
+
+    def lookup_inference(
+        self, architecture_key: str, device: str, objective: str
+    ) -> Optional[StoredInferenceResult]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT configuration, batch_latency_s, throughput_sps, "
+                "energy_per_sample_j, power_w, tuning_runtime_s, "
+                "tuning_energy_j FROM inference_results WHERE "
+                "architecture_key = ? AND device = ? AND objective = ?",
+                (architecture_key, device, objective),
+            ).fetchone()
+        if row is None:
+            return None
+        return StoredInferenceResult(
+            architecture_key=architecture_key,
+            device=device,
+            objective=objective,
+            configuration=json.loads(row[0]),
+            batch_latency_s=row[1],
+            throughput_sps=row[2],
+            energy_per_sample_j=row[3],
+            power_w=row[4],
+            tuning_runtime_s=row[5],
+            tuning_energy_j=row[6],
+        )
+
+    def inference_cache_size(self) -> int:
+        with self._lock:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM inference_results"
+            ).fetchone()
+        return int(count)
+
+    # -- export / analysis -------------------------------------------------
+    def export_json(self, path: str) -> None:
+        """Dump both tables to a JSON file (portable experiment archive)."""
+        with self._lock:
+            experiments = [
+                row[0]
+                for row in self._connection.execute(
+                    "SELECT DISTINCT experiment FROM trials"
+                ).fetchall()
+            ]
+        payload = {
+            "trials": {name: self.trials_for(name) for name in experiments},
+            "inference_results": self._all_inference(),
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+    def _all_inference(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT architecture_key, device, objective, configuration, "
+                "batch_latency_s, throughput_sps, energy_per_sample_j, "
+                "power_w, tuning_runtime_s, tuning_energy_j "
+                "FROM inference_results"
+            ).fetchall()
+        return [
+            {
+                "architecture_key": row[0],
+                "device": row[1],
+                "objective": row[2],
+                "configuration": json.loads(row[3]),
+                "batch_latency_s": row[4],
+                "throughput_sps": row[5],
+                "energy_per_sample_j": row[6],
+                "power_w": row[7],
+                "tuning_runtime_s": row[8],
+                "tuning_energy_j": row[9],
+            }
+            for row in rows
+        ]
+
+    def experiment_summary(self, experiment: str) -> Dict[str, Any]:
+        """Aggregate statistics for one experiment's trials."""
+        rows = self.trials_for(experiment)
+        if not rows:
+            raise StorageError(f"no trials recorded for {experiment!r}")
+        accuracies = [row["accuracy"] for row in rows]
+        runtimes = [row["train_runtime_s"] for row in rows]
+        energies = [row["train_energy_j"] for row in rows]
+        return {
+            "experiment": experiment,
+            "trials": len(rows),
+            "best_accuracy": max(accuracies),
+            "total_train_runtime_s": sum(runtimes),
+            "total_train_energy_j": sum(energies),
+            "max_fidelity": max(row["fidelity"] for row in rows),
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "TrialDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,15 @@
+"""Measurement records and aggregation helpers."""
+
+from .metrics import (
+    InferenceMeasurement,
+    MetricSummary,
+    TrainingMeasurement,
+    percent_error,
+)
+
+__all__ = [
+    "TrainingMeasurement",
+    "InferenceMeasurement",
+    "MetricSummary",
+    "percent_error",
+]

@@ -1,0 +1,95 @@
+"""Measurement records produced by the hardware emulator.
+
+All quantities live in *simulated* physical units (seconds, joules):
+the emulator converts FLOP tallies from real numpy training into
+device-dependent runtime and energy, so experiments are deterministic and
+hardware-independent while retaining realistic magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class TrainingMeasurement:
+    """Simulated cost of one training run (one trial's training phase)."""
+
+    runtime_s: float
+    energy_j: float
+    #: Average power drawn during the run, W.
+    power_w: float
+    #: Peak working-set size, bytes (drives the memory model).
+    working_set_bytes: int
+    device: str
+    gpus: int = 0
+    cores: int = 1
+
+    @property
+    def runtime_minutes(self) -> float:
+        return self.runtime_s / 60.0
+
+    @property
+    def energy_kj(self) -> float:
+        return self.energy_j / 1e3
+
+
+@dataclass(frozen=True)
+class InferenceMeasurement:
+    """Simulated steady-state inference performance of one configuration."""
+
+    #: Latency of one batched inference call, seconds.
+    batch_latency_s: float
+    #: Samples per second at steady state.
+    throughput_sps: float
+    #: Energy per single sample, joules.
+    energy_per_sample_j: float
+    #: Average power while serving, W.
+    power_w: float
+    working_set_bytes: int
+    device: str
+    batch_size: int = 1
+    cores: int = 1
+
+    @property
+    def latency_per_sample_s(self) -> float:
+        return self.batch_latency_s / max(self.batch_size, 1)
+
+
+@dataclass
+class MetricSummary:
+    """Aggregate of a series of scalar observations."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+
+    @classmethod
+    def of(cls, values: List[float]) -> "MetricSummary":
+        if not values:
+            raise ValueError("cannot summarise an empty series")
+        ordered = sorted(values)
+
+        def percentile(q: float) -> float:
+            index = min(int(q * (len(ordered) - 1)), len(ordered) - 1)
+            return ordered[index]
+
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=percentile(0.5),
+            p90=percentile(0.9),
+        )
+
+
+def percent_error(empirical: float, estimated: float) -> float:
+    """Paper §5.3: PE = |empirical - estimated| / empirical * 100."""
+    if empirical == 0:
+        raise ValueError("percent error undefined for empirical value 0")
+    return abs(empirical - estimated) / abs(empirical) * 100.0

@@ -1,0 +1,21 @@
+"""Workload registry mirroring the paper's Table 1."""
+
+from .registry import WORKLOADS, get_workload, workload_ids
+from .workload import (
+    INFERENCE_BATCH_RANGE,
+    TRAIN_BATCH_RANGE,
+    TRAIN_GPU_RANGE,
+    Table1Row,
+    Workload,
+)
+
+__all__ = [
+    "Workload",
+    "Table1Row",
+    "WORKLOADS",
+    "get_workload",
+    "workload_ids",
+    "TRAIN_BATCH_RANGE",
+    "TRAIN_GPU_RANGE",
+    "INFERENCE_BATCH_RANGE",
+]

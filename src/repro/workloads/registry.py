@@ -1,0 +1,72 @@
+"""The paper's four evaluation workloads (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import WorkloadError
+from .workload import Table1Row, Workload
+
+WORKLOADS: Dict[str, Workload] = {
+    "IC": Workload(
+        workload_id="IC",
+        model_name="resnet",
+        dataset_name="cifar10",
+        table1=Table1Row(
+            type_label="Image Classification",
+            datasize="163 MB",
+            train_files=50_000,
+            test_files=10_000,
+        ),
+    ),
+    "SR": Workload(
+        workload_id="SR",
+        model_name="m5",
+        dataset_name="speechcommands",
+        table1=Table1Row(
+            type_label="Speech Recognition",
+            datasize="8.17 GiB",
+            train_files=85_511,
+            test_files=4_890,
+        ),
+    ),
+    "NLP": Workload(
+        workload_id="NLP",
+        model_name="textrnn",
+        dataset_name="agnews",
+        table1=Table1Row(
+            type_label="Natural Language Processing",
+            datasize="60.10 MB",
+            train_files=120_000,
+            test_files=7_600,
+        ),
+    ),
+    "OD": Workload(
+        workload_id="OD",
+        model_name="yolo",
+        dataset_name="coco",
+        table1=Table1Row(
+            type_label="Object Detection",
+            datasize="19 GB",
+            train_files=164_000,
+            test_files=41_000,
+        ),
+        # The detection loss is more step-hungry than the classifiers;
+        # a gentler base rate keeps large-batch trials from diverging.
+        learning_rate=0.01,
+    ),
+}
+
+
+def workload_ids() -> List[str]:
+    return list(WORKLOADS)
+
+
+def get_workload(workload_id: str) -> Workload:
+    try:
+        return WORKLOADS[workload_id.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {workload_id!r}; expected one of "
+            f"{workload_ids()}"
+        ) from None

@@ -1,0 +1,149 @@
+"""Workload definitions (paper Table 1).
+
+A workload pairs a model family with a dataset and carries the tuning
+search spaces of §5.1: the family's model hyperparameter, the training
+batch size (32-512), the number of training GPUs (1-8), and the inference
+parameters (batch size 1-100, CPU cores, CPU frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..datasets import Dataset, build_dataset
+from ..errors import WorkloadError
+from ..hardware import get_device
+from ..nn.models import ModelFamily, get_model_family
+from ..rng import SeedLike, derive_seed, ensure_seed
+from ..space import Categorical, Integer, ParameterSpace
+
+#: Paper §5.1 parameter ranges, shared across workloads.
+TRAIN_BATCH_RANGE = (32, 512)
+TRAIN_GPU_RANGE = (1, 8)
+INFERENCE_BATCH_RANGE = (1, 100)
+
+#: The synthetic datasets are ~25x smaller than the real corpora, so the
+#: *configured* training batch size (32-512, fed to the hardware emulator)
+#: is divided by this factor for the actual numpy SGD — keeping the
+#: steps-per-epoch (and thus the accuracy-vs-batch landscape) in a
+#: realistic regime.
+BATCH_DOWNSCALE = 8
+
+#: Reference real batch for square-root learning-rate scaling (the
+#: standard heuristic keeping convergence comparable across batch sizes).
+LR_REFERENCE_BATCH = 16
+
+#: Smallest real batch used for training.
+MIN_REAL_BATCH = 4
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """The real-dataset metadata reported in the paper's Table 1."""
+
+    type_label: str
+    datasize: str
+    train_files: int
+    test_files: int
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (model, dataset) tuning workload."""
+
+    workload_id: str  # IC / SR / NLP / OD
+    model_name: str
+    dataset_name: str
+    table1: Table1Row
+    #: default learning rate used by training trials
+    learning_rate: float = 0.02
+    #: synthetic dataset size used by experiments
+    samples: int = 2000
+
+    @property
+    def family(self) -> ModelFamily:
+        return get_model_family(self.model_name)
+
+    @property
+    def task(self) -> str:
+        return self.family.task
+
+    # -- data ----------------------------------------------------------------
+    def load(
+        self, seed: SeedLike = None, samples: Optional[int] = None
+    ) -> Tuple[Dataset, Dataset]:
+        """Build the synthetic dataset and return (train, eval) splits."""
+        base_seed = ensure_seed(seed)
+        dataset = build_dataset(
+            self.dataset_name,
+            seed=derive_seed(base_seed, "data", self.workload_id),
+            samples=samples or self.samples,
+        )
+        return dataset.split(0.2, rng=derive_seed(base_seed, "split"))
+
+    # -- search spaces --------------------------------------------------------
+    def training_space(self, include_system: bool = True) -> ParameterSpace:
+        """Model-server space: model hyperparameter, training batch size
+        and (optionally) the training system parameters."""
+        space = ParameterSpace(
+            [
+                self.family.model_parameter,
+                Integer(
+                    "train_batch_size",
+                    TRAIN_BATCH_RANGE[0],
+                    TRAIN_BATCH_RANGE[1],
+                    log=True,
+                    kind="training",
+                ),
+            ]
+        )
+        if include_system:
+            space.add(
+                Integer(
+                    "gpus", TRAIN_GPU_RANGE[0], TRAIN_GPU_RANGE[1],
+                    kind="system",
+                )
+            )
+        return space
+
+    def inference_space(self, device: str = "armv7") -> ParameterSpace:
+        """Inference-server space: inference batch size + device system
+        parameters (cores, frequency)."""
+        spec = get_device(device)
+        return ParameterSpace(
+            [
+                Integer(
+                    "inference_batch_size",
+                    INFERENCE_BATCH_RANGE[0],
+                    INFERENCE_BATCH_RANGE[1],
+                    log=True,
+                    kind="inference",
+                ),
+                Integer("cores", 1, spec.cores, kind="system"),
+                Categorical(
+                    "frequency_ghz", spec.frequencies_ghz, kind="system"
+                ),
+            ]
+        )
+
+    def effective_training(self, configured_batch: int) -> Tuple[int, float]:
+        """Map a configured batch size to (real batch, learning rate).
+
+        The configured value drives the hardware emulator; the returned
+        pair drives the actual numpy training (see
+        :data:`BATCH_DOWNSCALE` / :data:`LR_REFERENCE_BATCH`).
+        """
+        if configured_batch < 1:
+            raise WorkloadError(
+                f"batch size must be >= 1, got {configured_batch}"
+            )
+        real_batch = max(MIN_REAL_BATCH, configured_batch // BATCH_DOWNSCALE)
+        learning_rate = self.learning_rate * (
+            real_batch / LR_REFERENCE_BATCH
+        ) ** 0.5
+        return real_batch, learning_rate
+
+    def model_seed(self, base_seed: int, trial_id: int) -> int:
+        """Stable per-trial model-initialisation seed."""
+        return derive_seed(base_seed, "model", self.workload_id, trial_id)

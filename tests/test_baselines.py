@@ -1,0 +1,140 @@
+"""Tests for the baseline tuning systems (Tune, HyperPower, hierarchical)."""
+
+import pytest
+
+from repro.baselines import (
+    HYPERPOWER_GPUS,
+    TUNE_DEFAULT_GPUS,
+    HierarchicalTuner,
+    HyperPowerBaseline,
+    TuneBaseline,
+)
+from repro.budgets import MultiBudget
+from repro.storage import TrialDatabase
+
+SAMPLES = 240
+FAST_BUDGET = MultiBudget(min_epochs=1, max_epochs=4, min_fraction=0.25)
+
+
+class TestTuneBaseline:
+    def test_ignores_system_parameters(self):
+        result = TuneBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        assert "gpus" not in result.best_configuration
+        assert all(
+            record.training.gpus == TUNE_DEFAULT_GPUS
+            for record in result.trials
+        )
+
+    def test_no_inference_awareness(self):
+        result = TuneBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        assert result.inference is None
+        assert all(record.inference is None for record in result.trials)
+
+    def test_system_name(self):
+        result = TuneBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        assert result.system == "tune"
+
+    def test_optimises_accuracy_only(self):
+        """Tune's best trial is (one of) the highest-accuracy trials at
+        the top fidelity."""
+        result = TuneBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        top_fidelity = max(record.fidelity for record in result.trials)
+        top_records = [
+            record for record in result.trials
+            if record.fidelity == top_fidelity
+        ]
+        assert result.best_accuracy == pytest.approx(
+            max(record.accuracy for record in top_records)
+        )
+
+
+class TestHyperPowerBaseline:
+    def test_single_gpu_trials(self):
+        result = HyperPowerBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        assert all(
+            record.training.gpus == HYPERPOWER_GPUS
+            for record in result.trials
+        )
+        assert result.system == "hyperpower"
+
+    def test_no_inference_awareness(self):
+        result = HyperPowerBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        assert result.inference is None
+
+    def test_power_objective_prefers_cheap_energy(self):
+        """Among equal-fidelity trials, HyperPower's winner must have the
+        best energy/accuracy ratio."""
+        result = HyperPowerBaseline(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET
+        ).tune()
+        top = max(record.fidelity for record in result.trials)
+        candidates = [
+            record for record in result.trials if record.fidelity == top
+        ]
+        best = min(
+            candidates,
+            key=lambda r: r.training.energy_j / max(r.accuracy, 0.01),
+        )
+        assert result.best_configuration == best.configuration
+
+
+class TestHierarchicalTuner:
+    def test_two_phase_structure(self):
+        """Phase 1 tunes hyperparameters without system parameters; the
+        returned configuration then carries a phase-2 GPU choice."""
+        result = HierarchicalTuner(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET,
+            max_trials=8,
+        ).tune()
+        assert result.system == "hierarchical"
+        assert "gpus" in result.best_configuration
+        assert 1 <= result.best_configuration["gpus"] <= 8
+        # Phase-1 trials never carried the system parameter.
+        assert all(
+            "gpus" not in record.configuration for record in result.trials
+        )
+
+    def test_costs_include_both_phases(self):
+        """The hierarchical total must exceed its phase-1-only part —
+        phase 2's sweep is extra work the onefold approach avoids."""
+        tuner = HierarchicalTuner(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET,
+            max_trials=8,
+        )
+        result = tuner.tune()
+        phase1_energy = sum(
+            record.training.energy_j for record in result.trials
+        )
+        assert result.tuning_energy_j > phase1_energy
+
+    def test_inference_recommendation_present(self):
+        result = HierarchicalTuner(
+            workload="IC", seed=5, samples=SAMPLES, budget=FAST_BUDGET,
+            max_trials=8,
+        ).tune()
+        assert result.inference is not None
+
+
+class TestSharedDatabase:
+    def test_systems_isolated_in_storage(self):
+        database = TrialDatabase()
+        TuneBaseline(workload="IC", seed=5, samples=SAMPLES,
+                     budget=FAST_BUDGET, database=database,
+                     max_trials=4).tune()
+        HyperPowerBaseline(workload="IC", seed=5, samples=SAMPLES,
+                           budget=FAST_BUDGET, database=database,
+                           max_trials=4).tune()
+        assert database.trial_count("tune:IC") == 4
+        assert database.trial_count("hyperpower:IC") == 4

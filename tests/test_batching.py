@@ -1,0 +1,180 @@
+"""Tests for the queueing simulations and the batch-size optimizer (§3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batching import (
+    MultiStreamScenario,
+    ServerScenario,
+    optimize_batch_size,
+    simulate_multistream_scenario,
+    simulate_server_scenario,
+)
+from repro.errors import ConfigurationError
+
+
+def amortised_latency(batch_size: int) -> float:
+    """A typical device latency curve: fixed per-call cost + per-sample
+    cost, so batching amortises the overhead."""
+    return 0.05 + 0.01 * batch_size
+
+
+class TestServerScenario:
+    def test_stable_when_service_fits_period(self):
+        result = simulate_server_scenario(
+            amortised_latency, samples_per_query=10, period_s=1.0,
+            batch_size=10,
+        )
+        assert result.stable
+        # Response = one batched call, no queueing.
+        assert result.mean_response_s == pytest.approx(0.15)
+
+    def test_unstable_when_overloaded(self):
+        result = simulate_server_scenario(
+            amortised_latency, samples_per_query=100, period_s=0.5,
+            batch_size=1, num_queries=100,
+        )
+        assert not result.stable
+        # Queue grows linearly: late queries wait far longer than early
+        # ones, so p95 sits well above the mean.
+        assert result.p95_response_s > 1.5 * result.mean_response_s
+
+    def test_batching_reduces_response(self):
+        """The paper's server scenario: splitting N samples into bigger
+        batches cuts per-call overhead."""
+        small = simulate_server_scenario(
+            amortised_latency, 40, period_s=5.0, batch_size=1
+        )
+        large = simulate_server_scenario(
+            amortised_latency, 40, period_s=5.0, batch_size=20
+        )
+        assert large.mean_response_s < small.mean_response_s
+
+    def test_remainder_batch_served(self):
+        result = simulate_server_scenario(
+            amortised_latency, samples_per_query=7, period_s=2.0,
+            batch_size=4,
+        )
+        # 7 = 4 + 3: two calls
+        expected = amortised_latency(4) + amortised_latency(3)
+        assert result.mean_response_s == pytest.approx(expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            simulate_server_scenario(amortised_latency, 0, 1.0, 1)
+        with pytest.raises(ConfigurationError):
+            simulate_server_scenario(amortised_latency, 1, 0.0, 1)
+
+
+class TestMultiStreamScenario:
+    def test_deterministic_given_seed(self):
+        a = simulate_multistream_scenario(
+            amortised_latency, 5.0, 4, num_samples=500, seed=1
+        )
+        b = simulate_multistream_scenario(
+            amortised_latency, 5.0, 4, num_samples=500, seed=1
+        )
+        assert a.mean_response_s == b.mean_response_s
+
+    def test_batching_helps_under_load(self):
+        """Paper Fig 8: aggregating Poisson arrivals improves the mean
+        response time when single-sample service cannot keep up."""
+        # Single-sample service rate: 1/0.06 ≈ 16.7/s < arrival 20/s.
+        single = simulate_multistream_scenario(
+            amortised_latency, 20.0, 1, num_samples=1500, seed=2
+        )
+        batched = simulate_multistream_scenario(
+            amortised_latency, 20.0, 16, num_samples=1500, seed=2
+        )
+        assert batched.mean_response_s < single.mean_response_s
+        assert batched.stable
+
+    def test_all_samples_processed(self):
+        result = simulate_multistream_scenario(
+            amortised_latency, 3.0, 4, num_samples=777, seed=0
+        )
+        assert result.samples_processed == 777
+
+    def test_light_load_batches_stay_small(self):
+        """With rare arrivals the greedy policy serves ~single samples,
+        so batch_size barely matters."""
+        a = simulate_multistream_scenario(
+            amortised_latency, 0.5, 1, num_samples=300, seed=3
+        )
+        b = simulate_multistream_scenario(
+            amortised_latency, 0.5, 32, num_samples=300, seed=3
+        )
+        assert a.mean_response_s == pytest.approx(
+            b.mean_response_s, rel=0.05
+        )
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            simulate_multistream_scenario(amortised_latency, 0.0, 1)
+
+
+class TestOptimizer:
+    def test_finds_amortising_batch_for_server(self):
+        scenario = ServerScenario(samples_per_query=50, period_s=4.0)
+        sweep = optimize_batch_size(amortised_latency, scenario)
+        assert sweep.best_batch_size > 1
+        assert sweep.best.stable
+
+    def test_prefers_stability(self):
+        """A configuration that keeps up beats a faster-but-overloaded
+        one."""
+        def saturating(batch):
+            # Large batches blow past a memory cliff.
+            return 0.02 + 0.01 * batch + (0.3 if batch > 32 else 0.0)
+
+        scenario = MultiStreamScenario(arrival_rate_sps=25.0, seed=4)
+        sweep = optimize_batch_size(saturating, scenario)
+        assert sweep.best.stable
+        assert sweep.best_batch_size <= 32
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimize_batch_size(
+                amortised_latency,
+                ServerScenario(10, 1.0),
+                candidates=(),
+            )
+
+    def test_sweep_reports_all_candidates(self):
+        scenario = ServerScenario(samples_per_query=10, period_s=2.0)
+        sweep = optimize_batch_size(
+            amortised_latency, scenario, candidates=(1, 2, 4)
+        )
+        assert [r.batch_size for r in sweep.results] == [1, 2, 4]
+
+
+@given(
+    rate=st.floats(0.5, 30.0),
+    batch=st.integers(1, 64),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_multistream_invariants(rate, batch, seed):
+    result = simulate_multistream_scenario(
+        amortised_latency, rate, batch, num_samples=400, seed=seed
+    )
+    # Response time can never be below the single-call latency floor.
+    assert result.mean_response_s >= amortised_latency(1) * 0.9
+    assert 0.0 <= result.utilisation <= 1.0
+    assert result.samples_processed == 400
+
+
+@given(
+    samples=st.integers(1, 60),
+    batch=st.integers(1, 60),
+    period=st.floats(0.1, 5.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_server_throughput_bounded(samples, batch, period):
+    result = simulate_server_scenario(
+        amortised_latency, samples, period, batch, num_queries=50
+    )
+    # Cannot process meaningfully faster than arrivals deliver (small
+    # tolerance for the finite-horizon edge effect of the last query).
+    assert result.throughput_sps <= samples / period * 1.05

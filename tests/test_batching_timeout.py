@@ -1,0 +1,106 @@
+"""Tests for the timeout-based batching policy and storage export."""
+
+import json
+
+import pytest
+
+from repro.batching.queueing import (
+    simulate_multistream_scenario,
+    simulate_multistream_timeout,
+)
+from repro.errors import ConfigurationError
+from repro.storage import StoredInferenceResult, TrialDatabase
+
+
+def amortised_latency(batch_size: int) -> float:
+    return 0.05 + 0.01 * batch_size
+
+
+class TestTimeoutBatching:
+    def test_zero_timeout_is_greedy_like(self):
+        """With max_wait 0 the policy degenerates to take-what-arrived,
+        matching the greedy policy's behaviour closely."""
+        greedy = simulate_multistream_scenario(
+            amortised_latency, 10.0, 8, num_samples=800, seed=3
+        )
+        timeout = simulate_multistream_timeout(
+            amortised_latency, 10.0, 8, max_wait_s=0.0,
+            num_samples=800, seed=3,
+        )
+        assert timeout.mean_response_s == pytest.approx(
+            greedy.mean_response_s, rel=0.35
+        )
+
+    def test_all_samples_processed(self):
+        result = simulate_multistream_timeout(
+            amortised_latency, 5.0, 4, max_wait_s=0.2,
+            num_samples=333, seed=0,
+        )
+        assert result.samples_processed == 333
+
+    def test_waiting_trades_latency_for_amortisation(self):
+        """Waiting for batches to fill costs latency but amortises the
+        per-call overhead: engine utilisation (work per sample) drops."""
+        rate = 25.0
+        eager = simulate_multistream_timeout(
+            amortised_latency, rate, 16, max_wait_s=0.0,
+            num_samples=1200, seed=2,
+        )
+        patient = simulate_multistream_timeout(
+            amortised_latency, rate, 16, max_wait_s=0.5,
+            num_samples=1200, seed=2,
+        )
+        assert patient.utilisation < eager.utilisation
+        assert patient.mean_response_s > eager.mean_response_s
+        assert patient.stable
+
+    def test_deterministic(self):
+        a = simulate_multistream_timeout(
+            amortised_latency, 5.0, 4, 0.1, num_samples=200, seed=9
+        )
+        b = simulate_multistream_timeout(
+            amortised_latency, 5.0, 4, 0.1, num_samples=200, seed=9
+        )
+        assert a.mean_response_s == b.mean_response_s
+
+    def test_invalid_wait(self):
+        with pytest.raises(ConfigurationError):
+            simulate_multistream_timeout(
+                amortised_latency, 5.0, 4, max_wait_s=-1.0
+            )
+
+
+class TestStorageExport:
+    def test_export_json_roundtrip(self, tmp_path):
+        db = TrialDatabase()
+        db.record_trial("e1", 0, {"x": 1}, 1, 2, 0.5, 0.8, 1.0, 10.0, 100.0)
+        db.store_inference(StoredInferenceResult(
+            architecture_key="a", device="armv7",
+            objective="inference-energy",
+            configuration={"inference_batch_size": 4},
+            batch_latency_s=0.2, throughput_sps=20.0,
+            energy_per_sample_j=0.1, power_w=2.0,
+            tuning_runtime_s=5.0, tuning_energy_j=175.0,
+        ))
+        path = str(tmp_path / "dump.json")
+        db.export_json(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["trials"]["e1"][0]["accuracy"] == 0.8
+        assert payload["inference_results"][0]["device"] == "armv7"
+
+    def test_experiment_summary(self):
+        db = TrialDatabase()
+        for i, acc in enumerate((0.4, 0.7, 0.6)):
+            db.record_trial("e", i, {}, i + 1, 1, 1.0, acc, 1.0, 10.0, 50.0)
+        summary = db.experiment_summary("e")
+        assert summary["trials"] == 3
+        assert summary["best_accuracy"] == 0.7
+        assert summary["total_train_runtime_s"] == pytest.approx(30.0)
+        assert summary["max_fidelity"] == 3
+
+    def test_summary_missing_experiment(self):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            TrialDatabase().experiment_summary("nope")

@@ -1,0 +1,160 @@
+"""Tests for the budget strategies (paper §4.3, Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.budgets import (
+    BUDGET_NAMES,
+    DatasetBudget,
+    EpochBudget,
+    MultiBudget,
+    TrialBudget,
+    build_budget,
+)
+from repro.errors import BudgetError
+
+
+class TestTrialBudget:
+    def test_relative_cost(self):
+        assert TrialBudget(4, 0.5).relative_cost == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(BudgetError):
+            TrialBudget(0, 1.0)
+        with pytest.raises(BudgetError):
+            TrialBudget(1, 0.0)
+        with pytest.raises(BudgetError):
+            TrialBudget(1, 1.5)
+
+
+class TestEpochBudget:
+    def test_grows_linearly_then_caps(self):
+        budget = EpochBudget(min_epochs=2, max_epochs=10)
+        assert budget.budget(1) == TrialBudget(2, 1.0)
+        assert budget.budget(3) == TrialBudget(6, 1.0)
+        assert budget.budget(9) == TrialBudget(10, 1.0)
+
+    def test_always_full_dataset(self):
+        budget = EpochBudget()
+        for it in range(1, 20):
+            assert budget.budget(it).data_fraction == 1.0
+
+    def test_max_iteration(self):
+        assert EpochBudget(min_epochs=2, max_epochs=10).max_iteration == 5
+        assert EpochBudget(min_epochs=1, max_epochs=16).max_iteration == 16
+
+    def test_invalid_range(self):
+        with pytest.raises(BudgetError):
+            EpochBudget(min_epochs=8, max_epochs=4)
+
+    def test_invalid_iteration(self):
+        with pytest.raises(BudgetError):
+            EpochBudget().budget(0)
+
+
+class TestDatasetBudget:
+    def test_single_epoch_growing_data(self):
+        budget = DatasetBudget(min_fraction=0.1)
+        for it, fraction in ((1, 0.1), (5, 0.5), (15, 1.0)):
+            trial = budget.budget(it)
+            assert trial.epochs == 1
+            assert trial.data_fraction == pytest.approx(fraction)
+
+    def test_max_iteration(self):
+        assert DatasetBudget(0.1).max_iteration == 10
+        assert DatasetBudget(0.25).max_iteration == 4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(BudgetError):
+            DatasetBudget(0.0)
+
+
+class TestMultiBudget:
+    def test_paper_example(self):
+        """§4.3: min_epochs=2, min_fraction=0.1, max_epochs=10 — the 2nd
+        iteration uses 4 epochs on 20 %; from iteration 5 epochs cap at
+        10 while data keeps growing to iteration 10."""
+        budget = MultiBudget(min_epochs=2, max_epochs=10, min_fraction=0.1)
+        expected = {2: (4, 0.2), 3: (6, 0.3), 5: (10, 0.5), 7: (10, 0.7),
+                    10: (10, 1.0), 12: (10, 1.0)}
+        for it, (epochs, fraction) in expected.items():
+            trial = budget.budget(it)
+            assert trial.epochs == epochs
+            assert trial.data_fraction == pytest.approx(fraction)
+        assert budget.max_iteration == 10
+
+    def test_cheaper_than_epoch_budget_at_low_fidelity(self):
+        """The whole point: early iterations cost a fraction of the
+        epoch-based budget, converging to the same maximum."""
+        multi = MultiBudget(min_epochs=1, max_epochs=16, min_fraction=0.1)
+        epochs = EpochBudget(min_epochs=1, max_epochs=16)
+        for it in range(1, 10):
+            assert (
+                multi.budget(it).relative_cost
+                < epochs.budget(it).relative_cost
+            )
+        top = multi.max_iteration
+        assert multi.budget(top).relative_cost == pytest.approx(
+            epochs.budget(epochs.max_iteration).relative_cost
+        )
+
+    def test_dimensions_saturate_independently(self):
+        budget = MultiBudget(min_epochs=4, max_epochs=8, min_fraction=0.2)
+        # epochs cap at iteration 2, data at iteration 5
+        assert budget.budget(2).epochs == 8
+        assert budget.budget(2).data_fraction == pytest.approx(0.4)
+        assert budget.budget(5).data_fraction == 1.0
+        assert budget.max_iteration == 5
+
+
+class TestRegistry:
+    def test_names(self):
+        for name in BUDGET_NAMES:
+            assert build_budget(name) is not None
+
+    def test_aliases(self):
+        assert isinstance(build_budget("multi_budget"), MultiBudget)
+        assert isinstance(build_budget("multibudget"), MultiBudget)
+
+    def test_kwargs_forwarded(self):
+        budget = build_budget("epochs", min_epochs=3, max_epochs=9)
+        assert budget.budget(1).epochs == 3
+
+    def test_unknown(self):
+        with pytest.raises(BudgetError):
+            build_budget("time")
+
+
+@given(it=st.integers(1, 100))
+@settings(max_examples=50, deadline=None)
+def test_property_budgets_monotone_and_bounded(it):
+    """For every strategy: cost is non-decreasing in the iteration and
+    never exceeds one full-budget training."""
+    for budget in (EpochBudget(), DatasetBudget(), MultiBudget()):
+        current = budget.budget(it)
+        nxt = budget.budget(it + 1)
+        assert nxt.relative_cost >= current.relative_cost
+        full = budget.budget(budget.max_iteration + 5)
+        assert current.relative_cost <= full.relative_cost
+
+
+@given(
+    min_epochs=st.integers(1, 8),
+    extra=st.integers(0, 32),
+    fraction=st.floats(0.05, 1.0),
+    it=st.integers(1, 64),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_multi_budget_caps(min_epochs, extra, fraction, it):
+    budget = MultiBudget(
+        min_epochs=min_epochs,
+        max_epochs=min_epochs + extra,
+        min_fraction=fraction,
+    )
+    trial = budget.budget(it)
+    assert trial.epochs <= min_epochs + extra
+    assert 0.0 < trial.data_fraction <= 1.0
+    at_max = budget.budget(budget.max_iteration)
+    assert at_max.epochs == min_epochs + extra
+    assert at_max.data_fraction == 1.0

@@ -1,0 +1,69 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestReproCli:
+    def test_devices(self, capsys):
+        assert repro_main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for device in ("armv7", "raspberrypi3b", "i7nuc", "titan-server"):
+            assert device in out
+
+    def test_workloads(self, capsys):
+        assert repro_main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for workload in ("IC", "SR", "NLP", "OD"):
+            assert workload in out
+
+    def test_tune_minimal(self, capsys):
+        code = repro_main([
+            "tune", "IC", "--samples", "200", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "deployment" in out
+
+    def test_tune_baseline_system(self, capsys):
+        code = repro_main([
+            "tune", "IC", "--system", "hyperpower",
+            "--samples", "200", "--seed", "3", "--budget", "dataset",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hyperpower" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            repro_main(["tune", "MNIST"])
+
+
+class TestExperimentsCli:
+    def test_list(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "table1" in out
+        assert "ablation_cache" in out
+
+    def test_run_one(self, capsys):
+        assert experiments_main(["--fast", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Workloads used for experiments" in out
+
+    def test_save_to_directory(self, tmp_path, capsys):
+        assert experiments_main(
+            ["--fast", "--out", str(tmp_path), "fig05"]
+        ) == 0
+        assert (tmp_path / "fig05.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])
+
+    def test_no_args_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main([])

@@ -1,0 +1,180 @@
+"""Tests for the extension features: serialization, median stopping,
+deployment planner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SearchSpaceError, ShapeError
+from repro.hardware import DeploymentPlanner, Emulator
+from repro.nn import (
+    load_model,
+    load_state_dict,
+    save_model,
+    state_dict,
+)
+from repro.nn.models import build_resnet
+from repro.search import (
+    MedianStoppingScheduler,
+    RandomSearcher,
+    TrialReport,
+)
+from repro.space import Float, ParameterSpace
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, tmp_path):
+        model = build_resnet((3, 8, 8), 10, seed=1)
+        inputs = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        expected = model.forward(inputs)
+        path = str(tmp_path / "weights.npz")
+        save_model(model, path)
+        fresh = build_resnet((3, 8, 8), 10, seed=99)  # different init
+        load_model(fresh, path)
+        np.testing.assert_allclose(fresh.forward(inputs), expected)
+
+    def test_state_dict_copies(self):
+        model = build_resnet((3, 8, 8), 10, seed=1)
+        state = state_dict(model)
+        first_key = next(iter(state))
+        state[first_key][...] = 0.0
+        # The model's live weights are untouched.
+        assert model.parameters()[0].value.any()
+
+    def test_mismatched_architecture_rejected(self):
+        deep = build_resnet((3, 8, 8), 10, num_layers=50, seed=1)
+        shallow = build_resnet((3, 8, 8), 10, num_layers=18, seed=1)
+        with pytest.raises(ShapeError):
+            load_state_dict(shallow, state_dict(deep))
+
+    def test_mismatched_shape_rejected(self):
+        wide = build_resnet((3, 8, 8), 10, width=48, seed=1)
+        narrow = build_resnet((3, 8, 8), 10, width=32, seed=1)
+        with pytest.raises(ShapeError):
+            load_state_dict(narrow, state_dict(wide))
+
+
+class TestMedianStopping:
+    def space(self):
+        return ParameterSpace([Float("x", 0.0, 1.0)])
+
+    def drive(self, scheduler, objective):
+        history = []
+        while True:
+            trial = scheduler.next_trial()
+            if trial is None:
+                assert scheduler.finished
+                break
+            score = objective(trial.configuration)
+            scheduler.report(TrialReport(trial=trial, score=score))
+            history.append((trial, score))
+            assert len(history) < 2000
+        return history
+
+    def test_prunes_bad_trials(self):
+        space = self.space()
+        scheduler = MedianStoppingScheduler(
+            space, RandomSearcher(space, seed=1), num_trials=12,
+            max_fidelity=8, seed=1,
+        )
+        history = self.drive(
+            scheduler, lambda c: (c["x"] - 0.5) ** 2
+        )
+        # Some trials reach the top fidelity, many are pruned earlier.
+        top = [t for t, _ in history if t.fidelity == 8]
+        assert 0 < len(top) < 12
+
+    def test_survivors_are_better_than_median(self):
+        space = self.space()
+        scheduler = MedianStoppingScheduler(
+            space, RandomSearcher(space, seed=2), num_trials=10,
+            max_fidelity=4, seed=2,
+        )
+        history = self.drive(scheduler, lambda c: c["x"])
+        rung0 = [(t, s) for t, s in history if t.rung == 0]
+        survivors = {t.trial_id for t, _ in history if t.rung == 1}
+        scores = [s for _, s in rung0]
+        median = sorted(scores)[len(scores) // 2]
+        for trial, score in rung0:
+            if trial.trial_id in survivors:
+                assert score <= median + 1e-9
+
+    def test_every_trial_reported_once_per_rung(self):
+        space = self.space()
+        scheduler = MedianStoppingScheduler(
+            space, RandomSearcher(space, seed=3), num_trials=6,
+            max_fidelity=4, seed=3,
+        )
+        history = self.drive(scheduler, lambda c: c["x"])
+        seen = {}
+        for trial, _ in history:
+            key = (trial.trial_id, trial.rung)
+            assert key not in seen
+            seen[key] = True
+
+    def test_invalid_arguments(self):
+        space = self.space()
+        with pytest.raises(SearchSpaceError):
+            MedianStoppingScheduler(
+                space, RandomSearcher(space, seed=0), num_trials=0
+            )
+
+
+class TestDeploymentPlanner:
+    FLOPS = 25_000
+    PARAMS = 12_000
+
+    def test_unconstrained_plan_covers_all_devices(self):
+        planner = DeploymentPlanner()
+        plan = planner.plan(self.FLOPS, self.PARAMS)
+        assert plan.feasible
+        assert {o.device for o in plan.options} == {
+            "armv7", "raspberrypi3b", "i7nuc"
+        }
+
+    def test_energy_preference_sorts_ascending(self):
+        plan = DeploymentPlanner().plan(self.FLOPS, self.PARAMS,
+                                        prefer="energy")
+        energies = [o.energy_per_sample_j for o in plan.options]
+        assert energies == sorted(energies)
+
+    def test_throughput_preference_sorts_descending(self):
+        plan = DeploymentPlanner().plan(self.FLOPS, self.PARAMS,
+                                        prefer="throughput")
+        throughputs = [o.throughput_sps for o in plan.options]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_slo_filters(self):
+        planner = DeploymentPlanner()
+        plan = planner.plan(
+            self.FLOPS, self.PARAMS, min_throughput_sps=5.0,
+            max_energy_per_sample_j=1.0,
+        )
+        for option in plan.options:
+            assert option.throughput_sps >= 5.0
+            assert option.energy_per_sample_j <= 1.0
+
+    def test_infeasible_slo(self):
+        plan = DeploymentPlanner().plan(
+            self.FLOPS, self.PARAMS, min_throughput_sps=1e9
+        )
+        assert not plan.feasible
+        assert plan.best is None
+
+    def test_slo_met_by_fast_device_only(self):
+        """A tight throughput SLO should exclude the slow ARM boards."""
+        plan = DeploymentPlanner().plan(
+            self.FLOPS, self.PARAMS, min_throughput_sps=20.0,
+            prefer="throughput",
+        )
+        if plan.feasible:
+            assert all(o.device == "i7nuc" for o in plan.options)
+
+    def test_invalid_preference(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentPlanner().plan(self.FLOPS, self.PARAMS,
+                                     prefer="latency")
+
+    def test_device_subset(self):
+        planner = DeploymentPlanner(devices=["armv7"])
+        plan = planner.plan(self.FLOPS, self.PARAMS)
+        assert {o.device for o in plan.options} == {"armv7"}

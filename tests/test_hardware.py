@@ -1,0 +1,303 @@
+"""Tests for the hardware emulator: devices, CPU/GPU models, counters,
+the real-device perturbation model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeviceError
+from repro.hardware import (
+    DEVICES,
+    DeviceSpec,
+    Emulator,
+    RealEdgeDevice,
+    amdahl_speedup,
+    allreduce_time_s,
+    collect_counters,
+    device_names,
+    edge_device_names,
+    get_device,
+    gpu_efficiency,
+    magnitude_bucket,
+    memory_penalty,
+    parallel_fraction,
+    run_on_cpu,
+    run_training_on_gpus,
+    simd_efficiency,
+    working_set,
+)
+from repro.hardware.counters import EVENTS, PHASES
+from repro.telemetry import percent_error
+
+
+def edge():
+    return get_device("armv7")
+
+
+def server():
+    return get_device("titan-server")
+
+
+class TestDeviceSpec:
+    def test_registry_contains_paper_platforms(self):
+        assert {"armv7", "raspberrypi3b", "i7nuc", "titan-server"} <= set(
+            device_names()
+        )
+
+    def test_edge_devices_have_no_gpus(self):
+        for name in edge_device_names():
+            assert get_device(name).gpus == 0
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(DeviceError):
+            get_device("tpu-v4")
+
+    def test_frequency_validation(self):
+        with pytest.raises(DeviceError):
+            edge().validate_frequency(9.9)
+
+    def test_cores_validation(self):
+        with pytest.raises(DeviceError):
+            edge().validate_cores(99)
+        with pytest.raises(DeviceError):
+            edge().validate_cores(0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="x", device_class="cloud", cores=1,
+                frequencies_ghz=(1.0,), flops_per_cycle=1, serial_fraction=0,
+                memory_gb=1, llc_kb=1, memory_bandwidth_gbps=1,
+                idle_power_w=1, core_power_w=1,
+            )
+
+    def test_power_scales_with_frequency_squared(self):
+        device = edge()
+        low = device.cpu_power_w(4, device.frequencies_ghz[0], 1.0)
+        high = device.cpu_power_w(4, device.max_frequency_ghz, 1.0)
+        assert high > low
+
+
+class TestCpuModel:
+    def test_parallel_fraction_grows_with_batch(self):
+        device = edge()
+        fractions = [parallel_fraction(b, device) for b in (1, 4, 32, 256)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] < 0.3  # single sample barely parallel
+
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(1, 0.9) == pytest.approx(1.0)
+        assert amdahl_speedup(1000, 0.5) < 2.0001
+
+    def test_simd_efficiency_bounds(self):
+        assert 0.5 < simd_efficiency(1) < simd_efficiency(64) <= 1.0
+
+    def test_memory_penalty_grows_past_cache(self):
+        device = edge()
+        small = memory_penalty(int(device.llc_kb * 512), device)
+        big = memory_penalty(int(device.llc_kb * 1024 * 64), device)
+        assert small == 1.0
+        assert big > 1.0
+
+    def test_memory_penalty_explodes_past_ram(self):
+        device = get_device("raspberrypi3b")
+        over_ram = int(device.memory_gb * 1e9 * 4)
+        assert memory_penalty(over_ram, device) > 10.0
+
+    def test_training_working_set_exceeds_inference(self):
+        train = working_set(1e6, 1e4, 32, training=True)
+        infer = working_set(1e6, 1e4, 32, training=False)
+        assert train > 2 * infer
+
+    def test_single_image_cores_flat_energy_up(self):
+        """Fig 5a: more cores don't speed up single-image inference but
+        do cost more energy."""
+        device = edge()
+        one = run_on_cpu(1e9, 50e6, 3e6, 1, device, cores=1)
+        four = run_on_cpu(1e9, 50e6, 3e6, 1, device, cores=4)
+        assert four.runtime_s > 0.75 * one.runtime_s  # barely faster
+        assert four.energy_j > one.energy_j
+
+    def test_multi_image_cores_scale(self):
+        """Fig 5b: batch 10 gains real throughput from 1 -> 4 cores."""
+        device = edge()
+        one = run_on_cpu(1e10, 50e6, 3e6, 10, device, cores=1)
+        four = run_on_cpu(1e10, 50e6, 3e6, 10, device, cores=4)
+        assert four.runtime_s < 0.7 * one.runtime_s
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DeviceError):
+            run_on_cpu(0, 1, 1, 1, edge())
+        with pytest.raises(DeviceError):
+            run_on_cpu(1e9, 1, 1, 0, edge())
+
+
+class TestGpuModel:
+    def test_small_batch_degrades_with_gpus(self):
+        """Fig 4a: batch 32 training gets slower with more GPUs."""
+        device = server()
+        runtimes = [
+            run_training_on_gpus(1e15, 10_000, 50e6, 32, device, g).runtime_s
+            for g in (1, 4, 8)
+        ]
+        assert runtimes[2] > runtimes[0]
+        degradation = runtimes[2] / runtimes[0] - 1
+        assert 0.3 < degradation < 2.5  # paper: up to ~120 %
+
+    def test_large_batch_speeds_up_sublinearly(self):
+        """Fig 4b: batch 1024 speeds up, but << 8x at 8 GPUs."""
+        device = server()
+        one = run_training_on_gpus(1e15, 1_000, 50e6, 1024, device, 1)
+        eight = run_training_on_gpus(1e15, 1_000, 50e6, 1024, device, 8)
+        assert eight.runtime_s < one.runtime_s
+        assert one.runtime_s / eight.runtime_s < 8.0
+        assert eight.energy_j > 0.9 * one.energy_j
+
+    def test_gpu_efficiency_monotone(self):
+        values = [gpu_efficiency(b) for b in (1, 8, 64, 512)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0
+
+    def test_allreduce_zero_for_single_gpu(self):
+        assert allreduce_time_s(50e6, 1, server()) == 0.0
+
+    def test_allreduce_grows_with_gpus(self):
+        device = server()
+        assert allreduce_time_s(50e6, 8, device) > allreduce_time_s(
+            50e6, 2, device
+        )
+
+    def test_too_many_gpus_rejected(self):
+        with pytest.raises(DeviceError):
+            run_training_on_gpus(1e12, 10, 1e6, 32, server(), 99)
+
+
+class TestEmulator:
+    def test_training_measurement_positive(self):
+        emulator = Emulator()
+        m = emulator.measure_training(1e8, 25_000, 12_000, 5000, 256, gpus=1)
+        assert m.runtime_s > 0 and m.energy_j > 0
+        assert m.energy_j == pytest.approx(m.runtime_s * m.power_w)
+
+    def test_inference_throughput_consistent(self):
+        emulator = Emulator()
+        m = emulator.measure_inference(25_000, 12_000, 8, "armv7", cores=2)
+        assert m.throughput_sps == pytest.approx(8 / m.batch_latency_s)
+
+    def test_deeper_model_slower_inference(self):
+        emulator = Emulator()
+        shallow = emulator.measure_inference(25_000, 12_000, 1, "armv7")
+        deep = emulator.measure_inference(50_000, 24_000, 1, "armv7")
+        assert deep.throughput_sps < shallow.throughput_sps
+        assert deep.energy_per_sample_j > shallow.energy_per_sample_j
+
+    def test_cpu_training_path(self):
+        emulator = Emulator()
+        m = emulator.measure_training(
+            1e8, 25_000, 12_000, 5000, 256, device="i7nuc", gpus=0, cores=4
+        )
+        assert m.gpus == 0 and m.runtime_s > 0
+
+    def test_invalid_scales_rejected(self):
+        with pytest.raises(DeviceError):
+            Emulator(flops_scale=0)
+
+    def test_batch_saturation_decay(self):
+        """Fig 3b: throughput decays once the working set thrashes RAM."""
+        emulator = Emulator()
+        throughputs = [
+            emulator.measure_inference(
+                25_000, 12_000, b, "raspberrypi3b", cores=4
+            ).throughput_sps
+            for b in (1, 10, 100, 2000)
+        ]
+        assert throughputs[1] > throughputs[0]
+        assert throughputs[3] < throughputs[2]
+
+
+class TestCounters:
+    def test_all_events_present(self):
+        rates = collect_counters(1e9, "inference", edge())
+        assert len(rates) == len(EVENTS) == 22
+
+    def test_cpu_events_phase_consistent(self):
+        device = edge()
+        train = collect_counters(1e9, "train_forward", device, seed=1)
+        infer = collect_counters(1e9, "inference", device, seed=1)
+        for event in EVENTS:
+            ratio = train[event.name] / infer[event.name]
+            if event.category == "cpu":
+                assert 0.7 < ratio < 1.4, event.name
+            if event.category == "memory":
+                assert ratio > 1.3, event.name
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(DeviceError):
+            collect_counters(1e9, "backward", edge())
+
+    def test_magnitude_buckets(self):
+        assert magnitude_bucket(5e8) == ">1e8"
+        assert magnitude_bucket(5e6) == "1e8-1e6"
+        assert magnitude_bucket(5e4) == "1e6-1e4"
+        assert magnitude_bucket(5e2) == "1e4-1e2"
+        assert magnitude_bucket(5) == "<1e2"
+
+
+class TestRealEdgeDevice:
+    def test_error_is_structured_not_huge(self):
+        """Fig 15: percent error stays small for typical configs."""
+        emulator = Emulator()
+        real = RealEdgeDevice.of("armv7", emulator, seed=3)
+        errors = []
+        for batch in (1, 4, 16, 64):
+            for cores in (1, 2, 4):
+                estimated = emulator.measure_inference(
+                    25_000, 12_000, batch, "armv7", cores=cores
+                )
+                actual = real.measure_inference(
+                    25_000, 12_000, batch, cores=cores
+                )
+                errors.append(percent_error(
+                    actual.throughput_sps, estimated.throughput_sps
+                ))
+        assert np.median(errors) < 20.0
+        assert max(errors) < 80.0
+
+    def test_deterministic(self):
+        real = RealEdgeDevice.of("armv7", seed=5)
+        a = real.measure_inference(25_000, 12_000, 4, cores=2)
+        b = real.measure_inference(25_000, 12_000, 4, cores=2)
+        assert a.batch_latency_s == b.batch_latency_s
+
+    def test_real_slower_than_ideal_for_tiny_batches(self):
+        """The fixed call overhead hurts batch 1 most."""
+        emulator = Emulator()
+        real = RealEdgeDevice.of("i7nuc", emulator, seed=0)
+        estimated = emulator.measure_inference(25_000, 12_000, 1, "i7nuc")
+        actual = real.measure_inference(25_000, 12_000, 1)
+        assert actual.batch_latency_s != estimated.batch_latency_s
+
+
+@given(
+    batch=st.integers(1, 512),
+    cores=st.integers(1, 4),
+    flops=st.floats(1e3, 1e7),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_inference_measurement_sane(batch, cores, flops):
+    """Any in-range inference measurement is finite and positive."""
+    emulator = Emulator()
+    m = emulator.measure_inference(flops, 10_000, batch, "armv7", cores=cores)
+    assert math.isfinite(m.batch_latency_s) and m.batch_latency_s > 0
+    assert math.isfinite(m.energy_per_sample_j) and m.energy_per_sample_j > 0
+    assert m.power_w > 0
+
+
+@given(cores=st.integers(1, 16), fraction=st.floats(0.0, 0.99))
+@settings(max_examples=50, deadline=None)
+def test_property_amdahl_speedup_bounded(cores, fraction):
+    speedup = amdahl_speedup(cores, fraction)
+    assert 1.0 <= speedup <= cores + 1e-9

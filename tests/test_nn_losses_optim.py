@@ -1,0 +1,215 @@
+"""Tests for losses, optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import (
+    SGD,
+    Adam,
+    ConstantLR,
+    CosineLR,
+    CrossEntropyLoss,
+    DetectionLoss,
+    Linear,
+    MSELoss,
+    StepDecayLR,
+    build_optimizer,
+    softmax,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_loss_gradient(loss, predictions, targets, eps=1e-6):
+    grad = np.zeros_like(predictions)
+    flat = predictions.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = loss.forward(predictions, targets)
+        flat[i] = original - eps
+        minus = loss.forward(predictions, targets)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probabilities = softmax(RNG.normal(size=(5, 4)))
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_numerically_stable(self):
+        probabilities = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probabilities, [[0.5, 0.5]])
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        value = loss.forward(logits, np.zeros(4, dtype=int))
+        assert value == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self):
+        loss = CrossEntropyLoss()
+        logits = RNG.normal(size=(3, 5))
+        targets = np.array([0, 2, 4])
+        numeric = numeric_loss_gradient(loss, logits, targets)
+        loss.forward(logits, targets)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-6)
+
+    def test_shape_validation(self):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ShapeError):
+            loss.forward(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestMSE:
+    def test_zero_for_exact(self):
+        loss = MSELoss()
+        x = RNG.normal(size=(3, 2))
+        assert loss.forward(x, x.copy()) == 0.0
+
+    def test_gradient_matches_numeric(self):
+        loss = MSELoss()
+        predictions = RNG.normal(size=(4, 3))
+        targets = RNG.normal(size=(4, 3))
+        numeric = numeric_loss_gradient(loss, predictions, targets)
+        loss.forward(predictions, targets)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-6)
+
+
+class TestDetectionLoss:
+    def make_data(self, n=4, classes=6):
+        predictions = RNG.normal(size=(n, 4 + classes))
+        targets = np.zeros((n, 5))
+        targets[:, :4] = RNG.uniform(0, 1, size=(n, 4))
+        targets[:, 4] = RNG.integers(classes, size=n)
+        return predictions, targets
+
+    def test_gradient_matches_numeric(self):
+        loss = DetectionLoss(num_classes=6)
+        predictions, targets = self.make_data()
+        numeric = numeric_loss_gradient(loss, predictions, targets)
+        loss.forward(predictions, targets)
+        np.testing.assert_allclose(loss.backward(), numeric, atol=1e-6)
+
+    def test_box_weight_scales_box_term(self):
+        predictions, targets = self.make_data()
+        light = DetectionLoss(6, box_weight=0.0).forward(
+            predictions, targets
+        )
+        heavy = DetectionLoss(6, box_weight=10.0).forward(
+            predictions, targets
+        )
+        assert heavy > light
+
+    def test_shape_validation(self):
+        loss = DetectionLoss(num_classes=6)
+        with pytest.raises(ShapeError):
+            loss.forward(np.zeros((2, 9)), np.zeros((2, 5)))  # 4+6=10 != 9
+
+
+class TestSGD:
+    def test_plain_step(self):
+        layer = Linear(2, 1, rng=0)
+        layer.weight.grad[:] = 1.0
+        before = layer.weight.value.copy()
+        SGD([layer.weight, layer.bias], lr=0.1).step()
+        np.testing.assert_allclose(layer.weight.value, before - 0.1)
+
+    def test_momentum_accumulates(self):
+        layer = Linear(1, 1, rng=0)
+        optimizer = SGD([layer.weight], lr=0.1, momentum=0.9)
+        layer.weight.grad[:] = 1.0
+        optimizer.step()
+        first_move = -0.1
+        layer.weight.grad[:] = 1.0
+        before = layer.weight.value.copy()
+        optimizer.step()
+        second_move = layer.weight.value - before
+        assert second_move[0, 0] == pytest.approx(
+            0.9 * first_move - 0.1
+        )
+
+    def test_weight_decay_shrinks(self):
+        layer = Linear(1, 1, rng=0)
+        layer.weight.value[:] = 2.0
+        layer.weight.grad[:] = 0.0
+        SGD([layer.weight], lr=0.1, weight_decay=0.5).step()
+        assert layer.weight.value[0, 0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_minimises_quadratic(self):
+        from repro.nn.module import ParamTensor
+
+        parameter = ParamTensor("x", np.array([5.0]))
+        optimizer = SGD([parameter], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            parameter.zero_grad()
+            parameter.grad[:] = 2 * parameter.value  # d/dx x^2
+            optimizer.step()
+        assert abs(parameter.value[0]) < 1e-3
+
+    def test_invalid_hyperparameters(self):
+        layer = Linear(1, 1, rng=0)
+        with pytest.raises(ConfigurationError):
+            SGD([layer.weight], lr=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD([layer.weight], lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGD([layer.weight], lr=0.1, weight_decay=-1.0)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        from repro.nn.module import ParamTensor
+
+        parameter = ParamTensor("x", np.array([3.0]))
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(200):
+            parameter.zero_grad()
+            parameter.grad[:] = 2 * parameter.value
+            optimizer.step()
+        assert abs(parameter.value[0]) < 1e-2
+
+    def test_invalid_betas(self):
+        layer = Linear(1, 1, rng=0)
+        with pytest.raises(ConfigurationError):
+            Adam([layer.weight], beta1=1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantLR().rate(50, 0.1) == 0.1
+
+    def test_step_decay(self):
+        schedule = StepDecayLR(step_size=10, gamma=0.5)
+        assert schedule.rate(0, 0.1) == 0.1
+        assert schedule.rate(10, 0.1) == pytest.approx(0.05)
+        assert schedule.rate(25, 0.1) == pytest.approx(0.025)
+
+    def test_cosine_endpoints(self):
+        schedule = CosineLR(total_epochs=10, min_lr=0.01)
+        assert schedule.rate(0, 0.1) == pytest.approx(0.1)
+        assert schedule.rate(10, 0.1) == pytest.approx(0.01)
+        assert 0.01 < schedule.rate(5, 0.1) < 0.1
+
+
+class TestOptimizerRegistry:
+    def test_build_by_name(self):
+        layer = Linear(1, 1, rng=0)
+        assert isinstance(build_optimizer("sgd", [layer.weight]), SGD)
+        assert isinstance(build_optimizer("ADAM", [layer.weight]), Adam)
+
+    def test_unknown(self):
+        layer = Linear(1, 1, rng=0)
+        with pytest.raises(ConfigurationError):
+            build_optimizer("lion", [layer.weight])

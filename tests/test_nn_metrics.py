@@ -1,0 +1,93 @@
+"""Tests for the extended evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.metrics import (
+    box_iou,
+    confusion_matrix,
+    macro_f1,
+    precision_recall,
+    top_k_accuracy,
+)
+
+
+class TestTopK:
+    def test_top1_equals_argmax_accuracy(self):
+        logits = np.array([[3.0, 1.0], [0.0, 2.0], [5.0, 4.0]])
+        targets = np.array([0, 1, 1])
+        assert top_k_accuracy(logits, targets, k=1) == pytest.approx(2 / 3)
+
+    def test_top_k_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(50, 10))
+        targets = rng.integers(10, size=50)
+        values = [top_k_accuracy(logits, targets, k) for k in (1, 3, 5, 10)]
+        assert values == sorted(values)
+        assert values[-1] == 1.0  # k = num_classes
+
+    def test_invalid_k(self):
+        with pytest.raises(ShapeError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=4)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = confusion_matrix(
+            predictions=np.array([0, 1, 1, 2]),
+            targets=np.array([0, 1, 2, 2]),
+            num_classes=3,
+        )
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ShapeError):
+            confusion_matrix(np.array([3]), np.array([0]), num_classes=3)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_classifier(self):
+        matrix = np.diag([5, 3, 2])
+        precision, recall = precision_recall(matrix)
+        np.testing.assert_allclose(precision, 1.0)
+        np.testing.assert_allclose(recall, 1.0)
+        assert macro_f1(matrix) == pytest.approx(1.0)
+
+    def test_empty_class_gives_zero_not_nan(self):
+        matrix = np.array([[2, 0], [0, 0]])
+        precision, recall = precision_recall(matrix)
+        assert precision[1] == 0.0 and recall[1] == 0.0
+        assert np.isfinite(macro_f1(matrix))
+
+    def test_known_values(self):
+        # class 0: tp=2, fp=1, fn=1 -> p=2/3, r=2/3
+        matrix = np.array([[2, 1], [1, 3]])
+        precision, recall = precision_recall(matrix)
+        assert precision[0] == pytest.approx(2 / 3)
+        assert recall[0] == pytest.approx(2 / 3)
+
+
+class TestBoxIoU:
+    def test_identical_boxes(self):
+        boxes = np.array([[0.5, 0.5, 0.2, 0.2]])
+        np.testing.assert_allclose(box_iou(boxes, boxes), 1.0)
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0.2, 0.2, 0.1, 0.1]])
+        b = np.array([[0.8, 0.8, 0.1, 0.1]])
+        np.testing.assert_allclose(box_iou(a, b), 0.0)
+
+    def test_half_overlap(self):
+        a = np.array([[0.5, 0.5, 0.2, 0.2]])
+        b = np.array([[0.6, 0.5, 0.2, 0.2]])  # shifted by half a width
+        iou = box_iou(a, b)[0]
+        assert iou == pytest.approx(1 / 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            box_iou(np.zeros((2, 4)), np.zeros((3, 4)))

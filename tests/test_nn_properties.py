@@ -1,0 +1,109 @@
+"""Hypothesis property tests over randomly shaped NN components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    CrossEntropyLoss,
+    Linear,
+    ReLU,
+    Sequential,
+    Tanh,
+    softmax,
+)
+from repro.nn.models import build_m5, build_resnet, build_textrnn, build_yolo
+
+
+@given(
+    in_features=st.integers(1, 12),
+    out_features=st.integers(1, 12),
+    batch=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_linear_forward_is_linear(in_features, out_features, batch,
+                                           seed):
+    """f(a x) + f(0) relations: Linear is affine, so
+    f(x + y) - f(0) == (f(x) - f(0)) + (f(y) - f(0))."""
+    layer = Linear(in_features, out_features, rng=seed)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(batch, in_features))
+    y = rng.normal(size=(batch, in_features))
+    f0 = layer.forward(np.zeros((batch, in_features)))
+    lhs = layer.forward(x + y) - f0
+    rhs = (layer.forward(x) - f0) + (layer.forward(y) - f0)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@given(
+    batch=st.integers(1, 6),
+    classes=st.integers(2, 12),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_softmax_is_distribution(batch, classes, seed):
+    rng = np.random.default_rng(seed)
+    probabilities = softmax(rng.normal(0, 5, size=(batch, classes)))
+    assert (probabilities >= 0).all()
+    np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+
+@given(
+    batch=st.integers(1, 6),
+    classes=st.integers(2, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_cross_entropy_nonnegative(batch, classes, seed):
+    rng = np.random.default_rng(seed)
+    loss = CrossEntropyLoss()
+    logits = rng.normal(size=(batch, classes))
+    targets = rng.integers(classes, size=batch)
+    assert loss.forward(logits, targets) >= 0.0
+
+
+@given(seed=st.integers(0, 2**31 - 1), depth=st.sampled_from([18, 34, 50]))
+@settings(max_examples=20, deadline=None)
+def test_property_resnet_construction_deterministic(seed, depth):
+    a = build_resnet((3, 8, 8), 10, num_layers=depth, seed=seed)
+    b = build_resnet((3, 8, 8), 10, num_layers=depth, seed=seed)
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        np.testing.assert_array_equal(pa.value, pb.value)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_property_all_models_forward_finite(seed):
+    """Every zoo model produces finite logits on random inputs."""
+    rng = np.random.default_rng(seed)
+    cases = [
+        (build_resnet((3, 8, 8), 10, seed=seed), (2, 3, 8, 8)),
+        (build_m5((1, 64), 10, seed=seed), (2, 1, 64)),
+        (build_textrnn((12, 6), 4, stride=2, seed=seed), (2, 12, 6)),
+        (build_yolo((3, 8, 8), 8, seed=seed), (2, 3, 8, 8)),
+    ]
+    for model, shape in cases:
+        model.eval()
+        out = model.forward(rng.normal(size=shape))
+        assert np.isfinite(out).all()
+
+
+@given(
+    widths=st.lists(st.integers(1, 10), min_size=2, max_size=5),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_flops_consistent_with_forward(widths, seed):
+    """flops() reports the output shape forward() actually produces."""
+    layers = []
+    for index, (a, b) in enumerate(zip(widths, widths[1:])):
+        layers.append(Linear(a, b, rng=seed + index))
+        layers.append(ReLU() if index % 2 == 0 else Tanh())
+    model = Sequential(*layers)
+    flops, shape = model.flops((widths[0],))
+    rng = np.random.default_rng(seed)
+    out = model.forward(rng.normal(size=(3, widths[0])))
+    assert out.shape == (3, *shape)
+    assert flops > 0

@@ -1,0 +1,138 @@
+"""Tests for the tuning and inference objective functions (§4.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.objectives import (
+    AccuracyObjective,
+    InferenceObjective,
+    PowerAwareObjective,
+    RatioObjective,
+)
+from repro.telemetry import InferenceMeasurement, TrainingMeasurement
+
+
+def training(runtime=100.0, energy=500.0):
+    return TrainingMeasurement(
+        runtime_s=runtime, energy_j=energy, power_w=energy / runtime,
+        working_set_bytes=1_000, device="titan-server", gpus=1,
+    )
+
+
+def inference(latency=0.5, energy=2.0, batch=1):
+    return InferenceMeasurement(
+        batch_latency_s=latency, throughput_sps=batch / latency,
+        energy_per_sample_j=energy, power_w=4.0, working_set_bytes=100,
+        device="armv7", batch_size=batch,
+    )
+
+
+class TestRatioObjective:
+    def test_runtime_formula(self):
+        """score = training_time * inference_time / accuracy (eq. 1)."""
+        objective = RatioObjective("runtime")
+        score = objective.score(0.8, training(runtime=120.0),
+                                inference(latency=0.5))
+        assert score == pytest.approx(120.0 * 0.5 / 0.8)
+
+    def test_energy_formula(self):
+        objective = RatioObjective("energy")
+        score = objective.score(0.5, training(energy=400.0),
+                                inference(energy=2.0))
+        assert score == pytest.approx(400.0 * 2.0 / 0.5)
+
+    def test_no_inference_degenerates(self):
+        objective = RatioObjective("runtime")
+        score = objective.score(0.8, training(runtime=120.0), None)
+        assert score == pytest.approx(120.0 / 0.8)
+
+    def test_higher_accuracy_lower_score(self):
+        objective = RatioObjective("runtime")
+        low = objective.score(0.5, training(), inference())
+        high = objective.score(0.9, training(), inference())
+        assert high < low
+
+    def test_accuracy_floor_prevents_blowup(self):
+        objective = RatioObjective("runtime")
+        assert objective.score(0.0, training(), inference()) < float("inf")
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RatioObjective().score(1.5, training(), None)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigurationError):
+            RatioObjective("latency")
+
+    def test_batched_inference_uses_per_sample_latency(self):
+        objective = RatioObjective("runtime")
+        batched = inference(latency=1.0, batch=10)
+        single = inference(latency=1.0, batch=1)
+        assert objective.score(0.8, training(), batched) < objective.score(
+            0.8, training(), single
+        )
+
+
+class TestAccuracyTarget:
+    def test_feasible_uses_plain_ratio(self):
+        objective = RatioObjective("runtime", accuracy_target=0.7)
+        plain = RatioObjective("runtime")
+        assert objective.score(0.8, training(), inference()) == plain.score(
+            0.8, training(), inference()
+        )
+
+    def test_infeasible_ranked_after_feasible(self):
+        objective = RatioObjective("runtime", accuracy_target=0.7)
+        feasible = objective.score(0.71, training(runtime=1e5), inference())
+        infeasible = objective.score(0.69, training(runtime=1.0), inference())
+        assert infeasible > feasible
+
+    def test_infeasible_balances_shortfall_and_cost(self):
+        objective = RatioObjective("runtime", accuracy_target=0.8)
+        # Same accuracy: cheaper trial scores better.
+        cheap = objective.score(0.5, training(runtime=10.0), inference())
+        expensive = objective.score(0.5, training(runtime=100.0), inference())
+        assert cheap < expensive
+        # Same cost: higher accuracy scores better.
+        closer = objective.score(0.7, training(), inference())
+        farther = objective.score(0.3, training(), inference())
+        assert closer < farther
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            RatioObjective(accuracy_target=0.0)
+
+
+class TestOtherObjectives:
+    def test_accuracy_objective_ignores_cost(self):
+        objective = AccuracyObjective()
+        a = objective.score(0.9, training(runtime=1.0), None)
+        b = objective.score(0.9, training(runtime=1e6), None)
+        assert a == b == pytest.approx(0.1)
+
+    def test_power_aware_uses_training_energy(self):
+        objective = PowerAwareObjective()
+        score = objective.score(0.8, training(energy=400.0),
+                                inference(energy=99.0))
+        assert score == pytest.approx(400.0 / 0.8)
+
+
+class TestInferenceObjective:
+    def test_runtime_metric(self):
+        objective = InferenceObjective("runtime")
+        m = inference(latency=1.0, batch=10)
+        assert objective.score(m) == pytest.approx(0.1)
+
+    def test_energy_metric(self):
+        objective = InferenceObjective("energy")
+        assert objective.score(inference(energy=3.0)) == 3.0
+
+    def test_throughput_metric_is_negated(self):
+        objective = InferenceObjective("throughput")
+        fast = inference(latency=0.1, batch=10)
+        slow = inference(latency=1.0, batch=10)
+        assert objective.score(fast) < objective.score(slow)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigurationError):
+            InferenceObjective("accuracy")

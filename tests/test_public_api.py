@@ -1,0 +1,75 @@
+"""Smoke tests for the public API surface and the error hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.nn",
+            "repro.nn.models",
+            "repro.datasets",
+            "repro.hardware",
+            "repro.search",
+            "repro.budgets",
+            "repro.objectives",
+            "repro.batching",
+            "repro.storage",
+            "repro.sim",
+            "repro.core",
+            "repro.baselines",
+            "repro.workloads",
+            "repro.experiments",
+            "repro.telemetry",
+            "repro.space",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in (
+            "repro.nn", "repro.datasets", "repro.hardware", "repro.search",
+            "repro.budgets", "repro.objectives", "repro.batching",
+            "repro.storage", "repro.sim", "repro.core", "repro.baselines",
+            "repro.workloads", "repro.telemetry", "repro.space",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name, None) is not None, (
+                    f"{module_name}.{name}"
+                )
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catchable_as_family(self):
+        from repro.space import Integer
+
+        with pytest.raises(errors.ReproError):
+            Integer("x", 5, 1)
+
+    def test_specific_types_preserved(self):
+        from repro.budgets import EpochBudget
+
+        with pytest.raises(errors.BudgetError):
+            EpochBudget(min_epochs=0)

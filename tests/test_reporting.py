@@ -1,0 +1,54 @@
+"""Tests for the report renderers (tables and ASCII bars)."""
+
+import pytest
+
+from repro.experiments.reporting import render_bars, render_table
+from repro.experiments.runner import ExperimentResult
+
+
+def make_result():
+    result = ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        columns=["system", "runtime_m"],
+    )
+    result.add_row(system="edgetune", runtime_m=50.0)
+    result.add_row(system="tune", runtime_m=100.0)
+    return result
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(make_result())
+        lines = text.splitlines()
+        assert lines[0].startswith("== demo:")
+        assert "edgetune" in text and "100.00" in text
+        # Header and separator share the same width grid.
+        assert len(lines[1]) == len(lines[2])
+
+    def test_empty_result_renders_header_only(self):
+        result = ExperimentResult("empty", "Empty", columns=["a"])
+        text = render_table(result)
+        assert "empty" in text
+
+    def test_notes_appended(self):
+        result = make_result()
+        result.note("hello note")
+        assert "note: hello note" in render_table(result)
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        text = render_bars(make_result(), "system", "runtime_m", width=10)
+        lines = text.splitlines()[1:]
+        bars = {line.split()[0]: line.count("#") for line in lines}
+        assert bars["tune"] == 10  # the peak fills the width
+        assert bars["edgetune"] == 5  # half the peak, half the bar
+
+    def test_nonnumeric_column_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars(make_result(), "runtime_m", "system")
+
+    def test_every_row_labelled(self):
+        text = render_bars(make_result(), "system", "runtime_m")
+        assert "edgetune" in text and "tune" in text

@@ -1,0 +1,100 @@
+"""Tests for the RNG utilities and telemetry records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import DEFAULT_SEED, derive_seed, ensure_seed, make_rng, spawn_rng
+from repro.telemetry import (
+    InferenceMeasurement,
+    MetricSummary,
+    TrainingMeasurement,
+    percent_error,
+)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_make_rng_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_none_uses_default_seed(self):
+        assert make_rng(None).random() == make_rng(DEFAULT_SEED).random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_sensitive_to_path(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_spawn_rng_independent_streams(self):
+        a = spawn_rng(7, "x").random(100)
+        b = spawn_rng(7, "y").random(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_ensure_seed(self):
+        assert ensure_seed(9) == 9
+        assert ensure_seed(None) == DEFAULT_SEED
+        assert ensure_seed(None, fallback=4) == 4
+        with pytest.raises(TypeError):
+            ensure_seed(np.random.default_rng(0))
+
+
+class TestMeasurements:
+    def test_training_unit_conversions(self):
+        m = TrainingMeasurement(
+            runtime_s=120.0, energy_j=6000.0, power_w=50.0,
+            working_set_bytes=1, device="titan-server",
+        )
+        assert m.runtime_minutes == pytest.approx(2.0)
+        assert m.energy_kj == pytest.approx(6.0)
+
+    def test_inference_per_sample_latency(self):
+        m = InferenceMeasurement(
+            batch_latency_s=1.0, throughput_sps=10.0,
+            energy_per_sample_j=0.1, power_w=1.0, working_set_bytes=1,
+            device="armv7", batch_size=10,
+        )
+        assert m.latency_per_sample_s == pytest.approx(0.1)
+
+
+class TestMetricSummary:
+    def test_of_values(self):
+        summary = MetricSummary.of([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of([])
+
+    def test_single_value(self):
+        summary = MetricSummary.of([7.0])
+        assert summary.p50 == summary.p90 == 7.0
+
+
+class TestPercentError:
+    def test_paper_formula(self):
+        """PE = |empirical - estimated| / empirical x 100 (§5.3)."""
+        assert percent_error(10.0, 8.0) == pytest.approx(20.0)
+        assert percent_error(10.0, 12.0) == pytest.approx(20.0)
+
+    def test_zero_empirical_rejected(self):
+        with pytest.raises(ValueError):
+            percent_error(0.0, 1.0)
+
+
+@given(base=st.integers(0, 2**31 - 1), name=st.text(min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_property_derived_seeds_in_range(base, name):
+    seed = derive_seed(base, name)
+    assert 0 <= seed < 2**63

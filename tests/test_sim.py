@@ -1,0 +1,163 @@
+"""Tests for the virtual clock, two-lane executor, and GPU pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim import (
+    INFERENCE_LANE,
+    MODEL_LANE,
+    PipelinedExecutor,
+    SimClock,
+)
+from repro.sim.pool import GpuPool
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_advance_to_never_rewinds(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(15.0)
+        assert clock.now == 15.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimClock(-1.0)
+        with pytest.raises(SchedulingError):
+            SimClock().advance(-0.1)
+
+
+class TestPipelinedExecutor:
+    def test_inference_hidden_inside_trial(self):
+        """§3.3: a short inference job adds no model-lane time."""
+        executor = PipelinedExecutor()
+        executor.start_inference_job("a", 30.0)
+        executor.run_training_trial("t0", 100.0)
+        stall = executor.await_inference("a")
+        assert stall == 0.0
+        assert executor.model_time == 100.0
+        assert executor.stall_time() == 0.0
+
+    def test_long_inference_stalls_model_lane(self):
+        executor = PipelinedExecutor()
+        executor.start_inference_job("a", 150.0)
+        executor.run_training_trial("t0", 100.0)
+        stall = executor.await_inference("a")
+        assert stall == pytest.approx(50.0)
+        assert executor.model_time == pytest.approx(150.0)
+        assert executor.stall_time() == pytest.approx(50.0)
+
+    def test_inference_lane_pipelines(self):
+        """Jobs queue on the inference lane, starting no earlier than
+        their trigger and the lane being free (Fig 6)."""
+        executor = PipelinedExecutor()
+        executor.start_inference_job("a", 80.0)
+        executor.run_training_trial("t0", 50.0)
+        executor.start_inference_job("b", 10.0)  # lane busy until t=80
+        segments = executor.lane_segments(INFERENCE_LANE)
+        assert segments[1].start == pytest.approx(80.0)
+        assert segments[1].end == pytest.approx(90.0)
+
+    def test_await_unknown_job(self):
+        with pytest.raises(SchedulingError):
+            PipelinedExecutor().await_inference("missing")
+
+    def test_inference_ready(self):
+        executor = PipelinedExecutor()
+        executor.start_inference_job("a", 10.0)
+        assert not executor.inference_ready("a")
+        executor.run_training_trial("t0", 20.0)
+        assert executor.inference_ready("a")
+
+    def test_busy_accounting(self):
+        executor = PipelinedExecutor()
+        executor.run_training_trial("t0", 25.0)
+        executor.run_training_trial("t1", 15.0)
+        assert executor.lane_busy(MODEL_LANE) == pytest.approx(40.0)
+
+
+class TestGpuPool:
+    def test_parallel_placement(self):
+        """Eight 1-GPU jobs on an 8-GPU pool run fully concurrently."""
+        pool = GpuPool(8)
+        for _ in range(8):
+            pool.schedule(1, 100.0)
+        assert pool.makespan == pytest.approx(100.0)
+
+    def test_wide_job_runs_alone(self):
+        pool = GpuPool(8)
+        pool.schedule(8, 50.0)
+        placement = pool.schedule(1, 10.0)
+        assert placement.start == pytest.approx(50.0)
+
+    def test_width_clamped_to_pool(self):
+        pool = GpuPool(4)
+        placement = pool.schedule(16, 10.0)
+        assert len(placement.gpus) == 4
+
+    def test_earliest_barrier_respected(self):
+        pool = GpuPool(2)
+        placement = pool.schedule(1, 10.0, earliest=100.0)
+        assert placement.start == pytest.approx(100.0)
+
+    def test_packing_mixed_widths(self):
+        pool = GpuPool(4)
+        pool.schedule(2, 100.0)  # gpus {0,1} until 100
+        placement = pool.schedule(2, 50.0)  # fits on {2,3} immediately
+        assert placement.start == 0.0
+        wide = pool.schedule(4, 10.0)  # must wait for all four
+        assert wide.start == pytest.approx(100.0)
+
+    def test_busy_seconds_and_utilisation(self):
+        pool = GpuPool(2)
+        pool.schedule(1, 10.0)
+        pool.schedule(1, 10.0)
+        assert pool.busy_gpu_seconds() == pytest.approx(20.0)
+        assert pool.utilisation() == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulingError):
+            GpuPool(0)
+        pool = GpuPool(2)
+        with pytest.raises(SchedulingError):
+            pool.schedule(0, 1.0)
+        with pytest.raises(SchedulingError):
+            pool.schedule(1, -1.0)
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(st.integers(1, 8), st.floats(0.0, 100.0)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_pool_schedule_consistent(jobs):
+    """Makespan >= critical path lower bounds; placements never overlap
+    on a GPU."""
+    pool = GpuPool(8)
+    placements = [pool.schedule(w, d) for w, d in jobs]
+    # Lower bound 1: total work / pool size.
+    total_work = sum(min(w, 8) * d for w, d in jobs)
+    assert pool.makespan >= total_work / 8 - 1e-9
+    # Lower bound 2: longest single job.
+    assert pool.makespan >= max(d for _, d in jobs) - 1e-9
+    # No two placements share a GPU in overlapping time.
+    per_gpu = {}
+    for placement in placements:
+        for gpu in placement.gpus:
+            per_gpu.setdefault(gpu, []).append(
+                (placement.start, placement.end)
+            )
+    for intervals in per_gpu.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9

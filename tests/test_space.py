@@ -1,0 +1,255 @@
+"""Unit and property tests for parameter spaces and configurations."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SearchSpaceError
+from repro.space import (
+    Categorical,
+    Configuration,
+    Float,
+    Integer,
+    ParameterSpace,
+)
+
+
+def make_space():
+    return ParameterSpace(
+        [
+            Categorical("layers", (18, 34, 50), kind="model"),
+            Integer("batch", 32, 512, log=True, kind="training"),
+            Float("dropout", 0.1, 0.5, kind="model"),
+            Integer("gpus", 1, 8, kind="system"),
+        ]
+    )
+
+
+class TestCategorical:
+    def test_sample_in_choices(self):
+        p = Categorical("c", ("a", "b", "c"))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert p.sample(rng) in ("a", "b", "c")
+
+    def test_contains_rejects_wrong_type(self):
+        p = Categorical("c", (18, 34, 50))
+        assert p.contains(18)
+        assert not p.contains(18.0)  # float 18.0 is not the int choice
+        assert not p.contains("18")
+
+    def test_grid_is_choices(self):
+        p = Categorical("c", ("x", "y"))
+        assert p.grid() == ["x", "y"]
+
+    def test_unit_roundtrip(self):
+        p = Categorical("c", (18, 34, 50))
+        for choice in (18, 34, 50):
+            assert p.from_unit(p.to_unit(choice)) == choice
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            Categorical("c", ())
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            Categorical("c", ("a", "a"))
+
+    def test_cardinality(self):
+        assert Categorical("c", (1, 2, 3)).cardinality == 3
+
+
+class TestInteger:
+    def test_bounds_validation(self):
+        with pytest.raises(SearchSpaceError):
+            Integer("i", 5, 2)
+
+    def test_log_requires_positive_low(self):
+        with pytest.raises(SearchSpaceError):
+            Integer("i", 0, 10, log=True)
+
+    def test_sample_in_range(self):
+        p = Integer("i", 3, 9)
+        rng = np.random.default_rng(1)
+        values = {p.sample(rng) for _ in range(200)}
+        assert values <= set(range(3, 10))
+        assert len(values) > 3  # actually explores
+
+    def test_log_sample_in_range(self):
+        p = Integer("i", 1, 100, log=True)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            assert 1 <= p.sample(rng) <= 100
+
+    def test_grid_small_range_exhaustive(self):
+        assert Integer("i", 1, 4).grid() == [1, 2, 3, 4]
+
+    def test_grid_respects_bounds(self):
+        for value in Integer("i", 32, 512, log=True).grid(8):
+            assert 32 <= value <= 512
+
+    def test_unit_roundtrip(self):
+        p = Integer("i", 2, 64, log=True)
+        for value in (2, 4, 16, 64):
+            assert p.from_unit(p.to_unit(value)) == value
+
+    def test_rejects_bool(self):
+        assert not Integer("i", 0, 1).contains(True)
+
+    def test_degenerate_range(self):
+        p = Integer("i", 5, 5)
+        assert p.to_unit(5) == 0.5
+        assert p.from_unit(0.9) == 5
+
+
+class TestFloat:
+    def test_sample_in_range(self):
+        p = Float("f", 0.1, 0.5)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            assert 0.1 <= p.sample(rng) <= 0.5
+
+    def test_unit_roundtrip(self):
+        p = Float("f", 1e-4, 1e-1, log=True)
+        for value in (1e-4, 1e-3, 1e-2, 1e-1):
+            assert p.from_unit(p.to_unit(value)) == pytest.approx(value)
+
+    def test_grid_endpoints(self):
+        grid = Float("f", 0.0, 1.0).grid(5)
+        assert grid[0] == pytest.approx(0.0)
+        assert grid[-1] == pytest.approx(1.0)
+
+    def test_contains_rejects_bool(self):
+        assert not Float("f", 0.0, 2.0).contains(True)
+
+
+class TestParameterSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            ParameterSpace([Float("x", 0, 1), Float("x", 0, 2)])
+
+    def test_cardinality(self):
+        space = ParameterSpace(
+            [Categorical("c", (1, 2)), Integer("i", 1, 3)]
+        )
+        assert space.cardinality == 6
+
+    def test_infinite_cardinality(self):
+        space = ParameterSpace([Float("f", 0, 1)])
+        assert math.isinf(space.cardinality)
+
+    def test_of_kind_filters(self):
+        space = make_space()
+        model_space = space.of_kind("model")
+        assert model_space.names == ["layers", "dropout"]
+
+    def test_sample_deterministic(self):
+        space = make_space()
+        assert space.sample(42) == space.sample(42)
+
+    def test_grid_size(self):
+        space = ParameterSpace(
+            [Categorical("c", (1, 2)), Integer("i", 1, 3)]
+        )
+        assert len(space.grid()) == 6
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SearchSpaceError):
+            ParameterSpace([]).sample(0)
+
+    def test_merge_disjoint(self):
+        a = ParameterSpace([Float("x", 0, 1)])
+        b = ParameterSpace([Float("y", 0, 1)])
+        assert a.merge(b).names == ["x", "y"]
+
+    def test_merge_conflict_rejected(self):
+        a = ParameterSpace([Float("x", 0, 1)])
+        with pytest.raises(SearchSpaceError):
+            a.merge(a)
+
+
+class TestConfiguration:
+    def test_missing_value_rejected(self):
+        space = make_space()
+        with pytest.raises(ConfigurationError):
+            Configuration(space, {"layers": 18})
+
+    def test_unknown_key_rejected(self):
+        space = make_space()
+        values = dict(space.sample(0))
+        values["bogus"] = 1
+        with pytest.raises(ConfigurationError):
+            Configuration(space, values)
+
+    def test_out_of_domain_rejected(self):
+        space = make_space()
+        values = dict(space.sample(0))
+        values["batch"] = 10_000
+        with pytest.raises(ConfigurationError):
+            Configuration(space, values)
+
+    def test_equality_and_hash(self):
+        space = make_space()
+        a = space.sample(3)
+        b = Configuration(space, dict(a))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_subset_by_kind(self):
+        space = make_space()
+        config = space.sample(5)
+        assert set(config.subset(["model"])) == {"layers", "dropout"}
+        assert set(config.subset(["system"])) == {"gpus"}
+
+    def test_replace(self):
+        space = make_space()
+        config = space.sample(5)
+        other = config.replace(gpus=2)
+        assert other["gpus"] == 2
+        assert config["layers"] == other["layers"]
+
+    def test_architecture_key_ignores_training_params(self):
+        space = make_space()
+        config = space.sample(5)
+        assert (
+            config.architecture_key()
+            == config.replace(batch=64).architecture_key()
+        )
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_property_sampled_configs_are_valid(seed):
+    """Any sampled configuration validates against its own space."""
+    space = make_space()
+    config = space.sample(seed)
+    rebuilt = Configuration(space, dict(config))
+    assert rebuilt == config
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_property_unit_vector_roundtrip_is_stable(seed):
+    """unit-vector embedding round-trips to the same configuration for
+    grid-aligned values (idempotent after one round trip)."""
+    space = make_space()
+    config = space.sample(seed)
+    once = space.from_unit_vector(config.to_unit_vector())
+    twice = space.from_unit_vector(once.to_unit_vector())
+    assert once == twice
+
+
+@given(
+    low=st.integers(-100, 100),
+    span=st.integers(0, 200),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_integer_sampling_respects_bounds(low, span, seed):
+    p = Integer("i", low, low + span)
+    rng = np.random.default_rng(seed)
+    value = p.sample(rng)
+    assert low <= value <= low + span

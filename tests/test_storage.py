@@ -1,0 +1,114 @@
+"""Tests for the persistent trial database and inference cache."""
+
+import os
+import threading
+
+import pytest
+
+from repro.storage import StoredInferenceResult, TrialDatabase
+
+
+def stored(key="arch-a", device="armv7", objective="inference-energy"):
+    return StoredInferenceResult(
+        architecture_key=key,
+        device=device,
+        objective=objective,
+        configuration={"inference_batch_size": 8, "cores": 2,
+                       "frequency_ghz": 1.2},
+        batch_latency_s=0.5,
+        throughput_sps=16.0,
+        energy_per_sample_j=0.2,
+        power_w=3.2,
+        tuning_runtime_s=42.0,
+        tuning_energy_j=1470.0,
+    )
+
+
+class TestTrials:
+    def test_record_and_fetch(self):
+        db = TrialDatabase()
+        db.record_trial("exp", 0, {"x": 1}, 1, 2, 0.5, 0.8, 1.2, 100.0, 500.0)
+        rows = db.trials_for("exp")
+        assert len(rows) == 1
+        assert rows[0]["configuration"] == {"x": 1}
+        assert rows[0]["accuracy"] == 0.8
+
+    def test_experiments_isolated(self):
+        db = TrialDatabase()
+        db.record_trial("a", 0, {}, 1, 1, 1.0, 0.5, 1.0, 1.0, 1.0)
+        db.record_trial("b", 0, {}, 1, 1, 1.0, 0.5, 1.0, 1.0, 1.0)
+        assert db.trial_count("a") == 1
+        assert db.trial_count() == 2
+        assert len(db.trials_for("a")) == 1
+
+    def test_order_preserved(self):
+        db = TrialDatabase()
+        for trial_id in (5, 1, 9):
+            db.record_trial("e", trial_id, {}, 1, 1, 1.0, 0.1, 1.0, 1.0, 1.0)
+        assert [r["trial_id"] for r in db.trials_for("e")] == [5, 1, 9]
+
+
+class TestInferenceCache:
+    def test_roundtrip(self):
+        db = TrialDatabase()
+        db.store_inference(stored())
+        result = db.lookup_inference("arch-a", "armv7", "inference-energy")
+        assert result is not None
+        assert result.configuration["inference_batch_size"] == 8
+        assert result.throughput_sps == 16.0
+
+    def test_miss_returns_none(self):
+        db = TrialDatabase()
+        assert db.lookup_inference("nope", "armv7", "x") is None
+
+    def test_key_includes_device_and_objective(self):
+        db = TrialDatabase()
+        db.store_inference(stored(device="armv7"))
+        assert db.lookup_inference("arch-a", "i7nuc",
+                                   "inference-energy") is None
+        assert db.lookup_inference("arch-a", "armv7",
+                                   "inference-runtime") is None
+
+    def test_replace_overwrites(self):
+        db = TrialDatabase()
+        db.store_inference(stored())
+        updated = stored()
+        updated.throughput_sps = 99.0
+        db.store_inference(updated)
+        result = db.lookup_inference("arch-a", "armv7", "inference-energy")
+        assert result.throughput_sps == 99.0
+        assert db.inference_cache_size() == 1
+
+    def test_cache_size(self):
+        db = TrialDatabase()
+        db.store_inference(stored(key="a"))
+        db.store_inference(stored(key="b"))
+        assert db.inference_cache_size() == 2
+
+
+class TestPersistence:
+    def test_file_backed_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "trials.sqlite")
+        with TrialDatabase(path) as db:
+            db.store_inference(stored())
+            db.record_trial("e", 0, {}, 1, 1, 1.0, 0.9, 1.0, 1.0, 1.0)
+        with TrialDatabase(path) as db:
+            assert db.inference_cache_size() == 1
+            assert db.trial_count("e") == 1
+
+    def test_threaded_writes(self):
+        """The model and inference servers write concurrently."""
+        db = TrialDatabase()
+
+        def writer(name):
+            for i in range(25):
+                db.record_trial(name, i, {}, 1, 1, 1.0, 0.5, 1.0, 1.0, 1.0)
+
+        threads = [
+            threading.Thread(target=writer, args=(f"t{n}",)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert db.trial_count() == 100

@@ -1,0 +1,129 @@
+"""Tests for the workload registry (Table 1) and its search spaces."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    INFERENCE_BATCH_RANGE,
+    TRAIN_BATCH_RANGE,
+    TRAIN_GPU_RANGE,
+    WORKLOADS,
+    get_workload,
+    workload_ids,
+)
+from repro.workloads.workload import (
+    BATCH_DOWNSCALE,
+    LR_REFERENCE_BATCH,
+    MIN_REAL_BATCH,
+)
+
+
+class TestRegistry:
+    def test_four_workloads(self):
+        assert workload_ids() == ["IC", "SR", "NLP", "OD"]
+
+    def test_case_insensitive_lookup(self):
+        assert get_workload("ic").workload_id == "IC"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("ASR")
+
+    def test_table1_metadata(self):
+        """Table 1 rows reported by the paper, preserved verbatim."""
+        ic = get_workload("IC").table1
+        assert (ic.datasize, ic.train_files, ic.test_files) == (
+            "163 MB", 50_000, 10_000
+        )
+        od = get_workload("OD").table1
+        assert (od.train_files, od.test_files) == (164_000, 41_000)
+
+    def test_model_dataset_pairing(self):
+        pairs = {
+            "IC": ("resnet", "cifar10"),
+            "SR": ("m5", "speechcommands"),
+            "NLP": ("textrnn", "agnews"),
+            "OD": ("yolo", "coco"),
+        }
+        for wid, (model, dataset) in pairs.items():
+            workload = get_workload(wid)
+            assert workload.model_name == model
+            assert workload.dataset_name == dataset
+
+    def test_task_follows_family(self):
+        assert get_workload("OD").task == "detection"
+        assert get_workload("IC").task == "classification"
+
+
+class TestSpaces:
+    def test_training_space_paper_ranges(self):
+        """§5.1: batch 32-512, GPUs 1-8, plus the model hyperparameter."""
+        space = get_workload("IC").training_space()
+        batch = space["train_batch_size"]
+        assert (batch.low, batch.high) == TRAIN_BATCH_RANGE
+        gpus = space["gpus"]
+        assert (gpus.low, gpus.high) == TRAIN_GPU_RANGE
+        assert "num_layers" in space
+
+    def test_training_space_without_system(self):
+        space = get_workload("IC").training_space(include_system=False)
+        assert "gpus" not in space
+
+    def test_inference_space_tracks_device(self):
+        space = get_workload("IC").inference_space("i7nuc")
+        batch = space["inference_batch_size"]
+        assert (batch.low, batch.high) == INFERENCE_BATCH_RANGE
+        assert space["cores"].high == 4
+        assert len(space["frequency_ghz"].choices) == 3
+
+    def test_model_parameter_per_workload(self):
+        names = {
+            "IC": "num_layers",
+            "SR": "embedding_dim",
+            "NLP": "stride",
+            "OD": "dropout",
+        }
+        for wid, parameter in names.items():
+            assert parameter in get_workload(wid).training_space()
+
+
+class TestLoading:
+    def test_load_splits(self):
+        train, test = get_workload("IC").load(seed=1, samples=100)
+        assert len(train) + len(test) == 100
+        assert len(test) == 20  # paper: 20 % held out
+
+    def test_load_deterministic(self):
+        a_train, _ = get_workload("SR").load(seed=9, samples=60)
+        b_train, _ = get_workload("SR").load(seed=9, samples=60)
+        assert (a_train.features == b_train.features).all()
+
+
+class TestEffectiveTraining:
+    def test_downscale_rule(self):
+        workload = get_workload("IC")
+        real, _ = workload.effective_training(512)
+        assert real == 512 // BATCH_DOWNSCALE
+        real_small, _ = workload.effective_training(8)
+        assert real_small == MIN_REAL_BATCH
+
+    def test_lr_sqrt_scaling(self):
+        workload = get_workload("IC")
+        _, lr_ref = workload.effective_training(
+            LR_REFERENCE_BATCH * BATCH_DOWNSCALE
+        )
+        assert lr_ref == pytest.approx(workload.learning_rate)
+        _, lr_big = workload.effective_training(
+            4 * LR_REFERENCE_BATCH * BATCH_DOWNSCALE
+        )
+        assert lr_big == pytest.approx(2 * workload.learning_rate)
+
+    def test_invalid_batch(self):
+        with pytest.raises(WorkloadError):
+            get_workload("IC").effective_training(0)
+
+    def test_model_seed_stable_and_distinct(self):
+        workload = get_workload("IC")
+        assert workload.model_seed(1, 5) == workload.model_seed(1, 5)
+        assert workload.model_seed(1, 5) != workload.model_seed(1, 6)
+        assert workload.model_seed(1, 5) != workload.model_seed(2, 5)
