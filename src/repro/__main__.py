@@ -17,12 +17,81 @@ import sys
 import warnings
 
 
+def print_result(result) -> None:
+    """Shared result block for ``tune`` and ``service resume``."""
+    print(f"system:           {result.system}")
+    print(f"workload:         {result.workload_id}")
+    print(f"trials:           {result.num_trials}")
+    print(f"best accuracy:    {result.best_accuracy:.3f}")
+    print(f"best config:      {result.best_configuration}")
+    print(f"tuning runtime:   {result.tuning_runtime_minutes:.1f} simulated minutes")
+    print(f"tuning energy:    {result.tuning_energy_kj:.1f} kJ")
+    if result.inference is not None:
+        measurement = result.inference.measurement
+        print(f"deployment:       {result.inference.configuration} on "
+              f"{result.inference.device}")
+        print(f"                  {measurement.throughput_sps:.2f} samples/s, "
+              f"{measurement.energy_per_sample_j:.3f} J/sample")
+
+
+def _tune_service(args) -> int:
+    """``tune --workers N``: run through the job-queue service."""
+    import os
+    import tempfile
+
+    from .service import SERVICE_SYSTEMS, SessionCoordinator, SessionSpec, \
+        SessionStore
+    from .storage import TrialDatabase
+
+    if args.system not in SERVICE_SYSTEMS:
+        print(f"--workers does not support system {args.system!r} "
+              f"(pick one of {', '.join(SERVICE_SYSTEMS)})", file=sys.stderr)
+        return 2
+    db_path = args.db
+    temp_handle = None
+    if db_path is None:
+        # Workers are separate processes; they need a real file to share.
+        temp_handle = tempfile.NamedTemporaryFile(
+            prefix="repro-tune-", suffix=".sqlite", delete=False
+        )
+        temp_handle.close()
+        db_path = temp_handle.name
+    database = TrialDatabase(db_path)
+    try:
+        spec = SessionSpec(
+            system=args.system,
+            workload=args.workload,
+            device=args.device,
+            budget=args.budget,
+            tuning_metric=args.metric,
+            seed=args.seed,
+            samples=args.samples,
+            target_accuracy=args.target,
+        )
+        session_id = SessionStore(database).create(spec)
+        result = SessionCoordinator(
+            database, session_id, workers=args.workers
+        ).run()
+    finally:
+        database.close()
+        if temp_handle is not None:
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(db_path + suffix)
+                except OSError:
+                    pass
+    print_result(result)
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from . import EdgeTune
     from .baselines import HierarchicalTuner, HyperPowerBaseline, TuneBaseline
     from .budgets import build_budget
 
     warnings.filterwarnings("ignore", category=RuntimeWarning)
+    if args.workers:
+        return _tune_service(args)
     common = dict(
         workload=args.workload,
         seed=args.seed,
@@ -41,19 +110,7 @@ def _cmd_tune(args) -> int:
         tuner = HierarchicalTuner(device=args.device, tuning_metric=args.metric,
                                   **common)
     result = tuner.tune()
-    print(f"system:           {result.system}")
-    print(f"workload:         {result.workload_id}")
-    print(f"trials:           {result.num_trials}")
-    print(f"best accuracy:    {result.best_accuracy:.3f}")
-    print(f"best config:      {result.best_configuration}")
-    print(f"tuning runtime:   {result.tuning_runtime_minutes:.1f} simulated minutes")
-    print(f"tuning energy:    {result.tuning_energy_kj:.1f} kJ")
-    if result.inference is not None:
-        measurement = result.inference.measurement
-        print(f"deployment:       {result.inference.configuration} on "
-              f"{result.inference.device}")
-        print(f"                  {measurement.throughput_sps:.2f} samples/s, "
-              f"{measurement.energy_per_sample_j:.3f} J/sample")
+    print_result(result)
     return 0
 
 
@@ -98,6 +155,12 @@ def main(argv=None) -> int:
                       help="target accuracy (e.g. 0.8)")
     tune.add_argument("--seed", type=int, default=7)
     tune.add_argument("--samples", type=int, default=600)
+    tune.add_argument("--workers", type=int, default=0,
+                      help="run via the tuning service with N parallel "
+                           "worker processes (0 = classic in-process run)")
+    tune.add_argument("--db", default=None,
+                      help="sqlite path for --workers runs (default: "
+                           "a temporary file)")
     tune.set_defaults(func=_cmd_tune)
 
     devices = subparsers.add_parser("devices", help="list emulated devices")

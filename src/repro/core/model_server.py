@@ -13,28 +13,210 @@ scores each trial with the combined objective.  All training is *real*
   rung barrier *stalls* (§3.3's containment argument, made measurable);
 * tuning energy sums every trial's consumption — parallelism hides
   latency, never joules.
+
+The server is a *stepwise engine* so that :mod:`repro.service` can drive
+it across process boundaries:
+
+* :meth:`ModelTuningServer.prepare` builds a :class:`RunState`;
+* :meth:`ModelTuningServer.next_wave` drains every trial the scheduler can
+  issue right now (a rung's worth for halving schedulers);
+* :meth:`ModelTuningServer.make_task` turns a trial into a serializable
+  :class:`TrialTask` that any worker process can execute via
+  :func:`evaluate_trial` — the pure, heavy part (real numpy training);
+* :meth:`ModelTuningServer.integrate` merges one evaluation back —
+  scoring, inference tuning, virtual-time accounting, scheduler report —
+  and must be called in wave order, which is what makes an N-worker run
+  identical to a 1-worker run;
+* :meth:`snapshot_run` / :meth:`restore_run` checkpoint everything but the
+  datasets (rebuilt deterministically from the seed) for crash-safe
+  resume.
+
+:meth:`run` is the classic in-process driver: one trial at a time, exactly
+the historical serial semantics.
 """
 
 from __future__ import annotations
 
+import json
+import pickle
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..budgets import BudgetStrategy, MultiBudget
+from ..datasets.base import Dataset
 from ..errors import TuningError
 from ..hardware import Emulator, get_device
 from ..nn import train_model
 from ..objectives import RatioObjective, TuningObjective
 from ..rng import SeedLike, derive_seed, ensure_seed
-from ..search import TrialReport, build_scheduler
+from ..search import ScheduledTrial, TrialReport, build_scheduler
 from ..sim.pool import GpuPool
+from ..space import ParameterSpace
 from ..storage import TrialDatabase
-from ..workloads import Workload
+from ..workloads import Workload, get_workload
 from .inference_server import InferenceTuningServer, architecture_key_of
 from .results import InferenceRecommendation, TrialRecord, TuningRunResult
 
 #: Per-trial fixed orchestration overhead on the tuning server, seconds
 #: (checkpointing, worker startup — present in any real tuning system).
 TRIAL_OVERHEAD_S = 10.0
+
+
+def _plain(value: Any) -> Any:
+    """Coerce a configuration value to a JSON-round-trippable builtin."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """Self-contained, serializable description of one trial evaluation.
+
+    Carries everything a worker process needs to reproduce the training
+    bit-for-bit: the configuration values, the resolved budget, and the
+    seeds/workload identifiers the serial path would have used.
+    """
+
+    trial_id: int
+    values: Dict[str, Any]
+    fidelity: int
+    bracket: int
+    rung: int
+    epochs: int
+    data_fraction: float
+    workload_id: str
+    seed: int
+    samples: Optional[int]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "trial_id": self.trial_id,
+                "values": self.values,
+                "fidelity": self.fidelity,
+                "bracket": self.bracket,
+                "rung": self.rung,
+                "epochs": self.epochs,
+                "data_fraction": self.data_fraction,
+                "workload_id": self.workload_id,
+                "seed": self.seed,
+                "samples": self.samples,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TrialTask":
+        raw = json.loads(payload)
+        return cls(**raw)
+
+
+@dataclass
+class TrialEvaluation:
+    """Serializable outcome of the heavy (worker-side) part of a trial."""
+
+    trial_id: int
+    accuracy: float
+    final_loss: float
+    samples_seen: int
+    forward_flops_per_sample: int
+    train_total_flops: int
+    parameter_count: int
+    #: Pickled trained :class:`~repro.nn.module.Module` (optional — the
+    #: serial path keeps the live object instead).
+    model_blob: Optional[bytes] = None
+
+
+def load_task_datasets(task: TrialTask) -> Tuple[Dataset, Dataset]:
+    """(train, eval) splits for a task — identical to the serial path."""
+    workload = get_workload(task.workload_id)
+    return workload.load(seed=task.seed, samples=task.samples)
+
+
+def evaluate_trial(
+    task: TrialTask,
+    train_set: Optional[Dataset] = None,
+    eval_set: Optional[Dataset] = None,
+    workload: Optional[Workload] = None,
+) -> Tuple[TrialEvaluation, Any]:
+    """Run the real numpy training for one :class:`TrialTask`.
+
+    Pure with respect to process state: depends only on the task (seeds
+    included), so re-running a crashed job reproduces the same result.
+    Returns ``(evaluation, trained_model)``; callers shipping the result
+    across a process boundary pickle the model into ``model_blob``.
+    ``workload`` short-circuits the registry lookup for in-process callers
+    holding a custom workload object.
+    """
+    workload = workload or get_workload(task.workload_id)
+    if train_set is None or eval_set is None:
+        train_set, eval_set = workload.load(
+            seed=task.seed, samples=task.samples
+        )
+    family = workload.family
+    model = family.instantiate(
+        train_set.sample_shape,
+        train_set.num_classes,
+        dict(task.values),
+        seed=workload.model_seed(task.seed, task.trial_id),
+    )
+    loss = family.make_loss(train_set.num_classes)
+    configured_batch = int(task.values["train_batch_size"])
+    real_batch, learning_rate = workload.effective_training(configured_batch)
+    result = train_model(
+        model,
+        loss,
+        train_set,
+        eval_set,
+        epochs=task.epochs,
+        batch_size=real_batch,
+        lr=learning_rate,
+        data_fraction=task.data_fraction,
+        seed=derive_seed(task.seed, "train", task.trial_id),
+    )
+    evaluation = TrialEvaluation(
+        trial_id=task.trial_id,
+        accuracy=result.accuracy,
+        final_loss=result.final_loss,
+        samples_seen=result.samples_seen,
+        forward_flops_per_sample=result.forward_flops_per_sample,
+        train_total_flops=result.train_total_flops,
+        parameter_count=result.parameter_count,
+    )
+    return evaluation, model
+
+
+@dataclass
+class RunState:
+    """Mutable state of one tuning run (everything :meth:`integrate` touches).
+
+    All fields except the datasets are picklable; :meth:`snapshot_run`
+    excludes ``train_set``/``eval_set`` because they are rebuilt
+    bit-identically from the workload seed on resume.
+    """
+
+    train_set: Dataset
+    eval_set: Dataset
+    space: ParameterSpace
+    scheduler: Any
+    pool: GpuPool
+    inference_lane_free: float = 0.0
+    rung_key: Optional[Tuple[int, int]] = None
+    rung_end: float = 0.0
+    barrier: float = 0.0
+    stall_total: float = 0.0
+    inference_energy_total: float = 0.0
+    records: List[TrialRecord] = field(default_factory=list)
+    best: Optional[TrialRecord] = None
+    best_model: Optional[Any] = None
+    stopped: bool = False
 
 
 class ModelTuningServer:
@@ -105,91 +287,9 @@ class ModelTuningServer:
         key = architecture_key_of(self.workload.family.name, flops, params)
         return key, flops, params
 
-    # -- single trial -------------------------------------------------------
-    def _execute_trial(self, trial, train_set, eval_set):
-        """Train + measure one trial.
-
-        Returns ``(partial_record_fields, model, inference_rec,
-        inference_is_new)`` — scheduling onto the pool happens in
-        :meth:`run`, which owns the virtual timeline.
-        """
-        configuration = trial.configuration
-        budget = self.budget.budget(trial.fidelity)
-        family = self.workload.family
-
-        inference_rec: Optional[InferenceRecommendation] = None
-        inference_is_new = False
-        if self.inference_server is not None:
-            inference_key, flops, params = self._architecture_key(
-                configuration, train_set
-            )
-            inference_rec = self.inference_server.cached(inference_key)
-            if inference_rec is None:
-                inference_rec, _ = self.inference_server.tune(
-                    inference_key,
-                    forward_flops_per_sample=flops,
-                    parameter_count=params,
-                    space=self.workload.inference_space(
-                        self.inference_server.device
-                    ),
-                )
-                inference_is_new = True
-
-        model = family.instantiate(
-            train_set.sample_shape,
-            train_set.num_classes,
-            configuration.to_dict(),
-            seed=self.workload.model_seed(self.seed, trial.trial_id),
-        )
-        loss = family.make_loss(train_set.num_classes)
-        configured_batch = int(configuration["train_batch_size"])
-        real_batch, learning_rate = self.workload.effective_training(
-            configured_batch
-        )
-        result = train_model(
-            model,
-            loss,
-            train_set,
-            eval_set,
-            epochs=budget.epochs,
-            batch_size=real_batch,
-            lr=learning_rate,
-            data_fraction=budget.data_fraction,
-            seed=derive_seed(self.seed, "train", trial.trial_id),
-        )
-        gpus = (
-            int(configuration["gpus"])
-            if self.include_system_parameters and "gpus" in configuration
-            else self.fixed_gpus
-        )
-        training_measurement = self.emulator.measure_training(
-            train_total_flops=result.train_total_flops,
-            forward_flops_per_sample=result.forward_flops_per_sample,
-            parameter_count=result.parameter_count,
-            samples_seen=result.samples_seen,
-            batch_size=configured_batch,
-            device=self.server_device,
-            gpus=gpus,
-        )
-        score = self.objective.score(
-            result.accuracy,
-            training_measurement,
-            inference_rec.measurement if inference_rec else None,
-        )
-        return (
-            budget,
-            result,
-            training_measurement,
-            gpus,
-            score,
-            model,
-            inference_rec,
-            inference_is_new,
-        )
-
-    # -- full run ----------------------------------------------------------------
-    def run(self) -> TuningRunResult:
-        """Execute the tuning loop to completion and return the result."""
+    # -- stepwise engine ----------------------------------------------------
+    def prepare(self) -> RunState:
+        """Load data, build the scheduler, and return a fresh run state."""
         train_set, eval_set = self.workload.load(
             seed=self.seed, samples=self.samples
         )
@@ -205,124 +305,292 @@ class ModelTuningServer:
             num_trials=self.max_trials,
         )
         pool = GpuPool(get_device(self.server_device).gpus or 1)
-        inference_lane_free = 0.0
-        rung_key: Optional[Tuple[int, int]] = None
-        rung_end = 0.0  # completion time of the current rung (incl. stalls)
-        barrier = 0.0  # earliest start for trials of the current rung
-        stall_total = 0.0
-        records: List[TrialRecord] = []
-        best: Optional[TrialRecord] = None
-        best_model = None
-        inference_energy_total = 0.0
+        return RunState(
+            train_set=train_set,
+            eval_set=eval_set,
+            space=space,
+            scheduler=scheduler,
+            pool=pool,
+        )
 
+    def _next_trial(self, state: RunState) -> Optional[ScheduledTrial]:
+        """One trial from the scheduler, honouring the trial cap."""
+        if state.stopped:
+            return None
+        if (
+            self.max_trials is not None
+            and len(state.records) >= self.max_trials
+        ):
+            return None
+        trial = state.scheduler.next_trial()
+        if trial is None and not state.scheduler.finished:
+            raise TuningError("scheduler stalled awaiting reports")
+        return trial
+
+    def next_wave(self, state: RunState) -> List[ScheduledTrial]:
+        """Drain every trial the scheduler can issue before needing reports.
+
+        For synchronous-halving schedulers this is (the remainder of) one
+        rung — exactly the set of trials that may execute concurrently.
+        Returns an empty list when the run is complete.  Counts trials
+        already issued so the cap holds across ``wave + records``.
+        """
+        wave: List[ScheduledTrial] = []
         while True:
-            if self.max_trials is not None and len(records) >= self.max_trials:
-                break
-            trial = scheduler.next_trial()
-            if trial is None:
-                if scheduler.finished:
-                    break
-                raise TuningError("scheduler stalled awaiting reports")
-            if (trial.bracket, trial.rung) != rung_key:
-                # Synchronous halving: a new rung starts only after every
-                # trial (and pending inference job) of the previous one.
-                rung_key = (trial.bracket, trial.rung)
-                barrier = max(barrier, rung_end)
-            (
-                budget,
-                result,
-                training_measurement,
-                gpus,
-                score,
-                model,
-                inference_rec,
-                inference_is_new,
-            ) = self._execute_trial(trial, train_set, eval_set)
-
-            placement = pool.schedule(
-                width=gpus,
-                duration=training_measurement.runtime_s + TRIAL_OVERHEAD_S,
-                earliest=barrier,
-            )
-            trial_end = placement.end
-            stall = 0.0
-            if inference_is_new and inference_rec is not None:
-                # Pipelined CPU lane: job starts when the trial starts and
-                # the lane is free; its result is needed by the trial's
-                # promotion decision (the rung barrier).
-                job_start = max(inference_lane_free, placement.start)
-                job_end = job_start + inference_rec.tuning_runtime_s
-                inference_lane_free = job_end
-                inference_energy_total += inference_rec.tuning_energy_j
-                if job_end > trial_end:
-                    stall = job_end - trial_end
-                    trial_end = job_end
-            stall_total += stall
-            rung_end = max(rung_end, trial_end)
-
-            record = TrialRecord(
-                trial_id=trial.trial_id,
-                configuration=trial.configuration.to_dict(),
-                fidelity=trial.fidelity,
-                epochs=budget.epochs,
-                data_fraction=budget.data_fraction,
-                accuracy=result.accuracy,
-                score=score,
-                training=training_measurement,
-                inference=inference_rec.measurement if inference_rec else None,
-                bracket=trial.bracket,
-                rung=trial.rung,
-                stall_s=stall,
-            )
-            records.append(record)
-            self.database.record_trial(
-                experiment=f"{self.system_name}:{self.workload.workload_id}",
-                trial_id=trial.trial_id,
-                configuration=record.configuration,
-                fidelity=trial.fidelity,
-                epochs=budget.epochs,
-                data_fraction=budget.data_fraction,
-                accuracy=result.accuracy,
-                score=score,
-                train_runtime_s=training_measurement.runtime_s,
-                train_energy_j=training_measurement.energy_j,
-            )
-            scheduler.report(
-                TrialReport(trial=trial, score=score, accuracy=result.accuracy)
-            )
-            if best is None or self._better(record, best):
-                best = record
-                best_model = model
             if (
-                self.stop_on_target
-                and self.target_accuracy is not None
-                and record.fidelity >= self.budget.max_iteration
-                and record.accuracy >= self.target_accuracy
+                self.max_trials is not None
+                and len(state.records) + len(wave) >= self.max_trials
             ):
                 break
+            if state.stopped:
+                break
+            trial = state.scheduler.next_trial()
+            if trial is None:
+                if not wave and not state.scheduler.finished:
+                    raise TuningError("scheduler stalled awaiting reports")
+                break
+            wave.append(trial)
+        return wave
 
+    def make_task(self, trial: ScheduledTrial) -> TrialTask:
+        """The serializable job payload for one scheduled trial."""
+        budget = self.budget.budget(trial.fidelity)
+        values = {
+            name: _plain(value)
+            for name, value in trial.configuration.to_dict().items()
+        }
+        return TrialTask(
+            trial_id=trial.trial_id,
+            values=values,
+            fidelity=trial.fidelity,
+            bracket=trial.bracket,
+            rung=trial.rung,
+            epochs=budget.epochs,
+            data_fraction=budget.data_fraction,
+            workload_id=self.workload.workload_id,
+            seed=self.seed,
+            samples=self.samples,
+        )
+
+    def integrate(
+        self,
+        state: RunState,
+        trial: ScheduledTrial,
+        evaluation: TrialEvaluation,
+        model: Any = None,
+    ) -> TrialRecord:
+        """Merge one finished evaluation back into the run.
+
+        Must be called in wave order: this is where inference tuning, the
+        virtual timeline, the scheduler report and the database write
+        happen, all of which are order-sensitive.  Calling it in a fixed
+        order makes the run independent of *when* evaluations finished —
+        the determinism contract of the parallel worker pool.
+        """
+        configuration = trial.configuration
+        budget = self.budget.budget(trial.fidelity)
+        if (trial.bracket, trial.rung) != state.rung_key:
+            # Synchronous halving: a new rung starts only after every
+            # trial (and pending inference job) of the previous one.
+            state.rung_key = (trial.bracket, trial.rung)
+            state.barrier = max(state.barrier, state.rung_end)
+
+        inference_rec: Optional[InferenceRecommendation] = None
+        inference_is_new = False
+        if self.inference_server is not None:
+            inference_key, flops, params = self._architecture_key(
+                configuration, state.train_set
+            )
+            inference_rec = self.inference_server.cached(inference_key)
+            if inference_rec is None:
+                inference_rec, _ = self.inference_server.tune(
+                    inference_key,
+                    forward_flops_per_sample=flops,
+                    parameter_count=params,
+                    space=self.workload.inference_space(
+                        self.inference_server.device
+                    ),
+                )
+                inference_is_new = True
+
+        gpus = (
+            int(configuration["gpus"])
+            if self.include_system_parameters and "gpus" in configuration
+            else self.fixed_gpus
+        )
+        training_measurement = self.emulator.measure_training(
+            train_total_flops=evaluation.train_total_flops,
+            forward_flops_per_sample=evaluation.forward_flops_per_sample,
+            parameter_count=evaluation.parameter_count,
+            samples_seen=evaluation.samples_seen,
+            batch_size=int(configuration["train_batch_size"]),
+            device=self.server_device,
+            gpus=gpus,
+        )
+        score = self.objective.score(
+            evaluation.accuracy,
+            training_measurement,
+            inference_rec.measurement if inference_rec else None,
+        )
+
+        placement = state.pool.schedule(
+            width=gpus,
+            duration=training_measurement.runtime_s + TRIAL_OVERHEAD_S,
+            earliest=state.barrier,
+        )
+        trial_end = placement.end
+        stall = 0.0
+        if inference_is_new and inference_rec is not None:
+            # Pipelined CPU lane: job starts when the trial starts and
+            # the lane is free; its result is needed by the trial's
+            # promotion decision (the rung barrier).
+            job_start = max(state.inference_lane_free, placement.start)
+            job_end = job_start + inference_rec.tuning_runtime_s
+            state.inference_lane_free = job_end
+            state.inference_energy_total += inference_rec.tuning_energy_j
+            if job_end > trial_end:
+                stall = job_end - trial_end
+                trial_end = job_end
+        state.stall_total += stall
+        state.rung_end = max(state.rung_end, trial_end)
+
+        record = TrialRecord(
+            trial_id=trial.trial_id,
+            configuration=configuration.to_dict(),
+            fidelity=trial.fidelity,
+            epochs=budget.epochs,
+            data_fraction=budget.data_fraction,
+            accuracy=evaluation.accuracy,
+            score=score,
+            training=training_measurement,
+            inference=inference_rec.measurement if inference_rec else None,
+            bracket=trial.bracket,
+            rung=trial.rung,
+            stall_s=stall,
+        )
+        state.records.append(record)
+        self.database.record_trial(
+            experiment=f"{self.system_name}:{self.workload.workload_id}",
+            trial_id=trial.trial_id,
+            configuration=record.configuration,
+            fidelity=trial.fidelity,
+            epochs=budget.epochs,
+            data_fraction=budget.data_fraction,
+            accuracy=evaluation.accuracy,
+            score=score,
+            train_runtime_s=training_measurement.runtime_s,
+            train_energy_j=training_measurement.energy_j,
+        )
+        state.scheduler.report(
+            TrialReport(
+                trial=trial, score=score, accuracy=evaluation.accuracy
+            )
+        )
+        if state.best is None or self._better(record, state.best):
+            state.best = record
+            state.best_model = (
+                model if model is not None else evaluation.model_blob
+            )
+        if (
+            self.stop_on_target
+            and self.target_accuracy is not None
+            and record.fidelity >= self.budget.max_iteration
+            and record.accuracy >= self.target_accuracy
+        ):
+            state.stopped = True
+        return record
+
+    def finalize(self, state: RunState) -> TuningRunResult:
+        """Close the run and assemble the :class:`TuningRunResult`."""
+        best = state.best
         if best is None:
             raise TuningError("tuning produced no trials")
         inference_rec_final: Optional[InferenceRecommendation] = None
         if self.inference_server is not None:
             key, _, _ = self._architecture_key(
-                space.configuration(**best.configuration), train_set
+                state.space.configuration(**best.configuration),
+                state.train_set,
             )
             inference_rec_final = self.inference_server.cached(key)
+        best_model = state.best_model
+        if isinstance(best_model, bytes):
+            best_model = pickle.loads(best_model)
         return TuningRunResult(
             system=self.system_name,
             workload_id=self.workload.workload_id,
             best_configuration=best.configuration,
             best_accuracy=best.accuracy,
             best_score=best.score,
-            tuning_runtime_s=max(pool.makespan, rung_end),
-            tuning_energy_j=sum(r.training.energy_j for r in records)
-            + inference_energy_total,
-            trials=records,
+            tuning_runtime_s=max(state.pool.makespan, state.rung_end),
+            tuning_energy_j=sum(
+                r.training.energy_j for r in state.records
+            )
+            + state.inference_energy_total,
+            trials=state.records,
             inference=inference_rec_final,
-            stall_s=stall_total,
+            stall_s=state.stall_total,
             best_model=best_model,
         )
+
+    # -- crash-safe checkpointing -------------------------------------------
+    #: RunState fields excluded from checkpoints: datasets are rebuilt
+    #: deterministically from the workload seed on resume.
+    _EPHEMERAL_FIELDS = ("train_set", "eval_set")
+
+    def snapshot_run(
+        self, state: RunState, wave: Optional[List[ScheduledTrial]] = None
+    ) -> bytes:
+        """Serialize the full run state (plus un-integrated wave trials).
+
+        Taken after every integrated trial by the service coordinator; a
+        process killed at any point resumes from the latest snapshot
+        without re-running finished trials.
+        """
+        payload = {
+            name: value
+            for name, value in state.__dict__.items()
+            if name not in self._EPHEMERAL_FIELDS and name != "scheduler"
+        }
+        return pickle.dumps(
+            {
+                "scheduler": state.scheduler.state_dict(),
+                "state": payload,
+                "wave": list(wave or []),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    def restore_run(
+        self, state: RunState, blob: bytes
+    ) -> List[ScheduledTrial]:
+        """Restore a :meth:`snapshot_run` checkpoint into ``state``.
+
+        Returns the wave of trials that were issued but not yet integrated
+        when the snapshot was taken; the caller re-collects their results
+        (from the job queue) and integrates them in order.
+        """
+        checkpoint = pickle.loads(blob)
+        state.scheduler.load_state_dict(checkpoint["scheduler"])
+        for name, value in checkpoint["state"].items():
+            setattr(state, name, value)
+        return list(checkpoint["wave"])
+
+    # -- full run ----------------------------------------------------------------
+    def run(self) -> TuningRunResult:
+        """Execute the tuning loop serially to completion (one process)."""
+        state = self.prepare()
+        while True:
+            trial = self._next_trial(state)
+            if trial is None:
+                break
+            evaluation, model = evaluate_trial(
+                self.make_task(trial),
+                state.train_set,
+                state.eval_set,
+                workload=self.workload,
+            )
+            self.integrate(state, trial, evaluation, model=model)
+        return self.finalize(state)
 
     @staticmethod
     def _better(candidate: TrialRecord, incumbent: TrialRecord) -> bool:

@@ -50,3 +50,8 @@ class SchedulingError(ReproError):
 
 class TuningError(ReproError):
     """A tuning run could not complete (no trials, exhausted budget, ...)."""
+
+
+class ServiceError(ReproError):
+    """The tuning service hit an unrecoverable condition (bad session
+    spec, exhausted job retries, lost session)."""

@@ -14,6 +14,7 @@ Scores are **minimised** throughout (objective functions already encode
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -22,7 +23,32 @@ from ..rng import SeedLike, ensure_seed
 from ..space import Configuration, ParameterSpace
 
 
-class Searcher:
+class _Snapshottable:
+    """Opaque state snapshot/restore, shared by searchers and schedulers.
+
+    The service layer checkpoints a tuning session after every completed
+    trial; the searcher/scheduler contribution to that checkpoint is this
+    pair of hooks.  The default implementation captures the full mutable
+    state (``__dict__``) — including RNG generators, pending rungs and
+    observation histories — in one pickle blob, so a restored object
+    continues the search bit-for-bit where the snapshot was taken.
+    Subclasses with unpicklable state must override both hooks.
+    """
+
+    def state_dict(self) -> bytes:
+        """Serialized snapshot of all mutable search state."""
+        return pickle.dumps(self.__dict__, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load_state_dict(self, blob: bytes) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The snapshot must come from an instance constructed with the same
+        arguments (space, seed, ...); only *mutable* state is carried.
+        """
+        self.__dict__.update(pickle.loads(blob))
+
+
+class Searcher(_Snapshottable):
     """Proposes configurations over a fixed space."""
 
     def __init__(self, space: ParameterSpace, seed: SeedLike = None):
@@ -75,7 +101,7 @@ class TrialReport:
             )
 
 
-class TrialScheduler:
+class TrialScheduler(_Snapshottable):
     """Issues :class:`ScheduledTrial`s and consumes :class:`TrialReport`s."""
 
     def __init__(

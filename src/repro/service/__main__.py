@@ -1,0 +1,214 @@
+"""Tuning-service command-line interface.
+
+Operate the persistent tuning service against a shared sqlite file::
+
+    python -m repro.service submit IC --db tuning.sqlite --target 0.8
+    python -m repro.service workers --db tuning.sqlite -n 4 --drain
+    python -m repro.service status --db tuning.sqlite [SESSION]
+    python -m repro.service resume --db tuning.sqlite SESSION
+    python -m repro.service gc --db tuning.sqlite
+
+``submit`` only records the session; ``workers`` (long-running) or
+``resume`` (one session, inline by default) execute it.  Because every
+state transition lives in sqlite, any of these commands may be killed at
+any time and re-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import warnings
+
+from ..errors import ServiceError
+from ..storage import TrialDatabase
+from .coordinator import SessionCoordinator, serve
+from .queue import DEFAULT_LEASE_TTL_S, JobQueue
+from .sessions import SessionStore
+from .spec import SERVICE_SYSTEMS, SessionSpec
+
+
+def _database(args) -> TrialDatabase:
+    return TrialDatabase(args.db)
+
+
+def _cmd_submit(args) -> int:
+    database = _database(args)
+    try:
+        spec = SessionSpec(
+            system=args.system,
+            workload=args.workload,
+            device=args.device,
+            budget=args.budget,
+            tuning_metric=args.metric,
+            seed=args.seed,
+            samples=args.samples,
+            max_trials=args.max_trials,
+            target_accuracy=args.target,
+        )
+        session_id = SessionStore(database).create(spec)
+    finally:
+        database.close()
+    print(session_id)
+    return 0
+
+
+def _cmd_status(args) -> int:
+    database = _database(args)
+    try:
+        store = SessionStore(database)
+        queue = JobQueue(database)
+        if args.session:
+            record = store.get(args.session)
+            depths = queue.depths(record.id)
+            print(f"session:   {record.id}")
+            print(f"state:     {record.state}")
+            print(f"spec:      {json.dumps(record.spec.to_dict(), sort_keys=True)}")
+            print(f"jobs:      " + ", ".join(
+                f"{state}={count}" for state, count in sorted(depths.items())
+            ))
+            print(f"resumable: {'yes' if record.has_checkpoint else 'no'}")
+            if record.error:
+                print(f"error:     {record.error.strip().splitlines()[-1]}")
+            if record.result:
+                print("result:    "
+                      + json.dumps(record.result, sort_keys=True, indent=2))
+            for stats in queue.worker_stats(record.id):
+                print(f"worker:    {stats['worker']}: "
+                      f"{stats['jobs_done']} jobs, "
+                      f"{stats['busy_s']:.1f}s busy")
+        else:
+            records = store.list()
+            if not records:
+                print("no sessions")
+            for record in records:
+                depths = queue.depths(record.id)
+                done = depths["done"]
+                total = sum(depths.values())
+                print(f"{record.id}  {record.state:8s} "
+                      f"{record.spec.system}:{record.spec.workload}  "
+                      f"jobs {done}/{total}")
+    finally:
+        database.close()
+    return 0
+
+
+def _cmd_workers(args) -> int:
+    warnings.filterwarnings("ignore", category=RuntimeWarning)
+    database = _database(args)
+    try:
+        results = serve(
+            database,
+            workers=args.num,
+            lease_ttl_s=args.lease_ttl,
+            drain=args.drain,
+            idle_timeout_s=args.idle_timeout,
+        )
+    finally:
+        database.close()
+    for result in results:
+        print(f"done: {result.system}:{result.workload_id} "
+              f"{len(result.trials)} trials, "
+              f"best accuracy {result.best_accuracy:.3f}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from ..__main__ import print_result
+
+    warnings.filterwarnings("ignore", category=RuntimeWarning)
+    database = _database(args)
+    try:
+        coordinator = SessionCoordinator(
+            database, args.session, workers=args.workers
+        )
+        result = coordinator.run()
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        database.close()
+    print_result(result)
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    database = _database(args)
+    try:
+        counts = SessionStore(database).gc(max_age_s=args.max_age)
+    finally:
+        database.close()
+    print(f"sessions deleted:  {counts['sessions_deleted']}")
+    print(f"jobs deleted:      {counts['jobs_deleted']}")
+    print(f"leases reclaimed:  {counts['leases_reclaimed']}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="EdgeTune persistent tuning service",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    submit = subparsers.add_parser("submit", help="queue a tuning session")
+    submit.add_argument("workload", choices=["IC", "SR", "NLP", "OD"])
+    submit.add_argument("--db", required=True, help="sqlite database path")
+    submit.add_argument("--system", default="edgetune",
+                        choices=list(SERVICE_SYSTEMS))
+    submit.add_argument("--device", default="armv7")
+    submit.add_argument("--budget", default="multi-budget")
+    submit.add_argument("--metric", default="runtime",
+                        choices=["runtime", "energy"])
+    submit.add_argument("--target", type=float, default=None,
+                        help="target accuracy (e.g. 0.8)")
+    submit.add_argument("--seed", type=int, default=7)
+    submit.add_argument("--samples", type=int, default=600)
+    submit.add_argument("--max-trials", type=int, default=None)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = subparsers.add_parser("status",
+                                   help="show sessions / one session")
+    status.add_argument("session", nargs="?", default=None)
+    status.add_argument("--db", required=True)
+    status.set_defaults(func=_cmd_status)
+
+    workers = subparsers.add_parser(
+        "workers", help="run queued sessions with a worker pool"
+    )
+    workers.add_argument("--db", required=True)
+    workers.add_argument("-n", "--num", type=int, default=0,
+                         help="worker processes (0 = inline execution)")
+    workers.add_argument("--drain", action="store_true",
+                         help="exit once no queued session remains")
+    workers.add_argument("--idle-timeout", type=float, default=None,
+                         help="exit after this many idle seconds")
+    workers.add_argument("--lease-ttl", type=float,
+                         default=DEFAULT_LEASE_TTL_S,
+                         help="job lease duration in seconds")
+    workers.set_defaults(func=_cmd_workers)
+
+    resume = subparsers.add_parser(
+        "resume", help="resume an interrupted session from its checkpoint"
+    )
+    resume.add_argument("session")
+    resume.add_argument("--db", required=True)
+    resume.add_argument("-n", "--workers", type=int, default=0,
+                        help="worker processes (default: inline)")
+    resume.set_defaults(func=_cmd_resume)
+
+    gc = subparsers.add_parser(
+        "gc", help="purge old finished sessions, reclaim expired leases"
+    )
+    gc.add_argument("--db", required=True)
+    gc.add_argument("--max-age", type=float, default=7 * 24 * 3600.0,
+                    help="age threshold in seconds for done/failed sessions")
+    gc.set_defaults(func=_cmd_gc)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

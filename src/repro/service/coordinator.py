@@ -1,0 +1,303 @@
+"""The session coordinator: deterministic merge of parallel trial results.
+
+One coordinator drives one tuning session to completion:
+
+1. build the :class:`~repro.core.model_server.ModelTuningServer` the
+   session's spec describes and :meth:`prepare` a run state (restoring the
+   latest checkpoint if one exists — the crash-resume path);
+2. drain a **wave** of trials from the scheduler (one rung's worth for
+   halving schedulers) and enqueue each as a persistent job;
+3. while workers chew through the wave in *any* order, integrate finished
+   evaluations strictly in wave order — scoring, inference tuning, virtual
+   timeline, scheduler reports are all order-sensitive, so pinning the
+   integration order makes an N-worker run bit-identical to a 1-worker
+   run;
+4. checkpoint the scheduler + run state after **every** integrated trial,
+   so a ``kill -9`` at any point loses at most in-flight work (which the
+   queue retries) and never re-runs a finished trial.
+
+With ``workers=0`` the coordinator executes jobs inline (still through the
+queue, so results persist identically) — the mode used by ``resume`` and
+by tests that need single-process determinism.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from ..core.model_server import ModelTuningServer, RunState, _plain
+from ..core.results import TuningRunResult
+from ..errors import ServiceError
+from ..search import ScheduledTrial
+from ..storage import TrialDatabase
+from ..telemetry import MeterRegistry
+from .pool import WorkerPool
+from .queue import DEFAULT_LEASE_TTL_S, FAILED, JobQueue
+from .sessions import S_DONE, SessionRecord, SessionStore
+from .spec import build_server
+from .worker import TrialWorker
+
+#: How long the coordinator sleeps between result polls, seconds.
+COORDINATOR_POLL_S = 0.05
+
+
+class SessionCoordinator:
+    """Runs one session: wave scheduling, ordered merge, checkpoints."""
+
+    def __init__(
+        self,
+        database: TrialDatabase,
+        session_id: str,
+        workers: int = 0,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        poll_interval_s: float = COORDINATOR_POLL_S,
+        pool: Optional[WorkerPool] = None,
+        meters: Optional[MeterRegistry] = None,
+    ):
+        if workers > 0 and pool is None and database.path == ":memory:":
+            raise ServiceError(
+                "worker processes need a file-backed database, "
+                "got ':memory:'"
+            )
+        self.database = database
+        self.session_id = session_id
+        self.workers = workers
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_interval_s = poll_interval_s
+        self.queue = JobQueue(database)
+        self.sessions = SessionStore(database)
+        self.meters = meters or MeterRegistry()
+        self._pool = pool
+        self._owns_pool = pool is None and workers > 0
+        self._inline: Optional[TrialWorker] = None
+
+    # -- main entry ---------------------------------------------------------
+    def run(self) -> TuningRunResult:
+        """Drive the session to completion (fresh or resumed)."""
+        record = self.sessions.get(self.session_id)
+        if record.state == S_DONE:
+            raise ServiceError(
+                f"session {self.session_id!r} is already done"
+            )
+        server = build_server(record.spec, self.database)
+        try:
+            if self._owns_pool:
+                self._pool = WorkerPool(
+                    self.database.path,
+                    self.workers,
+                    lease_ttl_s=self.lease_ttl_s,
+                ).start()
+            elif self.workers == 0:
+                self._inline = TrialWorker(
+                    database=self.database,
+                    worker_id="inline",
+                    lease_ttl_s=self.lease_ttl_s,
+                )
+            result = self._run(server, record)
+        except Exception:
+            self.sessions.fail(
+                self.session_id, traceback.format_exc(limit=8)
+            )
+            raise
+        finally:
+            if self._owns_pool and self._pool is not None:
+                self._pool.stop()
+                self._pool = None
+            if self._inline is not None:
+                self._inline.close()
+                self._inline = None
+        return result
+
+    def _run(
+        self, server: ModelTuningServer, record: SessionRecord
+    ) -> TuningRunResult:
+        state = server.prepare()
+        wave: List[ScheduledTrial] = []
+        blob = self.sessions.load_checkpoint(self.session_id)
+        if blob is not None:
+            wave = server.restore_run(state, blob)
+            self.meters.counter("trials.resumed").inc(len(state.records))
+        self.sessions.set_state(self.session_id, "running")
+
+        while True:
+            if not wave:
+                wave = server.next_wave(state)
+                if not wave:
+                    break
+                self.meters.meter("wave.size").record(len(wave))
+                for trial in wave:
+                    self.queue.enqueue(
+                        self.session_id,
+                        trial.trial_id,
+                        server.make_task(trial).to_json(),
+                    )
+                self._checkpoint(server, state, wave)
+            wave_started = time.time()
+            self._drain_wave(server, state, wave)
+            self.meters.meter("wave.latency_s").record(
+                time.time() - wave_started
+            )
+            if state.stopped:
+                break
+
+        result = server.finalize(state)
+        self.sessions.finish(self.session_id, self._summarize(result))
+        return result
+
+    # -- wave draining -------------------------------------------------------
+    def _drain_wave(
+        self,
+        server: ModelTuningServer,
+        state: RunState,
+        wave: List[ScheduledTrial],
+    ) -> None:
+        """Integrate every trial of ``wave`` in order (mutates ``wave``).
+
+        Workers may finish out of order; only the *head* of the wave is
+        ever integrated, so the merge order — and therefore the run's
+        result — is independent of worker count and timing.
+        """
+        while wave:
+            results = self.queue.results_for(
+                self.session_id, [t.trial_id for t in wave]
+            )
+            progressed = False
+            while wave and wave[0].trial_id in results:
+                trial = wave.pop(0)
+                evaluation = pickle.loads(results[trial.trial_id])
+                server.integrate(state, trial, evaluation)
+                self.meters.counter("trials.integrated").inc()
+                self._checkpoint(server, state, wave)
+                progressed = True
+                if state.stopped:
+                    # Target reached mid-wave: the serial driver would
+                    # never have issued the remaining trials, so drop
+                    # them unintegrated to keep results identical.
+                    del wave[:]
+                    return
+            if not wave or progressed:
+                continue
+            self._pump(wave)
+
+    def _pump(self, wave: List[ScheduledTrial]) -> None:
+        """Make progress while the wave head's result is not ready yet."""
+        head = wave[0]
+        job = self.queue.get(self.session_id, head.trial_id)
+        if job is not None and job.state == FAILED:
+            raise ServiceError(
+                f"trial {head.trial_id} of session {self.session_id!r} "
+                f"failed after {job.attempts} attempts: {job.error}"
+            )
+        if self._inline is not None:
+            leased = self._inline.queue.lease(
+                self._inline.worker_id,
+                ttl_s=self.lease_ttl_s,
+                session_id=self.session_id,
+            )
+            if leased is not None:
+                self._inline.run_job(leased)
+                return
+        else:
+            self.meters.counter("workers.respawned").inc(
+                self._pool.ensure_alive() if self._pool else 0
+            )
+        self.meters.counter("leases.reclaimed").inc(
+            self.queue.reclaim_expired()
+        )
+        depths = self.queue.depths(self.session_id)
+        self.meters.gauge("queue.queued").set(depths["queued"])
+        self.meters.meter("queue.depth").record(
+            depths["queued"] + depths["leased"]
+        )
+        time.sleep(self.poll_interval_s)
+
+    # -- checkpoints / summaries ---------------------------------------------
+    def _checkpoint(
+        self,
+        server: ModelTuningServer,
+        state: RunState,
+        wave: List[ScheduledTrial],
+    ) -> None:
+        self.sessions.save_checkpoint(
+            self.session_id, server.snapshot_run(state, wave)
+        )
+        self.meters.counter("checkpoints.written").inc()
+
+    def _summarize(self, result: TuningRunResult) -> Dict[str, Any]:
+        """JSON-safe result summary stored on the session row."""
+        return {
+            "system": result.system,
+            "workload": result.workload_id,
+            "num_trials": len(result.trials),
+            "best_accuracy": float(result.best_accuracy),
+            "best_score": float(result.best_score),
+            "best_configuration": {
+                name: _plain(value)
+                for name, value in result.best_configuration.items()
+            },
+            "tuning_runtime_s": float(result.tuning_runtime_s),
+            "tuning_energy_j": float(result.tuning_energy_j),
+            "stall_s": float(result.stall_s),
+            "workers": self.workers,
+            "meters": self.meters.snapshot(),
+            "worker_stats": self.queue.worker_stats(self.session_id),
+        }
+
+
+def serve(
+    database: TrialDatabase,
+    workers: int = 0,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_interval_s: float = COORDINATOR_POLL_S,
+    drain: bool = False,
+    idle_timeout_s: Optional[float] = None,
+) -> List[TuningRunResult]:
+    """Claim and run queued sessions until stopped.
+
+    ``drain=True`` returns once no queued session remains (the mode used
+    by ``service workers --drain`` and the tests); otherwise the loop
+    idles waiting for new submissions until ``idle_timeout_s`` (if any)
+    elapses.  A session failure is recorded on its row and does not take
+    the service down.
+    """
+    sessions = SessionStore(database)
+    pool: Optional[WorkerPool] = None
+    if workers > 0:
+        pool = WorkerPool(
+            database.path, workers, lease_ttl_s=lease_ttl_s
+        ).start()
+    results: List[TuningRunResult] = []
+    idle_since = time.time()
+    try:
+        while True:
+            record = sessions.claim_next_queued()
+            if record is None:
+                if drain:
+                    break
+                if (
+                    idle_timeout_s is not None
+                    and time.time() - idle_since > idle_timeout_s
+                ):
+                    break
+                time.sleep(poll_interval_s)
+                continue
+            coordinator = SessionCoordinator(
+                database,
+                record.id,
+                workers=workers,
+                lease_ttl_s=lease_ttl_s,
+                poll_interval_s=poll_interval_s,
+                pool=pool,
+            )
+            try:
+                results.append(coordinator.run())
+            except ServiceError:
+                pass  # recorded on the session row by the coordinator
+            idle_since = time.time()
+    finally:
+        if pool is not None:
+            pool.stop()
+    return results

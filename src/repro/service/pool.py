@@ -1,0 +1,94 @@
+"""The parallel worker pool: N OS processes pulling from one queue.
+
+``multiprocessing.Process`` rather than a thread pool because the trial
+workload is pure-numpy compute — real parallel speed-up needs separate
+interpreters.  The pool is supervision-light by design: workers share
+nothing with the parent but the database path, crashes are tolerated (the
+queue reclaims their leases), and :meth:`WorkerPool.ensure_alive` simply
+respawns replacements.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional
+
+from .queue import DEFAULT_LEASE_TTL_S
+from .worker import IDLE_POLL_S, worker_main
+
+
+class WorkerPool:
+    """Spawns and supervises trial-evaluation worker processes."""
+
+    def __init__(
+        self,
+        db_path: str,
+        workers: int,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        poll_interval_s: float = IDLE_POLL_S,
+        name_prefix: str = "worker",
+    ):
+        if workers < 1:
+            raise ValueError(f"worker pool needs >= 1 workers, got {workers}")
+        self.db_path = db_path
+        self.workers = workers
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_interval_s = poll_interval_s
+        self.name_prefix = name_prefix
+        self._spawned = 0
+        self._processes: List[multiprocessing.Process] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def _spawn_one(self) -> multiprocessing.Process:
+        self._spawned += 1
+        worker_id = f"{self.name_prefix}-{self._spawned}"
+        process = multiprocessing.Process(
+            target=worker_main,
+            args=(self.db_path, worker_id),
+            kwargs={
+                "lease_ttl_s": self.lease_ttl_s,
+                "poll_interval_s": self.poll_interval_s,
+            },
+            name=worker_id,
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def start(self) -> "WorkerPool":
+        while len(self._processes) < self.workers:
+            self._processes.append(self._spawn_one())
+        return self
+
+    def ensure_alive(self) -> int:
+        """Replace dead workers; returns how many were respawned."""
+        respawned = 0
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                self._processes[index] = self._spawn_one()
+                respawned += 1
+        return respawned
+
+    def alive(self) -> int:
+        return sum(1 for p in self._processes if p.is_alive())
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Terminate all workers (leases they held will be reclaimed)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=timeout_s)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=timeout_s)
+        self._processes = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def pids(self) -> List[Optional[int]]:
+        return [p.pid for p in self._processes]

@@ -1,0 +1,342 @@
+"""The persistent trial-evaluation job queue (``jobs`` table).
+
+Ownership protocol:
+
+* a worker **leases** the oldest runnable queued job inside a single
+  ``BEGIN IMMEDIATE`` transaction — at most one worker can win a job;
+* while executing, the worker **heartbeats** to extend its lease; a worker
+  that dies (``kill -9``, OOM) simply stops heartbeating;
+* anyone (coordinator or other workers) may **reclaim** expired leases:
+  the job returns to ``queued`` with exponentially backed-off
+  ``next_retry_at``, or moves to ``failed`` once ``max_attempts`` is
+  spent;
+* **complete**/**fail** only succeed while the lease is still held, so a
+  reclaimed-and-reassigned job cannot be double-completed by a zombie.
+
+All timestamps are wall-clock seconds (``time.time()``); determinism of
+*results* is unaffected because job execution itself is seed-driven.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..storage import TrialDatabase
+
+#: Job lifecycle states.
+QUEUED = "queued"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+JOB_STATES = (QUEUED, LEASED, DONE, FAILED)
+
+#: Default lease duration; heartbeats renew it well before expiry.
+DEFAULT_LEASE_TTL_S = 10.0
+
+#: Retry backoff: ``base * 2**(attempt-1)`` capped at ``cap`` seconds.
+BACKOFF_BASE_S = 0.25
+BACKOFF_CAP_S = 30.0
+
+DEFAULT_MAX_ATTEMPTS = 3
+
+_JOB_COLUMNS = (
+    "id, session_id, trial_id, payload, state, attempts, max_attempts, "
+    "lease_owner, lease_expires_at, next_retry_at, result, error, "
+    "created_at, started_at, finished_at"
+)
+
+
+@dataclass
+class Job:
+    """One row of the ``jobs`` table."""
+
+    id: int
+    session_id: str
+    trial_id: int
+    payload: str
+    state: str
+    attempts: int
+    max_attempts: int
+    lease_owner: Optional[str]
+    lease_expires_at: Optional[float]
+    next_retry_at: float
+    result: Optional[bytes]
+    error: Optional[str]
+    created_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "Job":
+        return cls(*row)
+
+
+def backoff_delay(attempt: int, base: float = BACKOFF_BASE_S,
+                  cap: float = BACKOFF_CAP_S) -> float:
+    """Capped exponential backoff before retry ``attempt`` re-runs."""
+    return min(cap, base * (2.0 ** max(0, attempt - 1)))
+
+
+class JobQueue:
+    """Persistent, crash-safe job queue over a :class:`TrialDatabase`."""
+
+    def __init__(self, database: TrialDatabase):
+        self.database = database
+
+    # -- producer side ------------------------------------------------------
+    def enqueue(
+        self,
+        session_id: str,
+        trial_id: int,
+        payload: str,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Queue one trial-evaluation job.
+
+        Idempotent per ``(session_id, trial_id)``: re-enqueueing after a
+        coordinator crash leaves finished jobs (and their results) alone.
+        Returns ``True`` when a new row was inserted.
+        """
+        cursor = self.database.execute(
+            "INSERT OR IGNORE INTO jobs (session_id, trial_id, payload, "
+            "state, max_attempts, created_at) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                session_id,
+                int(trial_id),
+                payload,
+                QUEUED,
+                int(max_attempts),
+                time.time() if now is None else now,
+            ),
+        )
+        return cursor.rowcount > 0
+
+    # -- worker side ---------------------------------------------------------
+    def lease(
+        self,
+        worker_id: str,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        session_id: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> Optional[Job]:
+        """Atomically claim the oldest runnable queued job, if any."""
+        now = time.time() if now is None else now
+        with self.database.transaction() as connection:
+            query = (
+                f"SELECT {_JOB_COLUMNS} FROM jobs "
+                "WHERE state = ? AND next_retry_at <= ?"
+            )
+            args: List[Any] = [QUEUED, now]
+            if session_id is not None:
+                query += " AND session_id = ?"
+                args.append(session_id)
+            query += " ORDER BY id LIMIT 1"
+            row = connection.execute(query, tuple(args)).fetchone()
+            if row is None:
+                return None
+            job = Job.from_row(row)
+            connection.execute(
+                "UPDATE jobs SET state = ?, lease_owner = ?, "
+                "lease_expires_at = ?, attempts = attempts + 1, "
+                "started_at = ? WHERE id = ? AND state = ?",
+                (LEASED, worker_id, now + ttl_s, now, job.id, QUEUED),
+            )
+        job.state = LEASED
+        job.lease_owner = worker_id
+        job.lease_expires_at = now + ttl_s
+        job.attempts += 1
+        job.started_at = now
+        return job
+
+    def heartbeat(
+        self,
+        job_id: int,
+        worker_id: str,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Extend a held lease; ``False`` means the lease was lost."""
+        now = time.time() if now is None else now
+        cursor = self.database.execute(
+            "UPDATE jobs SET lease_expires_at = ? "
+            "WHERE id = ? AND lease_owner = ? AND state = ?",
+            (now + ttl_s, int(job_id), worker_id, LEASED),
+        )
+        return cursor.rowcount > 0
+
+    def complete(
+        self,
+        job_id: int,
+        worker_id: str,
+        result: bytes,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Mark a leased job done with its result blob.
+
+        Rejected (returns ``False``) when the lease has been reclaimed —
+        the retry's result wins and the zombie's is discarded.
+        ``lease_owner`` is kept as the record of who finished the job
+        (feeds the per-worker meters).
+        """
+        now = time.time() if now is None else now
+        cursor = self.database.execute(
+            "UPDATE jobs SET state = ?, result = ?, finished_at = ?, "
+            "lease_expires_at = NULL, error = NULL "
+            "WHERE id = ? AND lease_owner = ? AND state = ?",
+            (DONE, result, now, int(job_id), worker_id, LEASED),
+        )
+        return cursor.rowcount > 0
+
+    def fail(
+        self,
+        job_id: int,
+        worker_id: str,
+        error: str,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Record a job failure: requeue with backoff or fail terminally."""
+        now = time.time() if now is None else now
+        with self.database.transaction() as connection:
+            row = connection.execute(
+                "SELECT attempts, max_attempts FROM jobs "
+                "WHERE id = ? AND lease_owner = ? AND state = ?",
+                (int(job_id), worker_id, LEASED),
+            ).fetchone()
+            if row is None:
+                return False
+            attempts, max_attempts = row
+            if attempts >= max_attempts:
+                connection.execute(
+                    "UPDATE jobs SET state = ?, error = ?, finished_at = ?, "
+                    "lease_owner = NULL, lease_expires_at = NULL "
+                    "WHERE id = ?",
+                    (FAILED, error, now, int(job_id)),
+                )
+            else:
+                connection.execute(
+                    "UPDATE jobs SET state = ?, error = ?, "
+                    "lease_owner = NULL, lease_expires_at = NULL, "
+                    "next_retry_at = ? WHERE id = ?",
+                    (QUEUED, error, now + backoff_delay(attempts),
+                     int(job_id)),
+                )
+        return True
+
+    # -- janitor side --------------------------------------------------------
+    def reclaim_expired(self, now: Optional[float] = None) -> int:
+        """Requeue (or terminally fail) jobs whose lease ran out.
+
+        This is how a ``kill -9``'d worker's in-flight trials get retried:
+        its leases stop being renewed and any surviving process reclaims
+        them here.
+        """
+        now = time.time() if now is None else now
+        reclaimed = 0
+        with self.database.transaction() as connection:
+            rows = connection.execute(
+                "SELECT id, attempts, max_attempts, lease_owner FROM jobs "
+                "WHERE state = ? AND lease_expires_at < ?",
+                (LEASED, now),
+            ).fetchall()
+            for job_id, attempts, max_attempts, owner in rows:
+                error = f"lease expired (owner {owner!r}, attempt {attempts})"
+                if attempts >= max_attempts:
+                    connection.execute(
+                        "UPDATE jobs SET state = ?, error = ?, "
+                        "finished_at = ?, lease_owner = NULL, "
+                        "lease_expires_at = NULL WHERE id = ?",
+                        (FAILED, error, now, job_id),
+                    )
+                else:
+                    connection.execute(
+                        "UPDATE jobs SET state = ?, error = ?, "
+                        "lease_owner = NULL, lease_expires_at = NULL, "
+                        "next_retry_at = ? WHERE id = ?",
+                        (QUEUED, error, now + backoff_delay(attempts),
+                         job_id),
+                    )
+                reclaimed += 1
+        return reclaimed
+
+    def delete_for_sessions(self, session_ids: Iterable[str]) -> int:
+        """Drop all jobs belonging to the given sessions (``service gc``)."""
+        deleted = 0
+        for session_id in session_ids:
+            cursor = self.database.execute(
+                "DELETE FROM jobs WHERE session_id = ?", (session_id,)
+            )
+            deleted += cursor.rowcount
+        return deleted
+
+    # -- introspection -------------------------------------------------------
+    def depths(self, session_id: Optional[str] = None) -> Dict[str, int]:
+        """Queue depth per state (zero-filled for absent states)."""
+        query = "SELECT state, COUNT(*) FROM jobs"
+        args: tuple = ()
+        if session_id is not None:
+            query += " WHERE session_id = ?"
+            args = (session_id,)
+        query += " GROUP BY state"
+        rows = self.database.execute(query, args).fetchall()
+        depths = {state: 0 for state in JOB_STATES}
+        depths.update({state: int(count) for state, count in rows})
+        return depths
+
+    def get(self, session_id: str, trial_id: int) -> Optional[Job]:
+        row = self.database.execute(
+            f"SELECT {_JOB_COLUMNS} FROM jobs "
+            "WHERE session_id = ? AND trial_id = ?",
+            (session_id, int(trial_id)),
+        ).fetchone()
+        return None if row is None else Job.from_row(row)
+
+    def jobs_for(self, session_id: str, state: Optional[str] = None) -> List[Job]:
+        query = f"SELECT {_JOB_COLUMNS} FROM jobs WHERE session_id = ?"
+        args: List[Any] = [session_id]
+        if state is not None:
+            query += " AND state = ?"
+            args.append(state)
+        query += " ORDER BY trial_id"
+        rows = self.database.execute(query, tuple(args)).fetchall()
+        return [Job.from_row(row) for row in rows]
+
+    def results_for(
+        self, session_id: str, trial_ids: Iterable[int]
+    ) -> Dict[int, bytes]:
+        """Result blobs of the finished jobs among ``trial_ids``."""
+        wanted = [int(t) for t in trial_ids]
+        if not wanted:
+            return {}
+        marks = ",".join("?" for _ in wanted)
+        rows = self.database.execute(
+            "SELECT trial_id, result FROM jobs "
+            f"WHERE session_id = ? AND state = ? AND trial_id IN ({marks})",
+            tuple([session_id, DONE] + wanted),
+        ).fetchall()
+        return {int(trial_id): result for trial_id, result in rows}
+
+    def worker_stats(self, session_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Per-worker completion counts and busy time (done jobs only);
+        completed jobs keep ``lease_owner`` as the finisher's name."""
+        query = (
+            "SELECT COALESCE(lease_owner, 'unknown') AS worker, COUNT(*), "
+            "SUM(finished_at - started_at) FROM jobs WHERE state = ?"
+        )
+        args: List[Any] = [DONE]
+        if session_id is not None:
+            query += " AND session_id = ?"
+            args.append(session_id)
+        query += " GROUP BY worker ORDER BY worker"
+        rows = self.database.execute(query, tuple(args)).fetchall()
+        return [
+            {
+                "worker": row[0],
+                "jobs_done": int(row[1]),
+                "busy_s": float(row[2] or 0.0),
+            }
+            for row in rows
+        ]

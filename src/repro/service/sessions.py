@@ -1,0 +1,179 @@
+"""Tuning-session records (``sessions`` table).
+
+A session is one submitted tuning run: its :class:`SessionSpec`, a
+lifecycle state (``queued → running → done | failed``), the result
+summary, and — the crash-safety core — a checkpoint blob written after
+every completed trial by the coordinator, from which a ``kill -9``'d
+session resumes without re-running finished trials.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+from ..storage import TrialDatabase
+from .queue import JobQueue
+from .spec import SessionSpec
+
+#: Session lifecycle states.
+S_QUEUED = "queued"
+S_RUNNING = "running"
+S_DONE = "done"
+S_FAILED = "failed"
+
+SESSION_STATES = (S_QUEUED, S_RUNNING, S_DONE, S_FAILED)
+
+
+@dataclass
+class SessionRecord:
+    """One row of the ``sessions`` table."""
+
+    id: str
+    spec: SessionSpec
+    state: str
+    result: Optional[Dict[str, Any]]
+    error: Optional[str]
+    created_at: float
+    updated_at: float
+    has_checkpoint: bool
+
+
+class SessionStore:
+    """CRUD + lifecycle transitions for tuning sessions."""
+
+    def __init__(self, database: TrialDatabase):
+        self.database = database
+
+    def create(
+        self, spec: SessionSpec, session_id: Optional[str] = None
+    ) -> str:
+        """Insert a new queued session; returns its id."""
+        session_id = session_id or uuid.uuid4().hex[:12]
+        now = time.time()
+        self.database.execute(
+            "INSERT INTO sessions (id, spec, state, created_at, updated_at) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (session_id, json.dumps(spec.to_dict(), sort_keys=True),
+             S_QUEUED, now, now),
+        )
+        return session_id
+
+    def get(self, session_id: str) -> SessionRecord:
+        row = self.database.execute(
+            "SELECT id, spec, state, result, error, created_at, updated_at, "
+            "checkpoint IS NOT NULL FROM sessions WHERE id = ?",
+            (session_id,),
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"no session {session_id!r}")
+        return SessionRecord(
+            id=row[0],
+            spec=SessionSpec.from_dict(json.loads(row[1])),
+            state=row[2],
+            result=json.loads(row[3]) if row[3] else None,
+            error=row[4],
+            created_at=row[5],
+            updated_at=row[6],
+            has_checkpoint=bool(row[7]),
+        )
+
+    def list(self, state: Optional[str] = None) -> List[SessionRecord]:
+        query = (
+            "SELECT id FROM sessions"
+            + (" WHERE state = ?" if state else "")
+            + " ORDER BY created_at"
+        )
+        rows = self.database.execute(
+            query, (state,) if state else ()
+        ).fetchall()
+        return [self.get(row[0]) for row in rows]
+
+    # -- lifecycle -----------------------------------------------------------
+    def claim_next_queued(self) -> Optional[SessionRecord]:
+        """Atomically move the oldest queued session to ``running``."""
+        with self.database.transaction() as connection:
+            row = connection.execute(
+                "SELECT id FROM sessions WHERE state = ? "
+                "ORDER BY created_at LIMIT 1",
+                (S_QUEUED,),
+            ).fetchone()
+            if row is None:
+                return None
+            connection.execute(
+                "UPDATE sessions SET state = ?, updated_at = ? WHERE id = ?",
+                (S_RUNNING, time.time(), row[0]),
+            )
+            session_id = row[0]
+        return self.get(session_id)
+
+    def set_state(self, session_id: str, state: str) -> None:
+        if state not in SESSION_STATES:
+            raise ServiceError(f"unknown session state {state!r}")
+        self.database.execute(
+            "UPDATE sessions SET state = ?, updated_at = ? WHERE id = ?",
+            (state, time.time(), session_id),
+        )
+
+    def finish(self, session_id: str, result: Dict[str, Any]) -> None:
+        """Mark done with a JSON result summary; drops the checkpoint."""
+        self.database.execute(
+            "UPDATE sessions SET state = ?, result = ?, checkpoint = NULL, "
+            "error = NULL, updated_at = ? WHERE id = ?",
+            (S_DONE, json.dumps(result, sort_keys=True), time.time(),
+             session_id),
+        )
+
+    def fail(self, session_id: str, error: str) -> None:
+        self.database.execute(
+            "UPDATE sessions SET state = ?, error = ?, updated_at = ? "
+            "WHERE id = ?",
+            (S_FAILED, error, time.time(), session_id),
+        )
+
+    # -- checkpoints ---------------------------------------------------------
+    def save_checkpoint(self, session_id: str, blob: bytes) -> None:
+        self.database.execute(
+            "UPDATE sessions SET checkpoint = ?, updated_at = ? WHERE id = ?",
+            (blob, time.time(), session_id),
+        )
+
+    def load_checkpoint(self, session_id: str) -> Optional[bytes]:
+        row = self.database.execute(
+            "SELECT checkpoint FROM sessions WHERE id = ?", (session_id,)
+        ).fetchone()
+        if row is None:
+            raise ServiceError(f"no session {session_id!r}")
+        return row[0]
+
+    # -- garbage collection ----------------------------------------------------
+    def gc(self, max_age_s: float = 7 * 24 * 3600.0,
+           now: Optional[float] = None) -> Dict[str, int]:
+        """Purge finished sessions older than ``max_age_s`` (and their
+        jobs), and reclaim expired job leases.  Returns counters."""
+        now = time.time() if now is None else now
+        cutoff = now - max_age_s
+        stale = [
+            row[0]
+            for row in self.database.execute(
+                "SELECT id FROM sessions WHERE state IN (?, ?) "
+                "AND updated_at < ?",
+                (S_DONE, S_FAILED, cutoff),
+            ).fetchall()
+        ]
+        queue = JobQueue(self.database)
+        jobs_deleted = queue.delete_for_sessions(stale)
+        for session_id in stale:
+            self.database.execute(
+                "DELETE FROM sessions WHERE id = ?", (session_id,)
+            )
+        leases = queue.reclaim_expired(now=now)
+        return {
+            "sessions_deleted": len(stale),
+            "jobs_deleted": jobs_deleted,
+            "leases_reclaimed": leases,
+        }

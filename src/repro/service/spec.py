@@ -1,0 +1,85 @@
+"""Session specifications: what a submitted tuning job asks for.
+
+A :class:`SessionSpec` is the JSON-serializable contract between
+``service submit`` and the coordinator/workers that later execute the
+session — everything needed to rebuild the tuner deterministically in any
+process: system, workload, device, budget, objective metric, seed, sample
+count and stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from ..budgets import build_budget
+from ..errors import ServiceError
+from ..storage import TrialDatabase
+
+#: Systems the service can run.  The hierarchical tuner is excluded: it is
+#: a two-phase meta-tuner without a single scheduler to checkpoint.
+SERVICE_SYSTEMS = ("edgetune", "tune", "hyperpower")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Deterministic description of one tuning session."""
+
+    system: str = "edgetune"
+    workload: str = "IC"
+    device: str = "armv7"
+    budget: str = "multi-budget"
+    tuning_metric: str = "runtime"
+    seed: int = 7
+    samples: Optional[int] = None
+    max_trials: Optional[int] = None
+    target_accuracy: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SERVICE_SYSTEMS:
+            raise ServiceError(
+                f"system {self.system!r} cannot run as a service session; "
+                f"expected one of {SERVICE_SYSTEMS}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SessionSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in raw.items() if k in known})
+
+
+def build_server(spec: SessionSpec, database: TrialDatabase):
+    """Instantiate the :class:`~repro.core.model_server.ModelTuningServer`
+    described by ``spec``, wired to ``database``.
+
+    Import is deferred so worker processes that never coordinate avoid the
+    heavier core imports.
+    """
+    from .. import EdgeTune
+    from ..baselines import HyperPowerBaseline, TuneBaseline
+
+    common = dict(
+        workload=spec.workload,
+        seed=spec.seed,
+        samples=spec.samples,
+        max_trials=spec.max_trials,
+        target_accuracy=spec.target_accuracy,
+        database=database,
+    )
+    if spec.system == "edgetune":
+        return EdgeTune(
+            device=spec.device,
+            budget=spec.budget,
+            tuning_metric=spec.tuning_metric,
+            **common,
+        ).model_server
+    if spec.system == "tune":
+        return TuneBaseline(budget=build_budget(spec.budget), **common).server
+    if spec.system == "hyperpower":
+        return HyperPowerBaseline(
+            budget=build_budget(spec.budget), **common
+        ).server
+    raise ServiceError(f"unsupported service system {spec.system!r}")

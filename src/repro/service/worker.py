@@ -1,0 +1,183 @@
+"""Trial-evaluation workers: the processes that do the real training.
+
+:func:`worker_main` is the entry point of each pool process (also usable
+standalone).  A worker:
+
+1. leases the oldest runnable job from the persistent queue;
+2. spawns a heartbeat thread that renews the lease while training runs —
+   a worker killed mid-trial stops heartbeating, so its job is reclaimed
+   and retried by someone else;
+3. executes the trial's real numpy training via
+   :func:`repro.core.model_server.evaluate_trial` (datasets cached per
+   workload/seed/sample-count, so a session pays the synthesis cost once
+   per worker);
+4. writes the pickled :class:`TrialEvaluation` back into the job row.
+
+Workers are stateless by design: every piece of information needed to run
+a job travels inside the job payload, which is what makes retries after a
+crash bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from ..core.model_server import TrialTask, evaluate_trial
+from ..storage import TrialDatabase
+from .queue import DEFAULT_LEASE_TTL_S, Job, JobQueue
+
+#: How long an idle worker sleeps between queue polls, seconds.
+IDLE_POLL_S = 0.05
+
+#: Lease renewal period as a fraction of the TTL.
+HEARTBEAT_FRACTION = 0.25
+
+
+class _Heartbeat:
+    """Daemon thread renewing one job lease until stopped."""
+
+    def __init__(self, queue: JobQueue, job_id: int, worker_id: str,
+                 ttl_s: float):
+        self._queue = queue
+        self._job_id = job_id
+        self._worker_id = worker_id
+        self._ttl_s = ttl_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._ttl_s)
+
+    def _run(self) -> None:
+        interval = max(0.05, self._ttl_s * HEARTBEAT_FRACTION)
+        while not self._stop.wait(interval):
+            if not self._queue.heartbeat(
+                self._job_id, self._worker_id, ttl_s=self._ttl_s
+            ):
+                return  # lease lost; the retry owns the job now
+
+
+class TrialWorker:
+    """Executes trial-evaluation jobs from a shared database file."""
+
+    def __init__(
+        self,
+        db_path: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        poll_interval_s: float = IDLE_POLL_S,
+        database: Optional[TrialDatabase] = None,
+    ):
+        if database is None and db_path is None:
+            raise ValueError("TrialWorker needs a db_path or a database")
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.database = database or TrialDatabase(db_path)
+        self._owns_database = database is None
+        self.queue = JobQueue(self.database)
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_interval_s = poll_interval_s
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        #: (workload_id, seed, samples) -> (train, eval); synthesis is
+        #: deterministic, so caching is purely an optimisation.
+        self._datasets: Dict[Tuple, Tuple] = {}
+
+    # -- execution ----------------------------------------------------------
+    def run_job(self, job: Job) -> None:
+        """Execute one leased job to completion (or record its failure)."""
+        with _Heartbeat(self.queue, job.id, self.worker_id,
+                        self.lease_ttl_s):
+            try:
+                task = TrialTask.from_json(job.payload)
+                train_set, eval_set = self._load_datasets(task)
+                evaluation, model = evaluate_trial(task, train_set, eval_set)
+                evaluation.model_blob = pickle.dumps(
+                    model, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                blob = pickle.dumps(
+                    evaluation, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                self.jobs_failed += 1
+                self.queue.fail(
+                    job.id, self.worker_id, traceback.format_exc(limit=8)
+                )
+                return
+        if self.queue.complete(job.id, self.worker_id, blob):
+            self.jobs_done += 1
+
+    def _load_datasets(self, task: TrialTask) -> Tuple:
+        key = (task.workload_id, task.seed, task.samples)
+        if key not in self._datasets:
+            from ..workloads import get_workload
+
+            self._datasets[key] = get_workload(task.workload_id).load(
+                seed=task.seed, samples=task.samples
+            )
+        return self._datasets[key]
+
+    # -- main loop -----------------------------------------------------------
+    def run_forever(
+        self,
+        stop_event: Optional["threading.Event"] = None,
+        idle_timeout_s: Optional[float] = None,
+    ) -> int:
+        """Lease-execute until stopped (or idle past ``idle_timeout_s``).
+
+        Returns the number of jobs completed.  Also moonlights as the
+        queue janitor: idle workers reclaim expired leases so a crashed
+        sibling's jobs are not stuck until the coordinator notices.
+        """
+        idle_since = time.time()
+        while stop_event is None or not stop_event.is_set():
+            job = self.queue.lease(
+                self.worker_id, ttl_s=self.lease_ttl_s
+            )
+            if job is None:
+                self.queue.reclaim_expired()
+                if (
+                    idle_timeout_s is not None
+                    and time.time() - idle_since > idle_timeout_s
+                ):
+                    break
+                time.sleep(self.poll_interval_s)
+                continue
+            self.run_job(job)
+            idle_since = time.time()
+        return self.jobs_done
+
+    def close(self) -> None:
+        if self._owns_database:
+            self.database.close()
+
+
+def worker_main(
+    db_path: str,
+    worker_id: Optional[str] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_interval_s: float = IDLE_POLL_S,
+    idle_timeout_s: Optional[float] = None,
+) -> int:
+    """Process entry point for pool workers (importable, hence spawn-safe)."""
+    worker = TrialWorker(
+        db_path,
+        worker_id=worker_id,
+        lease_ttl_s=lease_ttl_s,
+        poll_interval_s=poll_interval_s,
+    )
+    try:
+        return worker.run_forever(idle_timeout_s=idle_timeout_s)
+    except KeyboardInterrupt:
+        return worker.jobs_done
+    finally:
+        worker.close()

@@ -1,5 +1,21 @@
-"""Persistent trial database and the inference historical-result cache."""
+"""Persistent trial database and the inference historical-result cache.
 
-from .database import StoredInferenceResult, TrialDatabase
+Also home of the schema shared with :mod:`repro.service`: the ``sessions``
+and ``jobs`` tables behind the persistent tuning job queue.
+"""
 
-__all__ = ["TrialDatabase", "StoredInferenceResult"]
+from .database import (
+    BUSY_TIMEOUT_MS,
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    StoredInferenceResult,
+    TrialDatabase,
+)
+
+__all__ = [
+    "TrialDatabase",
+    "StoredInferenceResult",
+    "MIGRATIONS",
+    "SCHEMA_VERSION",
+    "BUSY_TIMEOUT_MS",
+]

@@ -1,12 +1,22 @@
 """Persistent trial database (the architecture box "Persistent Database").
 
 Backed by sqlite3 (stdlib); ``path=":memory:"`` gives an ephemeral store
-for tests.  Two tables:
+for tests.  Four tables:
 
 * ``trials`` — every training trial the Model Tuning Server ran;
 * ``inference_results`` — the Inference Tuning Server's historical
   look-up table (§3.4): optimal inference configuration and metrics keyed
-  by architecture, so repeated architectures are never re-tuned.
+  by architecture, so repeated architectures are never re-tuned;
+* ``sessions`` — long-lived tuning sessions owned by :mod:`repro.service`
+  (spec, lifecycle state, checkpoint blob for crash-safe resume);
+* ``jobs`` — the persistent trial-evaluation job queue consumed by the
+  service's parallel worker pool (lease-with-heartbeat ownership).
+
+The schema is evolved through numbered migrations tracked in sqlite's
+``PRAGMA user_version``, so databases written by older releases are
+upgraded in place on open.  File-backed databases run in WAL journal mode
+with a busy timeout so several worker *processes* can share one file
+without ``database is locked`` failures.
 """
 
 from __future__ import annotations
@@ -14,12 +24,18 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import StorageError
 
-_SCHEMA = """
+#: How long (ms) a connection waits on a locked database before failing;
+#: generous because worker processes contend on the shared job queue.
+BUSY_TIMEOUT_MS = 10_000
+
+_SCHEMA_V1 = """
 CREATE TABLE IF NOT EXISTS trials (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
     experiment TEXT NOT NULL,
@@ -51,6 +67,61 @@ CREATE TABLE IF NOT EXISTS inference_results (
 );
 """
 
+#: v2 — trials history queries sort by insertion time; ``created_at`` is
+#: stamped by :meth:`TrialDatabase.record_trial` from this version on.
+_SCHEMA_V2 = """
+CREATE INDEX IF NOT EXISTS idx_trials_experiment_created
+    ON trials (experiment, created_at);
+"""
+
+#: v3 — the service layer: tuning sessions and the trial-evaluation job
+#: queue (states: queued/leased/done/failed).
+_SCHEMA_V3 = """
+CREATE TABLE IF NOT EXISTS sessions (
+    id TEXT PRIMARY KEY,
+    spec TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    checkpoint BLOB,
+    result TEXT,
+    error TEXT,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_sessions_state ON sessions (state, created_at);
+
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    session_id TEXT NOT NULL,
+    trial_id INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    lease_owner TEXT,
+    lease_expires_at REAL,
+    next_retry_at REAL NOT NULL DEFAULT 0,
+    result BLOB,
+    error TEXT,
+    created_at REAL NOT NULL,
+    started_at REAL,
+    finished_at REAL,
+    UNIQUE (session_id, trial_id)
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_claim ON jobs (state, next_retry_at, id);
+CREATE INDEX IF NOT EXISTS idx_jobs_session ON jobs (session_id, state);
+"""
+
+#: Ordered (version, script) migration ladder; each script must be safe to
+#: run on a database that already contains the objects it creates (older
+#: releases wrote the v1 tables without stamping ``user_version``).
+MIGRATIONS: Tuple[Tuple[int, str], ...] = (
+    (1, _SCHEMA_V1),
+    (2, _SCHEMA_V2),
+    (3, _SCHEMA_V3),
+)
+
+SCHEMA_VERSION = MIGRATIONS[-1][0]
+
 
 @dataclass
 class StoredInferenceResult:
@@ -69,16 +140,100 @@ class StoredInferenceResult:
 
 
 class TrialDatabase:
-    """Thread-safe sqlite wrapper used by both tuning servers."""
+    """Thread-safe sqlite wrapper used by both tuning servers.
 
-    def __init__(self, path: str = ":memory:"):
+    The same class is shared by the service layer: every coordinator and
+    worker *process* opens its own ``TrialDatabase`` over one file; WAL
+    journaling plus the busy timeout make that safe.
+    """
+
+    def __init__(
+        self, path: str = ":memory:", busy_timeout_ms: int = BUSY_TIMEOUT_MS
+    ):
         try:
-            self._connection = sqlite3.connect(path, check_same_thread=False)
-            self._connection.executescript(_SCHEMA)
+            # Autocommit mode: every statement is atomic on its own and
+            # multi-statement sections use the explicit :meth:`transaction`
+            # helper — required for the job queue's BEGIN IMMEDIATE claims.
+            self._connection = sqlite3.connect(
+                path, check_same_thread=False, isolation_level=None,
+                timeout=busy_timeout_ms / 1000.0,
+            )
+            self._connection.execute(
+                f"PRAGMA busy_timeout = {int(busy_timeout_ms)}"
+            )
+            if path != ":memory:":
+                # WAL lets worker processes read while the coordinator
+                # writes (and vice versa) instead of raising
+                # "database is locked"; a no-op for in-memory stores.
+                self._connection.execute("PRAGMA journal_mode = WAL")
+                self._connection.execute("PRAGMA synchronous = NORMAL")
+            self._migrate()
         except sqlite3.Error as error:
             raise StorageError(f"could not open trial database: {error}")
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self.path = path
+
+    # -- schema lifecycle ---------------------------------------------------
+    def _migrate(self) -> None:
+        """Bring the schema up to :data:`SCHEMA_VERSION` in-place."""
+        (version,) = self._connection.execute(
+            "PRAGMA user_version"
+        ).fetchone()
+        for target, script in MIGRATIONS:
+            if version >= target:
+                continue
+            if target == 2:
+                self._ensure_column(
+                    "trials", "created_at", "REAL NOT NULL DEFAULT 0"
+                )
+            self._connection.executescript(script)
+            self._connection.execute(f"PRAGMA user_version = {target}")
+            version = target
+
+    def _ensure_column(self, table: str, column: str, decl: str) -> None:
+        """Add ``column`` to ``table`` when a pre-migration file lacks it."""
+        present = {
+            row[1]
+            for row in self._connection.execute(
+                f"PRAGMA table_info({table})"
+            ).fetchall()
+        }
+        if column not in present:
+            self._connection.execute(
+                f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
+            )
+
+    @property
+    def schema_version(self) -> int:
+        (version,) = self._connection.execute(
+            "PRAGMA user_version"
+        ).fetchone()
+        return int(version)
+
+    # -- low-level access (service layer) -----------------------------------
+    def execute(self, sql: str, args: Tuple = ()) -> sqlite3.Cursor:
+        """Run one statement under the instance lock (autocommitted)."""
+        with self._lock:
+            return self._connection.execute(sql, args)
+
+    @contextmanager
+    def transaction(self, immediate: bool = True) -> Iterator[sqlite3.Connection]:
+        """A serialized read-modify-write section.
+
+        ``immediate`` grabs the sqlite write lock up front, which is what
+        makes the job queue's claim step atomic across processes.
+        """
+        with self._lock:
+            self._connection.execute(
+                "BEGIN IMMEDIATE" if immediate else "BEGIN"
+            )
+            try:
+                yield self._connection
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            else:
+                self._connection.execute("COMMIT")
 
     # -- trials ------------------------------------------------------------
     def record_trial(
@@ -93,13 +248,14 @@ class TrialDatabase:
         score: float,
         train_runtime_s: float,
         train_energy_j: float,
+        created_at: Optional[float] = None,
     ) -> None:
         with self._lock, self._connection:
             self._connection.execute(
                 "INSERT INTO trials (experiment, trial_id, configuration, "
                 "fidelity, epochs, data_fraction, accuracy, score, "
-                "train_runtime_s, train_energy_j) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "train_runtime_s, train_energy_j, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     experiment,
                     trial_id,
@@ -111,6 +267,7 @@ class TrialDatabase:
                     score,
                     train_runtime_s,
                     train_energy_j,
+                    time.time() if created_at is None else float(created_at),
                 ),
             )
 
@@ -133,6 +290,33 @@ class TrialDatabase:
                 "score": row[6],
                 "train_runtime_s": row[7],
                 "train_energy_j": row[8],
+            }
+            for row in rows
+        ]
+
+    def history(
+        self, experiment: Optional[str] = None, limit: int = 20
+    ) -> List[Dict[str, Any]]:
+        """Most recent trials first (status dashboards, ``service status``)."""
+        query = (
+            "SELECT experiment, trial_id, accuracy, score, created_at "
+            "FROM trials"
+        )
+        args: List[Any] = []
+        if experiment is not None:
+            query += " WHERE experiment = ?"
+            args.append(experiment)
+        query += " ORDER BY created_at DESC, id DESC LIMIT ?"
+        args.append(int(limit))
+        with self._lock:
+            rows = self._connection.execute(query, tuple(args)).fetchall()
+        return [
+            {
+                "experiment": row[0],
+                "trial_id": row[1],
+                "accuracy": row[2],
+                "score": row[3],
+                "created_at": row[4],
             }
             for row in rows
         ]

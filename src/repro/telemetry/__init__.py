@@ -1,5 +1,6 @@
-"""Measurement records and aggregation helpers."""
+"""Measurement records, aggregation helpers, and service meters."""
 
+from .meters import Counter, Gauge, Meter, MeterRegistry
 from .metrics import (
     InferenceMeasurement,
     MetricSummary,
@@ -12,4 +13,8 @@ __all__ = [
     "InferenceMeasurement",
     "MetricSummary",
     "percent_error",
+    "Counter",
+    "Gauge",
+    "Meter",
+    "MeterRegistry",
 ]

@@ -1,0 +1,93 @@
+"""Lightweight operational meters for the tuning service.
+
+Distinct from :mod:`repro.telemetry.metrics` (simulated physical
+measurements): meters track *real* operational quantities — queue depth
+over time, jobs per worker, wave latencies — cheaply enough to sample in
+the coordinator's poll loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricSummary
+
+
+@dataclass
+class Counter:
+    """Monotonic event count (jobs completed, retries, respawns)."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += int(amount)
+
+
+@dataclass
+class Gauge:
+    """Last-value-wins measurement (current queue depth, live workers)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Meter:
+    """A sampled series with summary statistics (kept fully in memory;
+    service sessions run at most a few thousand samples)."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def summary(self) -> Optional[MetricSummary]:
+        if not self.samples:
+            return None
+        return MetricSummary.of(self.samples)
+
+
+class MeterRegistry:
+    """Named meters for one coordinator run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._meters: Dict[str, Meter] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def meter(self, name: str) -> Meter:
+        return self._meters.setdefault(name, Meter(name))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict dump (JSON-safe) for status output and session
+        result summaries."""
+        out: Dict[str, Any] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, meter in sorted(self._meters.items()):
+            summary = meter.summary()
+            if summary is None:
+                continue
+            out[name] = {
+                "count": summary.count,
+                "mean": summary.mean,
+                "min": summary.minimum,
+                "max": summary.maximum,
+                "p50": summary.p50,
+                "p90": summary.p90,
+            }
+        return out

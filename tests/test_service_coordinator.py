@@ -1,0 +1,169 @@
+"""Tests for the session coordinator: determinism, resume, failure paths.
+
+The determinism contract under test: because the coordinator integrates
+results strictly in wave order, a service run's outcome is independent of
+worker count and completion timing — and identical to the classic serial
+``ModelTuningServer.run`` for the synchronous halving schedulers.
+"""
+
+import os
+import pickle
+
+import pytest
+
+import repro.service.worker as worker_module
+from repro import EdgeTune
+from repro.core.model_server import ModelTuningServer
+from repro.errors import ServiceError
+from repro.service import (
+    JobQueue,
+    SessionCoordinator,
+    SessionSpec,
+    SessionStore,
+)
+from repro.service.queue import DONE
+from repro.service.sessions import S_DONE, S_FAILED
+from repro.storage import TrialDatabase
+
+
+def make_session(db, **overrides):
+    base = dict(workload="IC", device="armv7", seed=7, samples=240)
+    base.update(overrides)
+    spec = SessionSpec(**base)
+    return SessionStore(db).create(spec), spec
+
+
+def fingerprint(result):
+    """Everything that must match between two equivalent runs."""
+    return (
+        [(t.trial_id, t.score, t.accuracy, t.stall_s) for t in result.trials],
+        result.best_configuration,
+        result.best_accuracy,
+        result.best_score,
+        result.tuning_runtime_s,
+        result.tuning_energy_j,
+        result.stall_s,
+    )
+
+
+class TestInlineService:
+    def test_matches_classic_serial_run(self):
+        serial = EdgeTune(workload="IC", device="armv7", seed=7,
+                          samples=240).tune()
+        db = TrialDatabase()
+        session_id, _ = make_session(db)
+        service = SessionCoordinator(db, session_id, workers=0).run()
+        assert fingerprint(service) == fingerprint(serial)
+
+    def test_session_row_records_summary_and_meters(self):
+        db = TrialDatabase()
+        session_id, _ = make_session(db, max_trials=8)
+        result = SessionCoordinator(db, session_id, workers=0).run()
+        record = SessionStore(db).get(session_id)
+        assert record.state == S_DONE
+        assert record.result["num_trials"] == len(result.trials)
+        assert record.result["best_accuracy"] == result.best_accuracy
+        assert record.result["meters"]["trials.integrated"] == len(
+            result.trials
+        )
+        stats = {s["worker"]: s for s in record.result["worker_stats"]}
+        assert stats["inline"]["jobs_done"] == len(result.trials)
+        assert not record.has_checkpoint  # dropped on finish
+
+    def test_completed_session_cannot_rerun(self):
+        db = TrialDatabase()
+        session_id, _ = make_session(db, max_trials=4)
+        SessionCoordinator(db, session_id, workers=0).run()
+        with pytest.raises(ServiceError):
+            SessionCoordinator(db, session_id, workers=0).run()
+
+
+class TestWorkerCountDeterminism:
+    def test_one_vs_four_workers_identical(self, tmp_path):
+        """Satellite (d): N-worker process pools produce bit-identical
+        trial scores and the same winner as a single worker."""
+        fingerprints = []
+        for workers in (1, 4):
+            path = os.path.join(tmp_path, f"svc-{workers}.sqlite")
+            with TrialDatabase(path) as db:
+                session_id, _ = make_session(db)
+                result = SessionCoordinator(
+                    db, session_id, workers=workers
+                ).run()
+                fingerprints.append(fingerprint(result))
+                assert SessionStore(db).get(session_id).state == S_DONE
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestCrashResume:
+    def test_resume_after_coordinator_crash_skips_finished_trials(
+        self, monkeypatch
+    ):
+        """Crash after 10 integrated trials; resume must (a) never
+        re-execute the training of already-done jobs and (b) finish with
+        the exact result of an uninterrupted run."""
+        reference_db = TrialDatabase()
+        ref_id, _ = make_session(reference_db)
+        reference = SessionCoordinator(reference_db, ref_id).run()
+
+        db = TrialDatabase()
+        session_id, _ = make_session(db)
+        original = ModelTuningServer.integrate
+        calls = {"n": 0}
+
+        def crashing(self, state, trial, evaluation, model=None):
+            record = original(self, state, trial, evaluation, model=model)
+            calls["n"] += 1
+            if calls["n"] >= 10:
+                raise RuntimeError("simulated coordinator crash")
+            return record
+
+        monkeypatch.setattr(ModelTuningServer, "integrate", crashing)
+        with pytest.raises(RuntimeError):
+            SessionCoordinator(db, session_id, workers=0).run()
+        monkeypatch.setattr(ModelTuningServer, "integrate", original)
+
+        store = SessionStore(db)
+        crashed = store.get(session_id)
+        assert crashed.state == S_FAILED
+        assert crashed.has_checkpoint
+        queue = JobQueue(db)
+        done_before = {
+            job.trial_id: (job.attempts, job.finished_at)
+            for job in queue.jobs_for(session_id, DONE)
+        }
+        assert len(done_before) >= 10
+
+        coordinator = SessionCoordinator(db, session_id, workers=0)
+        resumed = coordinator.run()
+        assert fingerprint(resumed) == fingerprint(reference)
+        assert store.get(session_id).state == S_DONE
+        # At least the 9 checkpointed trials were restored, not re-run.
+        assert coordinator.meters.counter("trials.resumed").value == 9
+        done_after = {
+            job.trial_id: (job.attempts, job.finished_at)
+            for job in queue.jobs_for(session_id, DONE)
+        }
+        for trial_id, before in done_before.items():
+            assert done_after[trial_id] == before  # untouched by resume
+
+    def test_failing_trial_fails_the_session_after_retries(
+        self, monkeypatch
+    ):
+        db = TrialDatabase()
+        session_id, _ = make_session(db, max_trials=4)
+
+        def broken(task, *args, **kwargs):
+            raise ValueError(f"cannot evaluate trial {task.trial_id}")
+
+        monkeypatch.setattr(worker_module, "evaluate_trial", broken)
+        with pytest.raises(ServiceError, match="failed after"):
+            SessionCoordinator(
+                db, session_id, workers=0, poll_interval_s=0.01
+            ).run()
+        record = SessionStore(db).get(session_id)
+        assert record.state == S_FAILED
+        failed_jobs = JobQueue(db).jobs_for(session_id, "failed")
+        assert failed_jobs
+        assert failed_jobs[0].attempts == failed_jobs[0].max_attempts
+        assert "cannot evaluate trial" in failed_jobs[0].error
