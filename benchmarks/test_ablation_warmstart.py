@@ -1,0 +1,18 @@
+"""Ablation: search warm-starting from prior sessions, cold vs warm."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_warm_start
+
+
+def test_ablation_warm_start(benchmark, ctx, results_dir):
+    result = run_experiment(benchmark, ablation_warm_start, ctx, results_dir)
+    rows = {r["phase"]: r for r in result.rows}
+    first, cold, warm = rows["first"], rows["cold"], rows["warm"]
+    # Every phase reached the target accuracy.
+    assert min(first["accuracy"], cold["accuracy"], warm["accuracy"]) >= 0.75
+    # The warm session absorbed the first session's trials...
+    assert warm["warm_started"] == first["trials"]
+    # ...and reached the target in strictly fewer trials than the
+    # identically-seeded cold run.
+    assert warm["trials"] < cold["trials"]

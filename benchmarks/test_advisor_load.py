@@ -1,0 +1,83 @@
+"""Load benchmark: the advisor server under sustained concurrent asks.
+
+Not a paper figure — this guards the ROADMAP's production-scale goal for
+the recommendation path: many clients asking "what configuration for
+workload X on device Y?" must be served from the LRU cache at four-digit
+request rates with single-digit-millisecond tails.
+"""
+
+import threading
+
+import pytest
+
+from repro.advisor import AdvisorServer, KnowledgeBase, run_load
+from repro.storage import TrialDatabase
+
+#: The ISSUE's floor for sustained cached throughput, requests/second.
+TARGET_RPS = 1000.0
+
+
+@pytest.fixture(scope="module")
+def served():
+    from tests.test_advisor_kb import index
+
+    database = TrialDatabase()
+    kb = KnowledgeBase(database)
+    for workload in ("IC", "SR", "NLP", "OD"):
+        index(kb, workload=workload)
+    server = AdvisorServer(database, port=0)
+    thread = threading.Thread(target=server.serve_until_drained, daemon=True)
+    thread.start()
+    yield server
+    server.initiate_drain()
+    thread.join(timeout=5.0)
+
+
+def test_sustained_throughput(served, benchmark):
+    report = benchmark.pedantic(
+        run_load,
+        args=(served.host, served.port),
+        kwargs=dict(
+            threads=4,
+            duration_s=2.0,
+            asks=[
+                {"workload": workload, "device": "armv7",
+                 "objective": "runtime"}
+                for workload in ("IC", "SR", "NLP", "OD")
+            ],
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(report.render())
+    assert report.errors == 0
+    assert report.requests > 0
+    assert report.throughput_rps >= TARGET_RPS
+    # Tail latency comes from real telemetry on both sides of the wire.
+    assert report.latency is not None and report.latency.p99 > 0.0
+    server_latency = report.server_stats["stats"]["advisor.latency_s"]
+    assert server_latency["p99"] > 0.0
+    # Steady state is cache-served: after warm-up every distinct question
+    # is resident, so hits dominate misses by orders of magnitude.
+    stats = report.server_stats["stats"]
+    assert stats["advisor.cache_hits"] > 100 * stats["advisor.cache_misses"]
+
+
+def test_rate_limited_server_sheds_load():
+    from tests.test_advisor_kb import index
+
+    database = TrialDatabase()
+    index(KnowledgeBase(database))
+    server = AdvisorServer(database, port=0, rate_limit=50.0, burst=10)
+    thread = threading.Thread(target=server.serve_until_drained, daemon=True)
+    thread.start()
+    try:
+        report = run_load(server.host, server.port, threads=2,
+                          duration_s=0.5)
+    finally:
+        server.initiate_drain()
+        thread.join(timeout=5.0)
+    # Refusals surface as errors in the report, not hangs or timeouts.
+    assert report.errors > 0
+    assert report.server_stats["stats"]["advisor.rate_limited"] > 0

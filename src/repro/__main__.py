@@ -3,11 +3,14 @@
 Tune a workload end to end from the shell::
 
     python -m repro tune IC --device armv7 --target 0.8
+    python -m repro tune IC --db tuning.sqlite --warm-start
     python -m repro tune SR --system tune --budget epochs
+    python -m repro advisor ask IC --db tuning.sqlite
     python -m repro devices
     python -m repro workloads
 
-(`python -m repro.experiments ...` regenerates the paper's tables/figures.)
+(`python -m repro.experiments ...` regenerates the paper's tables/figures;
+``python -m repro advisor ...`` serves recommendations from past sessions.)
 """
 
 from __future__ import annotations
@@ -67,6 +70,7 @@ def _tune_service(args) -> int:
             seed=args.seed,
             samples=args.samples,
             target_accuracy=args.target,
+            warm_start=args.warm_start,
         )
         session_id = SessionStore(database).create(spec)
         result = SessionCoordinator(
@@ -88,29 +92,55 @@ def _cmd_tune(args) -> int:
     from . import EdgeTune
     from .baselines import HierarchicalTuner, HyperPowerBaseline, TuneBaseline
     from .budgets import build_budget
+    from .storage import TrialDatabase
 
     warnings.filterwarnings("ignore", category=RuntimeWarning)
     if args.workers:
         return _tune_service(args)
+    if args.warm_start and args.db is None:
+        print("--warm-start needs --db (prior sessions to learn from)",
+              file=sys.stderr)
+        return 2
+    if args.warm_start and args.system == "hierarchical":
+        print("--warm-start is not supported by the hierarchical tuner",
+              file=sys.stderr)
+        return 2
+    database = TrialDatabase(args.db) if args.db is not None else None
     common = dict(
         workload=args.workload,
         seed=args.seed,
         samples=args.samples,
         target_accuracy=args.target,
+        database=database,
     )
-    if args.system == "edgetune":
-        tuner = EdgeTune(device=args.device, budget=args.budget,
-                         tuning_metric=args.metric, **common)
-    elif args.system == "tune":
-        tuner = TuneBaseline(budget=build_budget(args.budget), **common)
-    elif args.system == "hyperpower":
-        tuner = HyperPowerBaseline(budget=build_budget(args.budget), **common)
-    else:
-        common.pop("target_accuracy")
-        tuner = HierarchicalTuner(device=args.device, tuning_metric=args.metric,
-                                  **common)
-    result = tuner.tune()
+    try:
+        if args.system == "edgetune":
+            tuner = EdgeTune(device=args.device, budget=args.budget,
+                             tuning_metric=args.metric,
+                             warm_start=args.warm_start, **common)
+        elif args.system == "tune":
+            tuner = TuneBaseline(budget=build_budget(args.budget), **common)
+        elif args.system == "hyperpower":
+            tuner = HyperPowerBaseline(budget=build_budget(args.budget),
+                                       **common)
+        else:
+            common.pop("target_accuracy")
+            common.pop("database")
+            tuner = HierarchicalTuner(device=args.device,
+                                      tuning_metric=args.metric, **common)
+        if args.warm_start and args.system in ("tune", "hyperpower"):
+            tuner.server.warm_start = True
+        result = tuner.tune()
+    finally:
+        if database is not None:
+            database.close()
     print_result(result)
+    if args.warm_start and hasattr(tuner, "server"):
+        print(f"warm-started from: "
+              f"{tuner.server.warm_started_trials} prior trials")
+    elif args.warm_start:
+        print(f"warm-started from: "
+              f"{tuner.model_server.warm_started_trials} prior trials")
     return 0
 
 
@@ -159,8 +189,12 @@ def main(argv=None) -> int:
                       help="run via the tuning service with N parallel "
                            "worker processes (0 = classic in-process run)")
     tune.add_argument("--db", default=None,
-                      help="sqlite path for --workers runs (default: "
-                           "a temporary file)")
+                      help="persistent sqlite path: required by --workers "
+                           "runs (default: a temporary file) and by "
+                           "--warm-start")
+    tune.add_argument("--warm-start", action="store_true",
+                      help="seed the search model from prior trials of the "
+                           "same experiment recorded in --db")
     tune.set_defaults(func=_cmd_tune)
 
     devices = subparsers.add_parser("devices", help="list emulated devices")
@@ -170,6 +204,19 @@ def main(argv=None) -> int:
                                       help="list Table 1 workloads")
     workloads.set_defaults(func=_cmd_workloads)
 
+    subparsers.add_parser(
+        "advisor",
+        help="recommendation advisor (serve/ask/index/bench); "
+             "see `python -m repro advisor --help`",
+        add_help=False,
+    )
+
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "advisor":
+        # The advisor owns its whole sub-CLI (including --help).
+        from .advisor.cli import main as advisor_main
+
+        return advisor_main(argv[1:])
     args = parser.parse_args(argv)
     return args.func(args)
 

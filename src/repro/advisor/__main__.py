@@ -1,0 +1,8 @@
+"""``python -m repro.advisor`` — alias for ``python -m repro advisor``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

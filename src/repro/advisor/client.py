@@ -1,0 +1,112 @@
+"""Line-JSON client for the recommendation server.
+
+One persistent connection per client; every request is one line out, one
+line back.  Used by ``advisor ask``/``advisor bench``, the load
+generator's worker threads, and tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from ..errors import AdvisorError
+
+DEFAULT_PORT = 8377
+DEFAULT_TIMEOUT_S = 5.0
+
+
+class AdvisorClient:
+    """Blocking client over one persistent TCP connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    # -- connection ---------------------------------------------------------
+    def connect(self) -> "AdvisorClient":
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+            except OSError as error:
+                raise AdvisorError(
+                    f"cannot reach advisor at {self.host}:{self.port}: "
+                    f"{error}"
+                )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._rfile = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "AdvisorClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- requests -----------------------------------------------------------
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request and return the decoded response object."""
+        self.connect()
+        assert self._sock is not None and self._rfile is not None
+        payload = dict(params, op=op)
+        try:
+            self._sock.sendall(
+                (json.dumps(payload, sort_keys=True) + "\n").encode()
+            )
+            line = self._rfile.readline()
+        except OSError as error:
+            raise AdvisorError(f"advisor connection failed: {error}")
+        if not line:
+            raise AdvisorError("advisor closed the connection")
+        try:
+            return json.loads(line.decode("utf-8"))
+        except ValueError as error:
+            raise AdvisorError(f"malformed advisor response: {error}")
+
+    def ask(
+        self,
+        workload: str,
+        device: str = "armv7",
+        objective: str = "runtime",
+        target_accuracy: Optional[float] = None,
+        system: Optional[str] = None,
+        allow_nearest: bool = True,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "ask",
+            workload=workload,
+            device=device,
+            objective=objective,
+            target_accuracy=target_accuracy,
+            system=system,
+            allow_nearest=allow_nearest,
+        )
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def index(self) -> Dict[str, Any]:
+        return self.request("index")

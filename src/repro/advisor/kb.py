@@ -1,0 +1,290 @@
+"""The tuning knowledge base (the advisor's read/write core).
+
+One row per (workload, device, objective, target, system): the distilled
+outcome of a finished tuning session — best training configuration, the
+deployment :class:`~repro.core.results.InferenceRecommendation`, and what
+finding them cost.  Rows are written when a service session finalizes
+(:class:`~repro.service.coordinator.SessionCoordinator`) or in bulk by
+``python -m repro advisor index``; queries fall back to the
+nearest-signature neighbour when the exact workload was never tuned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.results import InferenceRecommendation, TuningRunResult
+from ..errors import AdvisorError
+from ..storage import StoredRecommendation, TrialDatabase
+from ..telemetry import InferenceMeasurement
+from .signature import signature_distance, signature_for
+
+#: Penalties added to the signature distance when a candidate row does not
+#: match the non-workload key fields.  Objective mismatch is worst: an
+#: energy-optimal configuration answers a different question entirely.
+DEVICE_MISMATCH_PENALTY = 2.0
+OBJECTIVE_MISMATCH_PENALTY = 3.0
+TARGET_MISMATCH_PENALTY = 0.5
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One answer from the knowledge base."""
+
+    recommendation: StoredRecommendation
+    #: Whether every key field (workload, device, objective, target)
+    #: matched exactly; inexact answers carry the match cost instead.
+    exact: bool
+    match_cost: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload served over the wire."""
+        rec = self.recommendation
+        return {
+            "workload": rec.workload,
+            "device": rec.device,
+            "objective": rec.objective,
+            "target_accuracy": rec.target_accuracy,
+            "system": rec.system,
+            "session_id": rec.session_id,
+            "best_configuration": rec.best_configuration,
+            "best_accuracy": rec.best_accuracy,
+            "best_score": rec.best_score,
+            "num_trials": rec.num_trials,
+            "tuning_runtime_s": rec.tuning_runtime_s,
+            "tuning_energy_j": rec.tuning_energy_j,
+            "inference": rec.inference,
+            "exact": self.exact,
+            "match_cost": self.match_cost,
+        }
+
+
+def inference_recommendation_of(
+    payload: Dict[str, Any]
+) -> InferenceRecommendation:
+    """Materialize the stored JSON inference block back into the
+    :class:`InferenceRecommendation` the original session produced."""
+    measurement = payload.get("measurement") or {}
+    return InferenceRecommendation(
+        configuration=dict(payload.get("configuration") or {}),
+        measurement=InferenceMeasurement(
+            batch_latency_s=float(measurement.get("batch_latency_s", 0.0)),
+            throughput_sps=float(measurement.get("throughput_sps", 0.0)),
+            energy_per_sample_j=float(
+                measurement.get("energy_per_sample_j", 0.0)
+            ),
+            power_w=float(measurement.get("power_w", 0.0)),
+            working_set_bytes=0,
+            device=payload.get("device", ""),
+            batch_size=int(measurement.get("batch_size", 1)),
+            cores=int(measurement.get("cores", 1)),
+        ),
+        device=payload.get("device", ""),
+        objective=payload.get("objective", ""),
+        tuning_runtime_s=float(payload.get("tuning_runtime_s", 0.0)),
+        tuning_energy_j=float(payload.get("tuning_energy_j", 0.0)),
+        cache_hit=bool(payload.get("cache_hit", False)),
+    )
+
+
+class KnowledgeBase:
+    """Reads and writes the ``recommendations`` table."""
+
+    def __init__(self, database: TrialDatabase):
+        self.database = database
+
+    # -- writing -----------------------------------------------------------
+    def index_result(
+        self,
+        *,
+        workload: str,
+        device: str,
+        objective: str,
+        target_accuracy: Optional[float],
+        system: str,
+        session_id: Optional[str],
+        result: TuningRunResult,
+    ) -> StoredRecommendation:
+        """Distill a live :class:`TuningRunResult` into one KB row."""
+        inference: Optional[Dict[str, Any]] = None
+        if result.inference is not None:
+            rec = result.inference
+            inference = {
+                "configuration": dict(rec.configuration),
+                "device": rec.device,
+                "objective": rec.objective,
+                "tuning_runtime_s": float(rec.tuning_runtime_s),
+                "tuning_energy_j": float(rec.tuning_energy_j),
+                "cache_hit": bool(rec.cache_hit),
+                "measurement": {
+                    "batch_latency_s": rec.measurement.batch_latency_s,
+                    "throughput_sps": rec.measurement.throughput_sps,
+                    "energy_per_sample_j":
+                        rec.measurement.energy_per_sample_j,
+                    "power_w": rec.measurement.power_w,
+                    "batch_size": rec.measurement.batch_size,
+                    "cores": rec.measurement.cores,
+                },
+            }
+        return self._store(
+            workload=workload,
+            device=device,
+            objective=objective,
+            target_accuracy=target_accuracy,
+            system=system,
+            session_id=session_id,
+            best_configuration={
+                str(k): _json_safe(v)
+                for k, v in result.best_configuration.items()
+            },
+            best_accuracy=float(result.best_accuracy),
+            best_score=float(result.best_score),
+            num_trials=len(result.trials),
+            tuning_runtime_s=float(result.tuning_runtime_s),
+            tuning_energy_j=float(result.tuning_energy_j),
+            inference=inference,
+        )
+
+    def index_summary(
+        self,
+        *,
+        workload: str,
+        device: str,
+        objective: str,
+        target_accuracy: Optional[float],
+        system: str,
+        session_id: Optional[str],
+        summary: Dict[str, Any],
+    ) -> StoredRecommendation:
+        """Index from a stored session-result summary (``advisor index``)."""
+        return self._store(
+            workload=workload,
+            device=device,
+            objective=objective,
+            target_accuracy=target_accuracy,
+            system=system,
+            session_id=session_id,
+            best_configuration=dict(summary.get("best_configuration") or {}),
+            best_accuracy=float(summary.get("best_accuracy", 0.0)),
+            best_score=float(summary.get("best_score", 0.0)),
+            num_trials=int(summary.get("num_trials", 0)),
+            tuning_runtime_s=float(summary.get("tuning_runtime_s", 0.0)),
+            tuning_energy_j=float(summary.get("tuning_energy_j", 0.0)),
+            inference=summary.get("inference"),
+        )
+
+    def _store(self, **fields: Any) -> StoredRecommendation:
+        record = StoredRecommendation(
+            signature=signature_for(fields["workload"]),
+            created_at=time.time(),
+            **fields,
+        )
+        self.database.store_recommendation(record)
+        return record
+
+    def index_sessions(self) -> int:
+        """(Re)index every finished session with a stored result summary.
+
+        The bulk path behind ``python -m repro advisor index`` — covers
+        sessions finished by releases that predate the advisor, since the
+        coordinator now indexes on finalize anyway.
+        """
+        from ..service.sessions import S_DONE, SessionStore
+
+        indexed = 0
+        for record in SessionStore(self.database).list(state=S_DONE):
+            if not record.result:
+                continue
+            self.index_summary(
+                workload=record.spec.workload,
+                device=record.spec.device,
+                objective=record.spec.tuning_metric,
+                target_accuracy=record.spec.target_accuracy,
+                system=record.spec.system,
+                session_id=record.id,
+                summary=record.result,
+            )
+            indexed += 1
+        return indexed
+
+    # -- reading -----------------------------------------------------------
+    def size(self) -> int:
+        return self.database.recommendation_count()
+
+    def query(
+        self,
+        workload: str,
+        device: str,
+        objective: str,
+        target_accuracy: Optional[float] = None,
+        system: Optional[str] = None,
+        allow_nearest: bool = True,
+    ) -> Advice:
+        """Best stored answer for a tuning question.
+
+        Exact key matches return immediately; otherwise every stored row
+        is scored by signature distance plus key-mismatch penalties and
+        the cheapest row wins (``exact=False``).  Raises
+        :class:`AdvisorError` when the knowledge base is empty, the
+        workload is unknown, or nearest matching is disabled and no exact
+        row exists.
+        """
+        exact = self.database.lookup_recommendation(
+            workload, device, objective, target_accuracy, system=system
+        )
+        if exact is not None:
+            return Advice(recommendation=exact, exact=True, match_cost=0.0)
+        if not allow_nearest:
+            raise AdvisorError(
+                f"no recommendation for workload={workload!r} "
+                f"device={device!r} objective={objective!r} "
+                f"target={target_accuracy!r}"
+            )
+        signature = signature_for(workload)
+        candidates = self.database.all_recommendations()
+        if system is not None:
+            candidates = [c for c in candidates if c.system == system]
+        if not candidates:
+            raise AdvisorError(
+                "the knowledge base is empty — run tuning sessions and "
+                "`python -m repro advisor index` first"
+            )
+        scored = [
+            (
+                self._match_cost(
+                    signature, device, objective, target_accuracy, row
+                ),
+                index,
+                row,
+            )
+            for index, row in enumerate(candidates)
+        ]
+        cost, _, row = min(scored)
+        return Advice(recommendation=row, exact=False, match_cost=cost)
+
+    @staticmethod
+    def _match_cost(
+        signature: Dict[str, Any],
+        device: str,
+        objective: str,
+        target_accuracy: Optional[float],
+        row: StoredRecommendation,
+    ) -> float:
+        cost = signature_distance(signature, row.signature)
+        if row.device != device:
+            cost += DEVICE_MISMATCH_PENALTY
+        if row.objective != objective:
+            cost += OBJECTIVE_MISMATCH_PENALTY
+        if row.target_accuracy != target_accuracy:
+            cost += TARGET_MISMATCH_PENALTY
+            if row.target_accuracy is not None and target_accuracy is not None:
+                cost += abs(row.target_accuracy - target_accuracy)
+        return cost
+
+
+def _json_safe(value: Any) -> Any:
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value

@@ -1,0 +1,139 @@
+"""Multi-threaded load generator for the recommendation server.
+
+Measures what the ROADMAP's "heavy traffic" goal actually asks of the
+advisor: sustained requests/second and tail latency under concurrent
+clients.  Each worker thread owns one persistent connection and fires
+``ask`` requests back-to-back until the deadline; latencies are measured
+client-side per request, and the server's own telemetry snapshot is
+attached for cross-checking (cache hit rate, server-side percentiles).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import AdvisorError
+from ..telemetry import MetricSummary
+from .client import AdvisorClient
+
+#: Requests each worker sends before timing starts (connection setup,
+#: server cache warm-up — steady-state throughput is the question).
+WARMUP_REQUESTS = 5
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    requests: int
+    errors: int
+    duration_s: float
+    threads: int
+    latency: Optional[MetricSummary]
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.requests / self.duration_s
+
+    def render(self) -> str:
+        lines = [
+            f"threads:        {self.threads}",
+            f"requests:       {self.requests} ({self.errors} errors)",
+            f"duration:       {self.duration_s:.2f} s",
+            f"throughput:     {self.throughput_rps:.0f} req/s",
+        ]
+        if self.latency is not None:
+            lines.append(
+                "latency (ms):   "
+                f"p50={self.latency.p50 * 1e3:.2f} "
+                f"p90={self.latency.p90 * 1e3:.2f} "
+                f"p99={self.latency.p99 * 1e3:.2f} "
+                f"max={self.latency.maximum * 1e3:.2f}"
+            )
+        stats = self.server_stats.get("stats", {})
+        hits = stats.get("advisor.cache_hits", 0)
+        misses = stats.get("advisor.cache_misses", 0)
+        if hits or misses:
+            lines.append(
+                f"server cache:   {hits} hits / {misses} misses"
+            )
+        server_latency = stats.get("advisor.latency_s")
+        if isinstance(server_latency, dict):
+            lines.append(
+                "server p99:     "
+                f"{server_latency.get('p99', 0.0) * 1e3:.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def _default_asks() -> List[Dict[str, Any]]:
+    return [{"workload": "IC", "device": "armv7", "objective": "runtime"}]
+
+
+def run_load(
+    host: str,
+    port: int,
+    threads: int = 4,
+    duration_s: float = 2.0,
+    asks: Optional[List[Dict[str, Any]]] = None,
+    timeout_s: float = 5.0,
+) -> LoadReport:
+    """Hammer a running advisor and report sustained throughput."""
+    if threads < 1:
+        raise AdvisorError(f"need at least one thread, got {threads}")
+    asks = asks or _default_asks()
+    latencies: List[List[float]] = [[] for _ in range(threads)]
+    counts = [0] * threads
+    errors = [0] * threads
+    start_barrier = threading.Barrier(threads + 1)
+
+    def worker(index: int) -> None:
+        with AdvisorClient(host, port, timeout_s=timeout_s) as client:
+            for i in range(WARMUP_REQUESTS):
+                client.request("ask", **asks[i % len(asks)])
+            start_barrier.wait()
+            deadline = time.monotonic() + duration_s
+            mine = latencies[index]
+            i = 0
+            while time.monotonic() < deadline:
+                began = time.perf_counter()
+                try:
+                    response = client.request("ask", **asks[i % len(asks)])
+                except AdvisorError:
+                    errors[index] += 1
+                    break
+                mine.append(time.perf_counter() - began)
+                counts[index] += 1
+                if not response.get("ok", False):
+                    errors[index] += 1
+                i += 1
+
+    pool = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    start_barrier.wait()
+    started = time.monotonic()
+    for thread in pool:
+        thread.join(timeout=duration_s + timeout_s * 2)
+    elapsed = time.monotonic() - started
+
+    merged = [sample for series in latencies for sample in series]
+    with AdvisorClient(host, port, timeout_s=timeout_s) as client:
+        server_stats = client.stats()
+    return LoadReport(
+        requests=sum(counts),
+        errors=sum(errors),
+        duration_s=elapsed,
+        threads=threads,
+        latency=MetricSummary.of(merged) if merged else None,
+        server_stats=server_stats,
+    )

@@ -1,0 +1,80 @@
+"""Workload signatures for nearest-neighbour knowledge transfer.
+
+A signature is a small JSON-safe description of *what kind of tuning
+problem* a workload is: the model family, the task, and the scale of the
+dataset.  Two workloads with similar signatures tend to have similar
+tuning landscapes (Amortized Auto-Tuning's transfer premise), so when the
+knowledge base holds no row for the exact workload asked about, the
+advisor answers from the nearest signature instead — flagged as inexact
+so the caller can decide whether to trust it or submit a fresh session.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Union
+
+from ..errors import AdvisorError
+from ..workloads import WORKLOADS, Workload
+
+#: Additive mismatch penalties, in signature-distance units.  Task
+#: mismatch dominates: a speech model's tuning result says little about
+#: an object detector no matter how similar the dataset sizes are.
+TASK_MISMATCH_PENALTY = 4.0
+FAMILY_MISMATCH_PENALTY = 1.0
+DATASET_MISMATCH_PENALTY = 0.5
+
+#: Weight on the (log10) dataset-size difference.
+SCALE_WEIGHT = 0.25
+
+
+def workload_signature(workload: Workload) -> Dict[str, Any]:
+    """The JSON-safe signature stored alongside every recommendation."""
+    row = workload.table1
+    return {
+        "workload": workload.workload_id,
+        "family": workload.model_name,
+        "task": workload.task,
+        "dataset": workload.dataset_name,
+        "train_files": int(row.train_files),
+        "test_files": int(row.test_files),
+    }
+
+
+def signature_for(workload: Union[str, Workload]) -> Dict[str, Any]:
+    """Signature for a workload id or object; unknown ids are an error."""
+    if isinstance(workload, Workload):
+        return workload_signature(workload)
+    if workload not in WORKLOADS:
+        raise AdvisorError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{sorted(WORKLOADS)}"
+        )
+    return workload_signature(WORKLOADS[workload])
+
+
+def _log_scale_gap(a: Any, b: Any) -> float:
+    try:
+        a, b = float(a), float(b)
+    except (TypeError, ValueError):
+        return 1.0
+    if a <= 0 or b <= 0:
+        return 1.0
+    return abs(math.log10(a) - math.log10(b))
+
+
+def signature_distance(a: Dict[str, Any], b: Dict[str, Any]) -> float:
+    """How far apart two tuning problems are (0 = the same workload)."""
+    if a.get("workload") == b.get("workload"):
+        return 0.0
+    distance = 0.0
+    if a.get("task") != b.get("task"):
+        distance += TASK_MISMATCH_PENALTY
+    if a.get("family") != b.get("family"):
+        distance += FAMILY_MISMATCH_PENALTY
+    if a.get("dataset") != b.get("dataset"):
+        distance += DATASET_MISMATCH_PENALTY
+    distance += SCALE_WEIGHT * _log_scale_gap(
+        a.get("train_files"), b.get("train_files")
+    )
+    return distance

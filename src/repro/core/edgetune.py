@@ -48,6 +48,7 @@ class EdgeTune:
         target_accuracy: Optional[float] = None,
         samples: Optional[int] = None,
         stop_on_target: bool = True,
+        warm_start: bool = False,
     ):
         self.workload = (
             get_workload(workload) if isinstance(workload, str) else workload
@@ -83,6 +84,7 @@ class EdgeTune:
             samples=samples,
             system_name="edgetune",
             stop_on_target=stop_on_target,
+            warm_start=warm_start,
         )
 
     def tune(self) -> TuningRunResult:

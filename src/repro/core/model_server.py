@@ -241,6 +241,8 @@ class ModelTuningServer:
         eta: int = 2,
         server_device: str = "titan-server",
         stop_on_target: bool = True,
+        warm_start: bool = False,
+        warm_start_records: Optional[List[Dict[str, Any]]] = None,
     ):
         self.workload = workload
         self.algorithm = algorithm
@@ -259,7 +261,20 @@ class ModelTuningServer:
         self.eta = eta
         self.server_device = server_device
         self.stop_on_target = stop_on_target
+        #: Transfer tuning knowledge from prior sessions (§3.4's reuse
+        #: principle applied to *training* search): when enabled,
+        #: :meth:`prepare` seeds the scheduler's model from historical
+        #: trials of the same experiment before the first suggestion.
+        self.warm_start = warm_start
+        self.warm_start_records = warm_start_records
+        #: Records actually absorbed by the last :meth:`prepare` (telemetry).
+        self.warm_started_trials = 0
         self._sizing_cache: Dict[tuple, Tuple[int, int]] = {}
+
+    @property
+    def experiment_name(self) -> str:
+        """The ``trials`` table experiment this server reads and writes."""
+        return f"{self.system_name}:{self.workload.workload_id}"
 
     # -- architecture sizing ---------------------------------------------------
     def _architecture_key(self, configuration, train_set):
@@ -304,6 +319,11 @@ class ModelTuningServer:
             eta=self.eta,
             num_trials=self.max_trials,
         )
+        if self.warm_start:
+            records = self.warm_start_records
+            if records is None:
+                records = self.database.trials_for(self.experiment_name)
+            self.warm_started_trials = scheduler.warm_start(records)
         pool = GpuPool(get_device(self.server_device).gpus or 1)
         return RunState(
             train_set=train_set,
@@ -470,7 +490,7 @@ class ModelTuningServer:
         )
         state.records.append(record)
         self.database.record_trial(
-            experiment=f"{self.system_name}:{self.workload.workload_id}",
+            experiment=self.experiment_name,
             trial_id=trial.trial_id,
             configuration=record.configuration,
             fidelity=trial.fidelity,

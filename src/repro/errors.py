@@ -55,3 +55,8 @@ class TuningError(ReproError):
 class ServiceError(ReproError):
     """The tuning service hit an unrecoverable condition (bad session
     spec, exhausted job retries, lost session)."""
+
+
+class AdvisorError(ReproError):
+    """The recommendation advisor could not answer (empty knowledge base,
+    malformed request, unreachable server)."""

@@ -27,6 +27,7 @@ from .ablations import (
     ablation_inference_cache,
     ablation_onefold_vs_hierarchical,
     ablation_reduction_factor,
+    ablation_warm_start,
 )
 from .budgets_exp import figure_12_budget_convergence, figure_13_budget_comparison
 from .comparisons import (
@@ -67,6 +68,7 @@ ALL_EXPERIMENTS = {
     "ablation_onefold": ablation_onefold_vs_hierarchical,
     "ablation_cache": ablation_inference_cache,
     "ablation_eta": ablation_reduction_factor,
+    "ablation_warmstart": ablation_warm_start,
 }
 
 __all__ = [

@@ -151,3 +151,59 @@ def ablation_reduction_factor(ctx: ExperimentContext) -> ExperimentResult:
     result.note("larger eta prunes harder: fewer promotions, cheaper "
                 "tuning, riskier convergence")
     return result
+
+
+def ablation_warm_start(ctx: ExperimentContext) -> ExperimentResult:
+    """Search warm-starting: trials-to-target, cold vs warm.
+
+    A first session populates the trial database; a second session over
+    the same workload then runs twice from one seed — once cold, once
+    with its TPE model warm-started from the first session's trials.
+    Seeds and sample count are pinned (not ``ctx``-scaled) because the
+    claim under test is a deterministic trial-count comparison.
+    """
+    from ..baselines import TuneBaseline
+
+    result = ExperimentResult(
+        experiment_id="ablation_warmstart",
+        title="Search warm-start: trials to target, cold vs warm",
+        columns=["phase", "seed", "trials", "accuracy", "warm_started",
+                 "tuning_runtime_m"],
+    )
+    target, samples = 0.75, 200
+    seed_first, seed_second = 7, 21
+
+    def session(database, seed, warm):
+        baseline = TuneBaseline(
+            workload="IC",
+            algorithm="tpe",
+            seed=seed,
+            samples=samples,
+            target_accuracy=target,
+            max_trials=40,
+            database=database,
+        )
+        baseline.server.warm_start = warm
+        run = baseline.tune()
+        return run, baseline.server.warm_started_trials
+
+    shared = TrialDatabase()
+    first, _ = session(shared, seed_first, warm=False)
+    cold, _ = session(TrialDatabase(), seed_second, warm=False)
+    warm, absorbed = session(shared, seed_second, warm=True)
+    for phase, seed, run, started in (
+        ("first", seed_first, first, 0),
+        ("cold", seed_second, cold, 0),
+        ("warm", seed_second, warm, absorbed),
+    ):
+        result.add_row(
+            phase=phase,
+            seed=seed,
+            trials=run.num_trials,
+            accuracy=run.best_accuracy,
+            warm_started=started,
+            tuning_runtime_m=run.tuning_runtime_minutes,
+        )
+    result.note("warm and cold share a seed; the only difference is the "
+                "prior-session trials seeding the TPE model")
+    return result

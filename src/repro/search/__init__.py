@@ -6,6 +6,7 @@ from .base import (
     SearcherScheduler,
     TrialReport,
     TrialScheduler,
+    coerce_warm_start_records,
 )
 from .bohb import BOHBScheduler
 from .grid import GridSearcher
@@ -40,4 +41,5 @@ __all__ = [
     "build_scheduler",
     "SEARCHER_NAMES",
     "SCHEDULER_NAMES",
+    "coerce_warm_start_records",
 ]

@@ -16,11 +16,47 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-from ..errors import SearchSpaceError, TuningError
+from ..errors import ConfigurationError, SearchSpaceError, TuningError
 from ..rng import SeedLike, ensure_seed
 from ..space import Configuration, ParameterSpace
+
+
+def coerce_warm_start_records(
+    space: ParameterSpace, records: List[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Validate raw warm-start records against ``space``.
+
+    A record is a mapping with ``configuration`` (name → value dict),
+    ``score`` and optionally ``fidelity``; the returned dicts carry the
+    validated :class:`Configuration` instead of the raw dict.  Records
+    whose configuration does not fit the space — stale columns from an
+    older release, a different workload's parameters — are silently
+    dropped: warm starting is best-effort by design, never a reason to
+    fail a session.
+    """
+    coerced: List[Dict[str, Any]] = []
+    for record in records:
+        values = record.get("configuration")
+        score = record.get("score")
+        if not isinstance(values, Mapping) or score is None:
+            continue
+        try:
+            configuration = space.configuration(**values)
+            score = float(score)
+        except (ConfigurationError, TypeError, ValueError):
+            continue
+        if score != score:  # NaN never helps a model
+            continue
+        coerced.append(
+            {
+                "configuration": configuration,
+                "score": score,
+                "fidelity": int(record.get("fidelity", 0) or 0),
+            }
+        )
+    return coerced
 
 
 class _Snapshottable:
@@ -63,6 +99,18 @@ class Searcher(_Snapshottable):
 
     def observe(self, configuration: Configuration, score: float) -> None:
         """Feed back an observed score (lower is better). Default: ignore."""
+
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        """Seed the searcher from prior-session trial records.
+
+        ``records`` are raw dicts (``configuration``/``score``/optional
+        ``fidelity``) as stored in the trial database; implementations
+        validate them against their space and fold the survivors into
+        their model *before* the first :meth:`suggest`.  Returns how many
+        records were actually absorbed.  The default absorbs nothing —
+        memoryless searchers (grid) have no model to seed.
+        """
+        return 0
 
     def reset(self) -> None:
         """Restore the initial state (used by repeated experiments)."""
@@ -128,6 +176,11 @@ class TrialScheduler(_Snapshottable):
         """Record the outcome of a trial previously issued."""
         raise NotImplementedError
 
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        """Seed the scheduler's search model from prior trials (see
+        :meth:`Searcher.warm_start`).  Default: absorb nothing."""
+        return 0
+
     @property
     def finished(self) -> bool:
         raise NotImplementedError
@@ -169,6 +222,9 @@ class SearcherScheduler(TrialScheduler):
     def report(self, report: TrialReport) -> None:
         self._reported += 1
         self.searcher.observe(report.trial.configuration, report.score)
+
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        return self.searcher.warm_start(records)
 
     @property
     def finished(self) -> bool:

@@ -9,11 +9,11 @@ plugs into.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..rng import SeedLike, derive_seed
 from ..space import Configuration, ParameterSpace
-from .base import Searcher, TrialReport
+from .base import Searcher, TrialReport, coerce_warm_start_records
 from .hyperband import HyperBandScheduler
 from .tpe import DEFAULT_STARTUP_TRIALS, TPESampler
 
@@ -76,6 +76,27 @@ class _BudgetAwareTPE(Searcher):
             return self._samplers[max(modelled)].suggest()
         return self._fallback.suggest()
 
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        """Seed the per-budget models from prior-session trials.
+
+        Records are registered under their original fidelity, preserving
+        BOHB's rule that only same-budget scores are compared; records
+        without a fidelity (from plain searchers) inform the fallback
+        sampler only.
+        """
+        coerced = coerce_warm_start_records(self.space, records)
+        for record in coerced:
+            fidelity = record["fidelity"]
+            if fidelity > 0:
+                self.observe_at(
+                    fidelity, record["configuration"], record["score"]
+                )
+            else:
+                self._fallback.observe(
+                    record["configuration"], record["score"]
+                )
+        return len(coerced)
+
     def reset(self) -> None:
         for sampler in self._samplers.values():
             sampler.reset()
@@ -117,3 +138,6 @@ class BOHBScheduler(HyperBandScheduler):
             report.trial.fidelity, report.trial.configuration, report.score
         )
         super().report(report)
+
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        return self.tpe.warm_start(records)

@@ -7,11 +7,11 @@ repeats in finite spaces until the space is exhausted.
 from __future__ import annotations
 
 import math
-from typing import Optional, Set
+from typing import Any, List, Mapping, Optional, Set
 
 from ..rng import SeedLike, make_rng
 from ..space import Configuration, ParameterSpace
-from .base import Searcher
+from .base import Searcher, coerce_warm_start_records
 
 #: Resample attempts before giving up on finding an unseen configuration.
 MAX_DEDUP_ATTEMPTS = 64
@@ -37,6 +37,17 @@ class RandomSearcher(Searcher):
         # Dense finite space: fall back to returning a duplicate rather
         # than stalling the tuning loop.
         return self.space.sample(self._rng)
+
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        """Mark prior-session configurations as already seen.
+
+        Random search has no score model; what transfer buys it is *not
+        re-proposing* configurations whose outcome is already known, so
+        every fresh sample explores new ground.
+        """
+        coerced = coerce_warm_start_records(self.space, records)
+        self._seen.update(record["configuration"] for record in coerced)
+        return len(coerced)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)

@@ -13,14 +13,14 @@ handled uniformly.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Any, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SearchSpaceError
 from ..rng import SeedLike, make_rng
 from ..space import Configuration, ParameterSpace
-from .base import Searcher
+from .base import Searcher, coerce_warm_start_records
 
 #: Fraction of observations treated as "good".
 DEFAULT_GAMMA = 0.25
@@ -97,6 +97,18 @@ class TPESampler(Searcher):
         self._observations.append(
             (configuration.to_unit_vector(), float(score))
         )
+
+    def warm_start(self, records: List[Mapping[str, Any]]) -> int:
+        """Seed the Parzen model with prior-session observations.
+
+        Absorbed records count toward ``startup_trials``, so a searcher
+        warm-started with enough history skips the random-exploration
+        phase entirely and models from the first suggestion.
+        """
+        coerced = coerce_warm_start_records(self.space, records)
+        for record in coerced:
+            self.observe(record["configuration"], record["score"])
+        return len(coerced)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)

@@ -30,12 +30,15 @@ from .spec import SERVICE_SYSTEMS, SessionSpec
 
 
 def _database(args) -> TrialDatabase:
+    """Open the shared database; ``TrialDatabase`` is a context manager,
+    so every command below holds it in a ``with`` block — the connection
+    (and its WAL sidecar files) is released on *every* exit path,
+    including argparse/``ServiceError`` failures mid-command."""
     return TrialDatabase(args.db)
 
 
 def _cmd_submit(args) -> int:
-    database = _database(args)
-    try:
+    with _database(args) as database:
         spec = SessionSpec(
             system=args.system,
             workload=args.workload,
@@ -46,21 +49,37 @@ def _cmd_submit(args) -> int:
             samples=args.samples,
             max_trials=args.max_trials,
             target_accuracy=args.target,
+            warm_start=args.warm_start,
         )
         session_id = SessionStore(database).create(spec)
-    finally:
-        database.close()
     print(session_id)
     return 0
 
 
+def _session_status(record, queue) -> dict:
+    """Machine-readable status for one session (the ``--json`` shape)."""
+    return {
+        "session": record.id,
+        "state": record.state,
+        "spec": record.spec.to_dict(),
+        "jobs": queue.depths(record.id),
+        "resumable": record.has_checkpoint,
+        "error": record.error,
+        "result": record.result,
+        "workers": queue.worker_stats(record.id),
+    }
+
+
 def _cmd_status(args) -> int:
-    database = _database(args)
-    try:
+    with _database(args) as database:
         store = SessionStore(database)
         queue = JobQueue(database)
         if args.session:
             record = store.get(args.session)
+            if args.json:
+                print(json.dumps(_session_status(record, queue),
+                                 sort_keys=True, indent=2))
+                return 0
             depths = queue.depths(record.id)
             print(f"session:   {record.id}")
             print(f"state:     {record.state}")
@@ -80,6 +99,12 @@ def _cmd_status(args) -> int:
                       f"{stats['busy_s']:.1f}s busy")
         else:
             records = store.list()
+            if args.json:
+                print(json.dumps(
+                    [_session_status(record, queue) for record in records],
+                    sort_keys=True, indent=2,
+                ))
+                return 0
             if not records:
                 print("no sessions")
             for record in records:
@@ -89,15 +114,12 @@ def _cmd_status(args) -> int:
                 print(f"{record.id}  {record.state:8s} "
                       f"{record.spec.system}:{record.spec.workload}  "
                       f"jobs {done}/{total}")
-    finally:
-        database.close()
     return 0
 
 
 def _cmd_workers(args) -> int:
     warnings.filterwarnings("ignore", category=RuntimeWarning)
-    database = _database(args)
-    try:
+    with _database(args) as database:
         results = serve(
             database,
             workers=args.num,
@@ -105,8 +127,6 @@ def _cmd_workers(args) -> int:
             drain=args.drain,
             idle_timeout_s=args.idle_timeout,
         )
-    finally:
-        database.close()
     for result in results:
         print(f"done: {result.system}:{result.workload_id} "
               f"{len(result.trials)} trials, "
@@ -118,27 +138,22 @@ def _cmd_resume(args) -> int:
     from ..__main__ import print_result
 
     warnings.filterwarnings("ignore", category=RuntimeWarning)
-    database = _database(args)
-    try:
-        coordinator = SessionCoordinator(
-            database, args.session, workers=args.workers
-        )
-        result = coordinator.run()
-    except ServiceError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
-    finally:
-        database.close()
+    with _database(args) as database:
+        try:
+            coordinator = SessionCoordinator(
+                database, args.session, workers=args.workers
+            )
+            result = coordinator.run()
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     print_result(result)
     return 0
 
 
 def _cmd_gc(args) -> int:
-    database = _database(args)
-    try:
+    with _database(args) as database:
         counts = SessionStore(database).gc(max_age_s=args.max_age)
-    finally:
-        database.close()
     print(f"sessions deleted:  {counts['sessions_deleted']}")
     print(f"jobs deleted:      {counts['jobs_deleted']}")
     print(f"leases reclaimed:  {counts['leases_reclaimed']}")
@@ -166,12 +181,17 @@ def main(argv=None) -> int:
     submit.add_argument("--seed", type=int, default=7)
     submit.add_argument("--samples", type=int, default=600)
     submit.add_argument("--max-trials", type=int, default=None)
+    submit.add_argument("--warm-start", action="store_true",
+                        help="seed the session's search model from prior "
+                             "trials of the same experiment in --db")
     submit.set_defaults(func=_cmd_submit)
 
     status = subparsers.add_parser("status",
                                    help="show sessions / one session")
     status.add_argument("session", nargs="?", default=None)
     status.add_argument("--db", required=True)
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     status.set_defaults(func=_cmd_status)
 
     workers = subparsers.add_parser(

@@ -144,8 +144,33 @@ class SessionCoordinator:
                 break
 
         result = server.finalize(state)
-        self.sessions.finish(self.session_id, self._summarize(result))
+        self.sessions.finish(
+            self.session_id, self._summarize(server, result)
+        )
+        self._index_knowledge(record, result)
         return result
+
+    def _index_knowledge(self, record: SessionRecord, result) -> None:
+        """Distill the finished session into the advisor knowledge base.
+
+        Import is deferred (and failures swallowed) so the tuning path
+        never depends on — or breaks because of — the advisor subsystem.
+        """
+        try:
+            from ..advisor import KnowledgeBase
+
+            KnowledgeBase(self.database).index_result(
+                workload=record.spec.workload,
+                device=record.spec.device,
+                objective=record.spec.tuning_metric,
+                target_accuracy=record.spec.target_accuracy,
+                system=record.spec.system,
+                session_id=self.session_id,
+                result=result,
+            )
+            self.meters.counter("advisor.indexed").inc()
+        except Exception:  # pragma: no cover - best-effort enrichment
+            pass
 
     # -- wave draining -------------------------------------------------------
     def _drain_wave(
@@ -226,8 +251,33 @@ class SessionCoordinator:
         )
         self.meters.counter("checkpoints.written").inc()
 
-    def _summarize(self, result: TuningRunResult) -> Dict[str, Any]:
+    def _summarize(
+        self, server: ModelTuningServer, result: TuningRunResult
+    ) -> Dict[str, Any]:
         """JSON-safe result summary stored on the session row."""
+        inference: Optional[Dict[str, Any]] = None
+        if result.inference is not None:
+            rec = result.inference
+            inference = {
+                "configuration": {
+                    name: _plain(value)
+                    for name, value in rec.configuration.items()
+                },
+                "device": rec.device,
+                "objective": rec.objective,
+                "tuning_runtime_s": float(rec.tuning_runtime_s),
+                "tuning_energy_j": float(rec.tuning_energy_j),
+                "cache_hit": bool(rec.cache_hit),
+                "measurement": {
+                    "batch_latency_s": rec.measurement.batch_latency_s,
+                    "throughput_sps": rec.measurement.throughput_sps,
+                    "energy_per_sample_j":
+                        rec.measurement.energy_per_sample_j,
+                    "power_w": rec.measurement.power_w,
+                    "batch_size": rec.measurement.batch_size,
+                    "cores": rec.measurement.cores,
+                },
+            }
         return {
             "system": result.system,
             "workload": result.workload_id,
@@ -242,6 +292,8 @@ class SessionCoordinator:
             "tuning_energy_j": float(result.tuning_energy_j),
             "stall_s": float(result.stall_s),
             "workers": self.workers,
+            "warm_started_trials": int(server.warm_started_trials),
+            "inference": inference,
             "meters": self.meters.snapshot(),
             "worker_stats": self.queue.worker_stats(self.session_id),
         }

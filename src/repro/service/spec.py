@@ -34,6 +34,9 @@ class SessionSpec:
     samples: Optional[int] = None
     max_trials: Optional[int] = None
     target_accuracy: Optional[float] = None
+    #: Seed the session's search model from historical trials of the same
+    #: experiment before the first suggestion (the advisor's transfer path).
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SERVICE_SYSTEMS:
@@ -70,16 +73,20 @@ def build_server(spec: SessionSpec, database: TrialDatabase):
         database=database,
     )
     if spec.system == "edgetune":
-        return EdgeTune(
+        server = EdgeTune(
             device=spec.device,
             budget=spec.budget,
             tuning_metric=spec.tuning_metric,
             **common,
         ).model_server
-    if spec.system == "tune":
-        return TuneBaseline(budget=build_budget(spec.budget), **common).server
-    if spec.system == "hyperpower":
-        return HyperPowerBaseline(
+    elif spec.system == "tune":
+        server = TuneBaseline(budget=build_budget(spec.budget), **common).server
+    elif spec.system == "hyperpower":
+        server = HyperPowerBaseline(
             budget=build_budget(spec.budget), **common
         ).server
-    raise ServiceError(f"unsupported service system {spec.system!r}")
+    else:
+        raise ServiceError(f"unsupported service system {spec.system!r}")
+    # All systems run on a ModelTuningServer, so transfer works uniformly.
+    server.warm_start = bool(spec.warm_start)
+    return server

@@ -7,14 +7,18 @@ and ``jobs`` tables behind the persistent tuning job queue.
 from .database import (
     BUSY_TIMEOUT_MS,
     MIGRATIONS,
+    NO_TARGET,
     SCHEMA_VERSION,
     StoredInferenceResult,
+    StoredRecommendation,
     TrialDatabase,
 )
 
 __all__ = [
     "TrialDatabase",
     "StoredInferenceResult",
+    "StoredRecommendation",
+    "NO_TARGET",
     "MIGRATIONS",
     "SCHEMA_VERSION",
     "BUSY_TIMEOUT_MS",

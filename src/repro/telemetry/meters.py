@@ -89,5 +89,6 @@ class MeterRegistry:
                 "max": summary.maximum,
                 "p50": summary.p50,
                 "p90": summary.p90,
+                "p99": summary.p99,
             }
         return out

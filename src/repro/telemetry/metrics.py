@@ -67,6 +67,7 @@ class MetricSummary:
     maximum: float
     p50: float
     p90: float
+    p99: float = 0.0
 
     @classmethod
     def of(cls, values: List[float]) -> "MetricSummary":
@@ -85,6 +86,7 @@ class MetricSummary:
             maximum=ordered[-1],
             p50=percentile(0.5),
             p90=percentile(0.9),
+            p99=percentile(0.99),
         )
 
 

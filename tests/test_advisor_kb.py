@@ -1,0 +1,217 @@
+"""Tests for the advisor knowledge base and workload signatures."""
+
+import pytest
+
+from repro.advisor import (
+    KnowledgeBase,
+    inference_recommendation_of,
+    signature_distance,
+    signature_for,
+    workload_signature,
+)
+from repro.core.results import InferenceRecommendation, TuningRunResult
+from repro.errors import AdvisorError
+from repro.storage import TrialDatabase
+from repro.telemetry import InferenceMeasurement
+from repro.workloads import WORKLOADS, get_workload
+
+
+def make_result(accuracy=0.8, with_inference=True):
+    inference = None
+    if with_inference:
+        inference = InferenceRecommendation(
+            configuration={"inference_batch_size": 16, "cores": 2,
+                           "frequency_ghz": 1.2},
+            measurement=InferenceMeasurement(
+                batch_latency_s=0.5,
+                throughput_sps=32.0,
+                energy_per_sample_j=0.1,
+                power_w=3.2,
+                working_set_bytes=1 << 20,
+                device="armv7",
+                batch_size=16,
+                cores=2,
+            ),
+            device="armv7",
+            objective="inference-energy",
+            tuning_runtime_s=12.0,
+            tuning_energy_j=40.0,
+            cache_hit=False,
+        )
+    return TuningRunResult(
+        system="edgetune",
+        workload_id="IC",
+        best_configuration={"num_layers": 18, "train_batch_size": 64},
+        best_accuracy=accuracy,
+        best_score=1.25,
+        tuning_runtime_s=900.0,
+        tuning_energy_j=5000.0,
+        inference=inference,
+    )
+
+
+def index(kb, workload="IC", device="armv7", objective="runtime",
+          target=0.8, system="edgetune", accuracy=0.8, **kwargs):
+    return kb.index_result(
+        workload=workload, device=device, objective=objective,
+        target_accuracy=target, system=system, session_id="s-1",
+        result=make_result(accuracy=accuracy, **kwargs),
+    )
+
+
+class TestSignatures:
+    def test_signature_contents(self):
+        signature = workload_signature(get_workload("IC"))
+        assert signature["workload"] == "IC"
+        assert signature["task"]
+        assert signature["train_files"] > 0
+
+    def test_signature_for_accepts_id_and_object(self):
+        assert signature_for("SR") == workload_signature(get_workload("SR"))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(AdvisorError):
+            signature_for("nope")
+
+    def test_distance_zero_for_same_workload(self):
+        a = signature_for("IC")
+        assert signature_distance(a, dict(a)) == 0.0
+
+    def test_distance_symmetric_and_positive_across_workloads(self):
+        ids = sorted(WORKLOADS)
+        for first in ids:
+            for second in ids:
+                if first == second:
+                    continue
+                a, b = signature_for(first), signature_for(second)
+                assert signature_distance(a, b) > 0.0
+                assert signature_distance(a, b) == pytest.approx(
+                    signature_distance(b, a)
+                )
+
+
+class TestIndexing:
+    def test_index_result_roundtrip(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb)
+        assert kb.size() == 1
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8)
+        assert advice.exact
+        assert advice.match_cost == 0.0
+        rec = advice.recommendation
+        assert rec.best_configuration["num_layers"] == 18
+        assert rec.inference["configuration"]["cores"] == 2
+
+    def test_reindex_replaces_not_duplicates(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, accuracy=0.7)
+        index(kb, accuracy=0.9)
+        assert kb.size() == 1
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8)
+        assert advice.recommendation.best_accuracy == 0.9
+
+    def test_distinct_targets_are_distinct_rows(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, target=0.7)
+        index(kb, target=0.9)
+        index(kb, target=None)
+        assert kb.size() == 3
+
+    def test_result_without_inference(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, with_inference=False)
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8)
+        assert advice.recommendation.inference is None
+
+
+class TestQuery:
+    def test_empty_kb_raises(self):
+        kb = KnowledgeBase(TrialDatabase())
+        with pytest.raises(AdvisorError):
+            kb.query("IC", "armv7", "runtime")
+
+    def test_exact_beats_nearest(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, device="armv7")
+        index(kb, device="xeon")
+        advice = kb.query("IC", "xeon", "runtime", target_accuracy=0.8)
+        assert advice.exact
+        assert advice.recommendation.device == "xeon"
+
+    def test_nearest_workload_fallback(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, workload="IC")
+        advice = kb.query("SR", "armv7", "runtime", target_accuracy=0.8)
+        assert not advice.exact
+        assert advice.match_cost > 0.0
+        assert advice.recommendation.workload == "IC"
+
+    def test_nearest_prefers_matching_objective(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, workload="IC", objective="runtime")
+        index(kb, workload="IC", objective="energy")
+        advice = kb.query("SR", "armv7", "energy", target_accuracy=0.8)
+        assert advice.recommendation.objective == "energy"
+
+    def test_exact_required_raises_on_miss(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, workload="IC")
+        with pytest.raises(AdvisorError):
+            kb.query("SR", "armv7", "runtime", allow_nearest=False)
+
+    def test_system_filter(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb, system="edgetune")
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8,
+                          system="edgetune")
+        assert advice.exact
+        with pytest.raises(AdvisorError):
+            kb.query("SR", "armv7", "runtime", system="tune")
+
+    def test_advice_to_dict_is_json_safe(self):
+        import json
+
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb)
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8)
+        payload = json.loads(json.dumps(advice.to_dict()))
+        assert payload["workload"] == "IC"
+        assert payload["exact"] is True
+
+
+class TestInferenceRecommendationOf:
+    def test_materializes_stored_payload(self):
+        kb = KnowledgeBase(TrialDatabase())
+        index(kb)
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8)
+        rec = inference_recommendation_of(advice.recommendation.inference)
+        assert isinstance(rec, InferenceRecommendation)
+        assert rec.configuration["inference_batch_size"] == 16
+        assert rec.measurement.throughput_sps == 32.0
+        assert rec.device == "armv7"
+
+
+class TestIndexSessions:
+    def test_bulk_index_from_finished_sessions(self):
+        from repro.service import SessionSpec, SessionStore
+        from repro.service.sessions import S_DONE
+
+        database = TrialDatabase()
+        store = SessionStore(database)
+        spec = SessionSpec(system="edgetune", workload="IC", device="armv7",
+                           target_accuracy=0.8)
+        session_id = store.create(spec)
+        store.finish(session_id, {
+            "best_configuration": {"num_layers": 18},
+            "best_accuracy": 0.82,
+            "best_score": 1.0,
+            "num_trials": 9,
+            "tuning_runtime_s": 100.0,
+            "tuning_energy_j": 200.0,
+            "inference": None,
+        })
+        kb = KnowledgeBase(database)
+        assert kb.index_sessions() == 1
+        advice = kb.query("IC", "armv7", "runtime", target_accuracy=0.8)
+        assert advice.recommendation.session_id == session_id
+        assert advice.recommendation.num_trials == 9

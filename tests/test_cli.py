@@ -67,3 +67,113 @@ class TestExperimentsCli:
     def test_no_args_rejected(self):
         with pytest.raises(SystemExit):
             experiments_main([])
+
+
+class TestServiceCli:
+    def test_submit_status_json_roundtrip(self, tmp_path, capsys):
+        import json
+
+        from repro.service.__main__ import main as service_main
+
+        db = str(tmp_path / "svc.sqlite")
+        assert service_main([
+            "submit", "IC", "--db", db, "--max-trials", "4",
+            "--samples", "160", "--warm-start",
+        ]) == 0
+        session_id = capsys.readouterr().out.strip()
+
+        assert service_main(["status", "--db", db, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert [row["session"] for row in listing] == [session_id]
+        assert listing[0]["state"] == "queued"
+        assert listing[0]["spec"]["warm_start"] is True
+
+        assert service_main(["workers", "--db", db, "--drain"]) == 0
+        capsys.readouterr()
+
+        assert service_main(["status", "--db", db, "--json",
+                             session_id]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["state"] == "done"
+        assert status["jobs"]["done"] == 4
+        assert status["result"]["num_trials"] == 4
+
+    def test_status_plain_text_unchanged(self, tmp_path, capsys):
+        from repro.service.__main__ import main as service_main
+
+        db = str(tmp_path / "svc.sqlite")
+        service_main(["submit", "IC", "--db", db])
+        capsys.readouterr()
+        assert service_main(["status", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "queued" in out
+
+
+class TestTuneWarmStartCli:
+    def test_warm_start_requires_db(self, capsys):
+        assert repro_main(["tune", "IC", "--warm-start"]) == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_warm_start_rejects_hierarchical(self, tmp_path, capsys):
+        db = str(tmp_path / "t.sqlite")
+        code = repro_main(["tune", "IC", "--system", "hierarchical",
+                           "--warm-start", "--db", db])
+        assert code == 2
+
+    def test_warm_start_reports_absorbed_trials(self, tmp_path, capsys):
+        db = str(tmp_path / "t.sqlite")
+        base = ["tune", "IC", "--system", "tune", "--samples", "160",
+                "--seed", "3", "--db", db]
+        assert repro_main(base) == 0
+        capsys.readouterr()
+        assert repro_main(base + ["--warm-start"]) == 0
+        out = capsys.readouterr().out
+        assert "warm-started from:" in out
+        absorbed = int(out.split("warm-started from:")[1].split()[0])
+        assert absorbed > 0
+
+
+class TestAdvisorCli:
+    def make_kb(self, tmp_path):
+        from repro.advisor import KnowledgeBase
+        from repro.storage import TrialDatabase
+        from tests.test_advisor_kb import index
+
+        db = str(tmp_path / "kb.sqlite")
+        with TrialDatabase(db) as database:
+            index(KnowledgeBase(database))
+        return db
+
+    def test_dispatch_from_top_level(self, capsys):
+        with pytest.raises(SystemExit):
+            repro_main(["advisor", "--help"])
+        assert "serve" in capsys.readouterr().out
+
+    def test_ask_in_process(self, tmp_path, capsys):
+        import json
+
+        db = self.make_kb(tmp_path)
+        assert repro_main(["advisor", "ask", "IC", "--db", db,
+                           "--target", "0.8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exact"] is True
+        assert payload["best_configuration"]
+
+    def test_ask_nearest_flagged(self, tmp_path, capsys):
+        import json
+
+        db = self.make_kb(tmp_path)
+        assert repro_main(["advisor", "ask", "SR", "--db", db]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exact"] is False
+
+    def test_ask_exact_miss_fails(self, tmp_path, capsys):
+        db = self.make_kb(tmp_path)
+        assert repro_main(["advisor", "ask", "SR", "--db", db,
+                           "--exact"]) == 1
+
+    def test_index_empty_database(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.sqlite")
+        assert repro_main(["advisor", "index", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "sessions indexed:  0" in out

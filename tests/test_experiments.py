@@ -33,7 +33,8 @@ class TestRegistry:
             "fig05", "fig06", "fig10", "fig12", "fig13", "fig14",
             "fig15", "fig16", "fig17",
         }
-        ablations = {"ablation_onefold", "ablation_cache", "ablation_eta"}
+        ablations = {"ablation_onefold", "ablation_cache", "ablation_eta",
+                     "ablation_warmstart"}
         assert set(ALL_EXPERIMENTS) == paper_targets | ablations
 
     def test_context_targets(self):

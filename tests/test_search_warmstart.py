@@ -1,0 +1,184 @@
+"""Tests for search warm-starting (transfer from prior sessions)."""
+
+import math
+
+import pytest
+
+from repro.baselines import TuneBaseline
+from repro.search import (
+    BOHBScheduler,
+    RandomSearcher,
+    SearcherScheduler,
+    TPESampler,
+    coerce_warm_start_records,
+)
+from repro.space import Float, Integer, ParameterSpace
+from repro.storage import TrialDatabase
+from repro.workloads import get_workload
+
+
+def make_space():
+    return ParameterSpace(
+        [
+            Integer("layers", 1, 8, kind="model"),
+            Float("rate", 0.1, 1.0, kind="training"),
+        ]
+    )
+
+
+def record(layers=2, rate=0.5, score=1.0, fidelity=0, **extra):
+    row = {
+        "configuration": {"layers": layers, "rate": rate},
+        "score": score,
+        "fidelity": fidelity,
+    }
+    row.update(extra)
+    return row
+
+
+class TestCoerce:
+    def test_valid_records_survive(self):
+        space = make_space()
+        coerced = coerce_warm_start_records(space, [record(), record(3, 0.9)])
+        assert len(coerced) == 2
+        assert coerced[0]["configuration"]["layers"] == 2
+        assert coerced[0]["score"] == 1.0
+
+    def test_extra_database_columns_are_ignored(self):
+        coerced = coerce_warm_start_records(
+            make_space(), [record(accuracy=0.7, trial_id=3, epochs=4)]
+        )
+        assert len(coerced) == 1
+
+    def test_stale_or_foreign_configurations_dropped(self):
+        space = make_space()
+        bad = [
+            {"configuration": {"unknown_knob": 1}, "score": 1.0},
+            {"configuration": {"layers": 99, "rate": 0.5}, "score": 1.0},
+            {"configuration": "not-a-dict", "score": 1.0},
+            {"score": 1.0},
+            record(score=None),
+            record(score=float("nan")),
+        ]
+        assert coerce_warm_start_records(space, bad) == []
+
+    def test_mixed_batch_keeps_only_valid(self):
+        space = make_space()
+        coerced = coerce_warm_start_records(
+            space, [record(), {"configuration": {"layers": 99}, "score": 1.0}]
+        )
+        assert len(coerced) == 1
+
+
+class TestSearcherWarmStart:
+    def test_default_absorbs_nothing(self):
+        from repro.search import GridSearcher
+
+        assert GridSearcher(make_space()).warm_start([record()]) == 0
+
+    def test_random_never_reproposes_warm_configurations(self):
+        space = ParameterSpace([Integer("x", 1, 6)])
+        searcher = RandomSearcher(space, seed=5)
+        warm = [
+            {"configuration": {"x": value}, "score": 1.0}
+            for value in (1, 2, 3, 4, 5)
+        ]
+        assert searcher.warm_start(warm) == 5
+        remaining = []
+        while True:
+            configuration = searcher.suggest()
+            if configuration is None:
+                break
+            remaining.append(configuration["x"])
+        assert remaining == [6]
+
+    def test_tpe_counts_toward_startup(self):
+        searcher = TPESampler(make_space(), seed=3, startup_trials=4)
+        warm = [record(layers, 0.5, score=float(layers)) for layers in
+                (1, 2, 3, 4)]
+        assert searcher.warm_start(warm) == 4
+        assert len(searcher._observations) == 4
+        # The model is active from the first suggest (no random startup).
+        assert searcher.suggest() is not None
+
+    def test_tpe_warm_start_biases_toward_good_region(self):
+        space = ParameterSpace([Float("x", 0.0, 10.0)])
+        searcher = TPESampler(space, seed=9, startup_trials=4)
+        # Scores reward x near 1; warm records cover the whole range.
+        warm = [
+            {"configuration": {"x": float(x)}, "score": abs(x - 1.0)}
+            for x in range(10)
+        ]
+        searcher.warm_start(warm)
+        samples = [searcher.suggest()["x"] for _ in range(20)]
+        mean = sum(samples) / len(samples)
+        assert mean < 5.0  # pulled toward the known-good region
+
+    def test_bohb_routes_records_by_fidelity(self):
+        scheduler = BOHBScheduler(
+            make_space(), min_fidelity=1, max_fidelity=4, seed=2,
+            startup_trials=2,
+        )
+        warm = [record(2, 0.5, score=1.0, fidelity=4),
+                record(3, 0.7, score=2.0, fidelity=4),
+                record(4, 0.9, score=3.0, fidelity=0)]
+        assert scheduler.warm_start(warm) == 3
+        assert scheduler.tpe._counts.get(4) == 2
+        # Fidelity-0 records only feed the fallback model.
+        assert len(scheduler.tpe._fallback._observations) == 3
+
+    def test_scheduler_adapter_delegates(self):
+        space = ParameterSpace([Integer("x", 1, 6)])
+        scheduler = SearcherScheduler(
+            RandomSearcher(space, seed=1), num_trials=6
+        )
+        absorbed = scheduler.warm_start(
+            [{"configuration": {"x": 2}, "score": 0.5}]
+        )
+        assert absorbed == 1
+
+
+class TestServerWarmStart:
+    def test_prepare_pulls_prior_trials_from_database(self):
+        database = TrialDatabase()
+        for trial_id, layers in enumerate((18, 34, 50)):
+            database.record_trial(
+                "tune:IC", trial_id, {"num_layers": layers,
+                                      "train_batch_size": 32},
+                1, 1, 1.0, 0.6, 10.0, 5.0, 5.0,
+            )
+        baseline = TuneBaseline(
+            workload="IC", algorithm="tpe", seed=3, samples=160,
+            max_trials=1, database=database,
+        )
+        baseline.server.warm_start = True
+        baseline.tune()
+        assert baseline.server.warm_started_trials == 3
+
+    def test_warm_start_off_by_default(self):
+        baseline = TuneBaseline(
+            workload="IC", algorithm="tpe", seed=3, samples=160, max_trials=1,
+        )
+        baseline.tune()
+        assert baseline.server.warm_started_trials == 0
+
+    def test_warm_start_reaches_target_in_fewer_trials(self):
+        """The ISSUE's ablation: second session beats a cold identical one."""
+        target, seed_first, seed_second = 0.75, 7, 21
+
+        def run(database, seed, warm):
+            baseline = TuneBaseline(
+                workload="IC", algorithm="tpe", seed=seed, samples=200,
+                target_accuracy=target, max_trials=40, database=database,
+            )
+            baseline.server.warm_start = warm
+            return baseline.tune()
+
+        shared = TrialDatabase()
+        first = run(shared, seed_first, warm=False)
+        assert first.best_accuracy >= target
+
+        cold = run(TrialDatabase(), seed_second, warm=False)
+        warm = run(shared, seed_second, warm=True)
+        assert warm.best_accuracy >= target
+        assert warm.num_trials < cold.num_trials

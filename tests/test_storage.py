@@ -112,3 +112,168 @@ class TestPersistence:
         for thread in threads:
             thread.join()
         assert db.trial_count() == 100
+
+
+def recommendation(workload="IC", device="armv7", objective="runtime",
+                   target=0.8, system="edgetune", accuracy=0.82):
+    from repro.storage import StoredRecommendation
+
+    return StoredRecommendation(
+        workload=workload,
+        device=device,
+        objective=objective,
+        target_accuracy=target,
+        system=system,
+        signature={"workload": workload, "family": "resnet"},
+        session_id="s-1",
+        best_configuration={"num_layers": 18},
+        best_accuracy=accuracy,
+        best_score=1.5,
+        num_trials=12,
+        tuning_runtime_s=640.0,
+        tuning_energy_j=9000.0,
+        inference={"configuration": {"cores": 2}},
+        created_at=1000.0,
+    )
+
+
+class TestRecommendations:
+    def test_roundtrip(self):
+        db = TrialDatabase()
+        db.store_recommendation(recommendation())
+        row = db.lookup_recommendation("IC", "armv7", "runtime", 0.8)
+        assert row is not None
+        assert row.best_configuration == {"num_layers": 18}
+        assert row.signature["family"] == "resnet"
+        assert row.inference == {"configuration": {"cores": 2}}
+        assert row.target_accuracy == 0.8
+
+    def test_miss_returns_none(self):
+        db = TrialDatabase()
+        db.store_recommendation(recommendation())
+        assert db.lookup_recommendation("IC", "i7nuc", "runtime", 0.8) is None
+        assert db.lookup_recommendation("IC", "armv7", "energy", 0.8) is None
+        assert db.lookup_recommendation("SR", "armv7", "runtime", 0.8) is None
+
+    def test_none_target_is_its_own_key(self):
+        db = TrialDatabase()
+        db.store_recommendation(recommendation(target=None))
+        db.store_recommendation(recommendation(target=0.8))
+        assert db.recommendation_count() == 2
+        row = db.lookup_recommendation("IC", "armv7", "runtime", None)
+        assert row is not None
+        assert row.target_accuracy is None
+
+    def test_replace_on_same_key(self):
+        db = TrialDatabase()
+        db.store_recommendation(recommendation(accuracy=0.7))
+        db.store_recommendation(recommendation(accuracy=0.9))
+        assert db.recommendation_count() == 1
+        row = db.lookup_recommendation("IC", "armv7", "runtime", 0.8)
+        assert row.best_accuracy == 0.9
+
+    def test_system_filter_and_best_row_wins(self):
+        db = TrialDatabase()
+        db.store_recommendation(recommendation(system="edgetune",
+                                               accuracy=0.8))
+        db.store_recommendation(recommendation(system="tune", accuracy=0.9))
+        any_system = db.lookup_recommendation("IC", "armv7", "runtime", 0.8)
+        assert any_system.best_accuracy == 0.9
+        pinned = db.lookup_recommendation("IC", "armv7", "runtime", 0.8,
+                                          system="edgetune")
+        assert pinned.system == "edgetune"
+
+    def test_all_recommendations_filters(self):
+        db = TrialDatabase()
+        db.store_recommendation(recommendation(device="armv7"))
+        db.store_recommendation(recommendation(device="i7nuc"))
+        assert len(db.all_recommendations()) == 2
+        assert len(db.all_recommendations(device="armv7")) == 1
+
+    def test_file_backed_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "reco.sqlite")
+        with TrialDatabase(path) as db:
+            db.store_recommendation(recommendation())
+        with TrialDatabase(path) as db:
+            assert db.recommendation_count() == 1
+
+
+class TestStructureKeyedCache:
+    """§3.4: inference results are keyed by what the device executes.
+
+    Two configurations that differ only in training hyperparameters
+    (batch size, gpus) share one cache row; changing the architecture
+    (num_layers) must miss.
+    """
+
+    @staticmethod
+    def make_server():
+        from repro.budgets import MultiBudget
+        from repro.core import ModelTuningServer
+        from repro.objectives import AccuracyObjective
+        from repro.workloads import get_workload
+
+        return ModelTuningServer(
+            workload=get_workload("IC"),
+            algorithm="bohb",
+            budget=MultiBudget(min_epochs=1, max_epochs=4, min_fraction=0.25),
+            objective=AccuracyObjective(),
+            database=TrialDatabase(),
+            seed=11,
+            samples=160,
+            include_system_parameters=True,
+        )
+
+    def test_training_only_changes_share_a_key(self):
+        server = self.make_server()
+        state = server.prepare()
+        space = state.space
+        base = space.configuration(num_layers=18, train_batch_size=32,
+                                   gpus=1)
+        retrained = space.configuration(num_layers=18, train_batch_size=256,
+                                        gpus=8)
+        key_a, flops_a, params_a = server._architecture_key(
+            base, state.train_set
+        )
+        key_b, flops_b, params_b = server._architecture_key(
+            retrained, state.train_set
+        )
+        assert key_a == key_b
+        assert (flops_a, params_a) == (flops_b, params_b)
+
+    def test_structure_change_misses(self):
+        server = self.make_server()
+        state = server.prepare()
+        space = state.space
+        shallow = space.configuration(num_layers=18, train_batch_size=32,
+                                      gpus=1)
+        deep = space.configuration(num_layers=50, train_batch_size=32,
+                                   gpus=1)
+        key_a, _, _ = server._architecture_key(shallow, state.train_set)
+        key_b, _, _ = server._architecture_key(deep, state.train_set)
+        assert key_a != key_b
+
+        db = server.database
+        db.store_inference(stored(key=key_a))
+        assert db.lookup_inference(key_a, "armv7",
+                                   "inference-energy") is not None
+        assert db.lookup_inference(key_b, "armv7",
+                                   "inference-energy") is None
+
+    def test_lookup_hits_across_training_hyperparameters(self):
+        server = self.make_server()
+        state = server.prepare()
+        space = state.space
+        db = server.database
+        key_stored, _, _ = server._architecture_key(
+            space.configuration(num_layers=34, train_batch_size=64, gpus=2),
+            state.train_set,
+        )
+        db.store_inference(stored(key=key_stored))
+        key_again, _, _ = server._architecture_key(
+            space.configuration(num_layers=34, train_batch_size=512, gpus=4),
+            state.train_set,
+        )
+        hit = db.lookup_inference(key_again, "armv7", "inference-energy")
+        assert hit is not None
+        assert hit.configuration["inference_batch_size"] == 8
