@@ -21,10 +21,12 @@ CLI: ``python -m repro advisor serve|ask|index|bench``.
 from .client import AdvisorClient
 from .kb import Advice, KnowledgeBase, inference_recommendation_of
 from .loadgen import LoadReport, run_load
+from .resilience import CircuitBreaker
 from .server import AdvisorServer, LRUCache, TokenBucket
 from .signature import signature_distance, signature_for, workload_signature
 
 __all__ = [
+    "CircuitBreaker",
     "Advice",
     "KnowledgeBase",
     "inference_recommendation_of",

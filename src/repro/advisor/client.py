@@ -3,18 +3,35 @@
 One persistent connection per client; every request is one line out, one
 line back.  Used by ``advisor ask``/``advisor bench``, the load
 generator's worker threads, and tests.
+
+Resilience: transport errors and malformed responses are retried a
+bounded number of times with jittered exponential backoff, reconnecting
+each time (a fresh connection is the only reliable way to resynchronise
+a line protocol after garbage).  An optional
+:class:`~repro.advisor.resilience.CircuitBreaker` makes a *dead* advisor
+cheap: after a few consecutive failures requests fail instantly instead
+of burning a connect timeout each, and callers fall back to cold-start
+via :meth:`AdvisorClient.try_ask`.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, Optional
 
 from ..errors import AdvisorError
+from ..faults import should
+from .resilience import CircuitBreaker
 
 DEFAULT_PORT = 8377
 DEFAULT_TIMEOUT_S = 5.0
+
+#: Retries after the first attempt; 3 tries total by default.
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.05
 
 
 class AdvisorClient:
@@ -25,12 +42,19 @@ class AdvisorClient:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout_s: float = DEFAULT_TIMEOUT_S,
+        retries: int = DEFAULT_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.host = host
         self.port = int(port)
         self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = float(backoff_s)
+        self.breaker = breaker
         self._sock: Optional[socket.socket] = None
         self._rfile = None
+        self._request_seq = 0
 
     # -- connection ---------------------------------------------------------
     def connect(self) -> "AdvisorClient":
@@ -65,10 +89,55 @@ class AdvisorClient:
 
     # -- requests -----------------------------------------------------------
     def request(self, op: str, **params: Any) -> Dict[str, Any]:
-        """Send one request and return the decoded response object."""
+        """Send one request, retrying transport faults with backoff.
+
+        Raises :class:`AdvisorError` once the retry budget is spent, or
+        immediately when the circuit breaker is open.
+        """
+        payload = dict(params, op=op)
+        last_error: Optional[AdvisorError] = None
+        for attempt in range(1, self.retries + 2):
+            if self.breaker is not None and not self.breaker.allow():
+                raise AdvisorError(
+                    f"advisor at {self.host}:{self.port} circuit is open; "
+                    "failing fast"
+                )
+            try:
+                response = self._request_once(payload, attempt)
+            except AdvisorError as error:
+                last_error = error
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                # Reconnect-resync: after a transport error or garbage
+                # frame the stream position is unknowable; a fresh
+                # connection is the only safe retry.
+                self.close()
+                if attempt <= self.retries:
+                    time.sleep(
+                        self.backoff_s * (2.0 ** (attempt - 1))
+                        * random.uniform(0.5, 1.0)
+                    )
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return response
+        assert last_error is not None
+        raise last_error
+
+    def _request_once(
+        self, payload: Dict[str, Any], attempt: int
+    ) -> Dict[str, Any]:
         self.connect()
         assert self._sock is not None and self._rfile is not None
-        payload = dict(params, op=op)
+        self._request_seq += 1
+        seq = self._request_seq
+        if should("advisor.drop", key=seq, attempt=attempt):
+            # Chaos: sever the connection mid-request, as a flaky network
+            # or a restarting server would.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
         try:
             self._sock.sendall(
                 (json.dumps(payload, sort_keys=True) + "\n").encode()
@@ -78,9 +147,13 @@ class AdvisorClient:
             raise AdvisorError(f"advisor connection failed: {error}")
         if not line:
             raise AdvisorError("advisor closed the connection")
+        if should("advisor.garbage", key=seq, attempt=attempt):
+            # Chaos: the bytes that arrived are not the bytes that were
+            # sent (proxy corruption, interleaved writes).
+            line = b"\x00\xfe{{{not-json\n"
         try:
             return json.loads(line.decode("utf-8"))
-        except ValueError as error:
+        except (ValueError, UnicodeDecodeError) as error:
             raise AdvisorError(f"malformed advisor response: {error}")
 
     def ask(
@@ -101,6 +174,17 @@ class AdvisorClient:
             system=system,
             allow_nearest=allow_nearest,
         )
+
+    def try_ask(self, *args: Any, **kwargs: Any) -> Optional[Dict[str, Any]]:
+        """Best-effort :meth:`ask`: ``None`` instead of raising.
+
+        The warm-start fallback — callers treat ``None`` exactly like
+        "no advice available" and cold-start the search.
+        """
+        try:
+            return self.ask(*args, **kwargs)
+        except AdvisorError:
+            return None
 
     def ping(self) -> Dict[str, Any]:
         return self.request("ping")

@@ -1,0 +1,81 @@
+"""Client-side resilience primitives for the advisor TCP path.
+
+The advisor is *advisory*: a tuning session warm-starts its search from
+it when reachable and cold-starts otherwise.  That makes the correct
+failure posture "fail fast and fall back", not "retry until the session
+stalls" — which is exactly what a circuit breaker encodes:
+
+* **closed** — requests flow; consecutive transport failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  rejects requests instantly (no connect timeout burned per call) for
+  ``reset_timeout_s``;
+* **half-open** — after the cool-down, one probe request is let through;
+  success closes the breaker, failure re-opens it for another cool-down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+DEFAULT_FAILURE_THRESHOLD = 5
+DEFAULT_RESET_TIMEOUT_S = 10.0
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (not thread-safe; one per
+    client, and :class:`~repro.advisor.client.AdvisorClient` is
+    single-threaded by contract)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_timeout_s: float = DEFAULT_RESET_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float = 0.0
+        self._state = CLOSED
+
+    @property
+    def state(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be attempted right now?
+
+        In half-open state this *admits the probe*: the answer stays
+        ``True`` until :meth:`record_failure` re-opens the breaker.
+        """
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        if self._state == HALF_OPEN:
+            # The probe failed: straight back to open for a full cool-down.
+            self._state = OPEN
+            self._opened_at = self._clock()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()

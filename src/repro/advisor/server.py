@@ -51,6 +51,10 @@ READ_TIMEOUT_S = 0.2
 #: Default response-cache capacity (distinct questions, not bytes).
 DEFAULT_CACHE_SIZE = 1024
 
+#: Hard cap on one request line; anything longer is a protocol violation
+#: (or garbage) and gets an error response instead of unbounded buffering.
+MAX_LINE_BYTES = 64 * 1024
+
 #: Fields a cache key is built from, in canonical order.
 _ASK_FIELDS = ("workload", "device", "objective", "target_accuracy",
                "system")
@@ -125,12 +129,27 @@ class _AdvisorHandler(socketserver.StreamRequestHandler):
         server.meters.counter("advisor.connections").inc()
         while not server.draining:
             try:
-                line = self.rfile.readline()
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
             except socket.timeout:
                 continue
             except OSError:
                 break
             if not line:
+                break
+            if len(line) > MAX_LINE_BYTES:
+                # Oversized frame: the rest of the stream cannot be
+                # trusted to re-align on newlines, so answer with an
+                # error and drop the connection.
+                server.meters.counter("advisor.errors").inc()
+                try:
+                    self.wfile.write(
+                        (json.dumps({
+                            "ok": False,
+                            "error": "request line too long",
+                        }) + "\n").encode()
+                    )
+                except OSError:
+                    pass
                 break
             line = line.strip()
             if not line:
@@ -205,7 +224,16 @@ class AdvisorServer(socketserver.ThreadingTCPServer):
         except (ValueError, UnicodeDecodeError) as error:
             self.meters.counter("advisor.errors").inc()
             return {"ok": False, "error": f"bad request: {error}"}
-        response = self.process(payload, client)
+        try:
+            response = self.process(payload, client)
+        except Exception as error:  # noqa: BLE001 — one bad request must
+            # not take down the handler thread (and with it the
+            # connection of a well-behaved client pipelining requests).
+            self.meters.counter("advisor.errors").inc()
+            response = {
+                "ok": False,
+                "error": f"internal error: {type(error).__name__}: {error}",
+            }
         self.meters.meter("advisor.latency_s").record(
             time.perf_counter() - started
         )

@@ -47,12 +47,13 @@ from ..datasets.base import Dataset
 from ..errors import TuningError
 from ..hardware import Emulator, get_device
 from ..nn import train_model
-from ..objectives import RatioObjective, TuningObjective
+from ..objectives import WORST_SCORE, RatioObjective, TuningObjective
 from ..rng import SeedLike, derive_seed, ensure_seed
 from ..search import ScheduledTrial, TrialReport, build_scheduler
 from ..sim.pool import GpuPool
 from ..space import ParameterSpace
 from ..storage import TrialDatabase
+from ..telemetry import TrainingMeasurement
 from ..workloads import Workload, get_workload
 from .inference_server import InferenceTuningServer, architecture_key_of
 from .results import InferenceRecommendation, TrialRecord, TuningRunResult
@@ -124,7 +125,7 @@ class TrialEvaluation:
 
     trial_id: int
     accuracy: float
-    final_loss: float
+    final_loss: Optional[float]
     samples_seen: int
     forward_flops_per_sample: int
     train_total_flops: int
@@ -132,6 +133,40 @@ class TrialEvaluation:
     #: Pickled trained :class:`~repro.nn.module.Module` (optional — the
     #: serial path keeps the live object instead).
     model_blob: Optional[bytes] = None
+    #: Training diverged (NaN/Inf loss) and was aborted early; the trial
+    #: scores :data:`~repro.objectives.WORST_SCORE` so the scheduler
+    #: prunes the configuration instead of the run crashing.
+    diverged: bool = False
+    #: The trial never produced a real evaluation (job exhausted its
+    #: retries and was dead-lettered); a substitute record keeps the
+    #: wave merge — and N-worker determinism — intact.
+    failed: bool = False
+    #: Human-readable cause for ``failed``/``diverged`` records.
+    failure: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.failed or self.diverged
+
+
+def failure_evaluation(trial_id: int, error: Optional[str]) -> TrialEvaluation:
+    """The substitute evaluation integrated for a dead-lettered job.
+
+    Deterministic by construction (all-zero compute, worst-case
+    accuracy), so a session containing quarantined jobs still merges
+    identically for any worker count.
+    """
+    return TrialEvaluation(
+        trial_id=int(trial_id),
+        accuracy=0.0,
+        final_loss=None,
+        samples_seen=0,
+        forward_flops_per_sample=0,
+        train_total_flops=0,
+        parameter_count=0,
+        failed=True,
+        failure=error,
+    )
 
 
 def load_task_datasets(task: TrialTask) -> Tuple[Dataset, Dataset]:
@@ -189,6 +224,9 @@ def evaluate_trial(
         forward_flops_per_sample=result.forward_flops_per_sample,
         train_total_flops=result.train_total_flops,
         parameter_count=result.parameter_count,
+        diverged=result.diverged,
+        failure="training diverged (non-finite loss)"
+        if result.diverged else None,
     )
     return evaluation, model
 
@@ -415,9 +453,15 @@ class ModelTuningServer:
             state.rung_key = (trial.bracket, trial.rung)
             state.barrier = max(state.barrier, state.rung_end)
 
+        # Degraded evaluations (diverged training, dead-lettered jobs)
+        # are contained here: no inference tuning for a configuration
+        # that produced no usable model, and a finite worst-case score
+        # so the scheduler prunes it without poisoning its model fit.
+        degraded = getattr(evaluation, "degraded", False)
+
         inference_rec: Optional[InferenceRecommendation] = None
         inference_is_new = False
-        if self.inference_server is not None:
+        if self.inference_server is not None and not degraded:
             inference_key, flops, params = self._architecture_key(
                 configuration, state.train_set
             )
@@ -438,20 +482,35 @@ class ModelTuningServer:
             if self.include_system_parameters and "gpus" in configuration
             else self.fixed_gpus
         )
-        training_measurement = self.emulator.measure_training(
-            train_total_flops=evaluation.train_total_flops,
-            forward_flops_per_sample=evaluation.forward_flops_per_sample,
-            parameter_count=evaluation.parameter_count,
-            samples_seen=evaluation.samples_seen,
-            batch_size=int(configuration["train_batch_size"]),
-            device=self.server_device,
-            gpus=gpus,
-        )
-        score = self.objective.score(
-            evaluation.accuracy,
-            training_measurement,
-            inference_rec.measurement if inference_rec else None,
-        )
+        if evaluation.train_total_flops > 0:
+            training_measurement = self.emulator.measure_training(
+                train_total_flops=evaluation.train_total_flops,
+                forward_flops_per_sample=evaluation.forward_flops_per_sample,
+                parameter_count=evaluation.parameter_count,
+                samples_seen=evaluation.samples_seen,
+                batch_size=int(configuration["train_batch_size"]),
+                device=self.server_device,
+                gpus=gpus,
+            )
+        else:
+            # No completed step (instant divergence, substituted failure):
+            # nothing to emulate, and the hardware model rejects
+            # zero-FLOP runs anyway.  A zero-cost measurement keeps the
+            # virtual timeline identical for every worker count.
+            spec = get_device(self.server_device)
+            training_measurement = TrainingMeasurement(
+                runtime_s=0.0, energy_j=0.0, power_w=0.0,
+                working_set_bytes=0, device=spec.name, gpus=gpus,
+                cores=spec.cores,
+            )
+        if degraded:
+            score = WORST_SCORE
+        else:
+            score = self.objective.score(
+                evaluation.accuracy,
+                training_measurement,
+                inference_rec.measurement if inference_rec else None,
+            )
 
         placement = state.pool.schedule(
             width=gpus,
@@ -487,6 +546,7 @@ class ModelTuningServer:
             bracket=trial.bracket,
             rung=trial.rung,
             stall_s=stall,
+            failure=getattr(evaluation, "failure", None),
         )
         state.records.append(record)
         self.database.record_trial(
@@ -506,7 +566,16 @@ class ModelTuningServer:
                 trial=trial, score=score, accuracy=evaluation.accuracy
             )
         )
-        if state.best is None or self._better(record, state.best):
+        incumbent_ok = (
+            state.best is not None and state.best.failure is None
+        )
+        if state.best is None or (
+            not degraded
+            and (not incumbent_ok or self._better(record, state.best))
+        ):
+            # A healthy trial always displaces a degraded incumbent;
+            # degraded records only ever seed an empty best slot (so a
+            # fully-poisoned session still finalizes).
             state.best = record
             state.best_model = (
                 model if model is not None else evaluation.model_blob

@@ -39,11 +39,18 @@ class TrialRecord:
     bracket: int = 0
     rung: int = 0
     stall_s: float = 0.0
+    #: Why this trial produced no usable model (diverged training or a
+    #: dead-lettered job); ``None`` for healthy trials.
+    failure: Optional[str] = None
 
     @property
     def trial_runtime_s(self) -> float:
         """Virtual duration of the trial on the model lane (incl. stall)."""
         return self.training.runtime_s + self.stall_s
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
 
 @dataclass

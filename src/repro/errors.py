@@ -60,3 +60,13 @@ class ServiceError(ReproError):
 class AdvisorError(ReproError):
     """The recommendation advisor could not answer (empty knowledge base,
     malformed request, unreachable server)."""
+
+
+class TrialTimeoutError(ServiceError):
+    """A trial exceeded its wall-clock deadline and was abandoned; the
+    job is failed (and retried) instead of hanging its worker."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by :mod:`repro.faults` — only ever
+    seen with fault injection enabled (chaos tests, resilience drills)."""

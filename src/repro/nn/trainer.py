@@ -21,6 +21,7 @@ import numpy as np
 
 from ..datasets.base import Dataset
 from ..errors import BudgetError
+from ..faults import corrupt_nan
 from ..rng import SeedLike, ensure_seed, spawn_rng
 from .losses import Loss
 from .module import Module
@@ -46,10 +47,17 @@ class TrainingResult:
     train_total_flops: int
     #: Number of trainable parameters (drives the memory model).
     parameter_count: int
+    #: Training aborted early on a non-finite loss (NaN/Inf divergence);
+    #: ``accuracy`` is the worst case 0.0 so the scheduler prunes the
+    #: configuration instead of the run crashing.
+    diverged: bool = False
 
     @property
-    def final_loss(self) -> float:
-        return self.losses[-1] if self.losses else float("nan")
+    def final_loss(self) -> Optional[float]:
+        """Mean loss of the last completed epoch; ``None`` when no epoch
+        finished (zero-step runs) — explicit, rather than a silent NaN
+        that poisons downstream objective math."""
+        return self.losses[-1] if self.losses else None
 
 
 #: Backward pass costs roughly twice the forward pass (one gradient w.r.t.
@@ -126,6 +134,8 @@ def train_model(
     model.train()
     losses: List[float] = []
     samples_seen = 0
+    diverged = False
+    first_batch = True
     for epoch in range(epochs):
         optimizer.lr = schedule.rate(epoch, lr)
         epoch_loss = 0.0
@@ -136,13 +146,32 @@ def train_model(
             optimizer.zero_grad()
             outputs = model.forward(features)
             batch_loss = loss.forward(outputs, targets)
+            if first_batch:
+                # Fault site trainer.nan: corrupts exactly one loss per
+                # trial (keyed by the trial's training seed) so the
+                # numeric guard below is what contains it.
+                batch_loss = corrupt_nan(
+                    "trainer.nan", batch_loss, key=base_seed
+                )
+                first_batch = False
+            if not np.isfinite(batch_loss):
+                # NaN/Inf loss means the weights (or their gradients,
+                # which surface as a NaN loss one step later) are
+                # already corrupt: abort the trial early instead of
+                # burning the rest of the budget or crashing the run.
+                diverged = True
+                break
             model.backward(loss.backward())
             optimizer.step()
             epoch_loss += batch_loss
             batches += 1
             samples_seen += len(features)
+        if diverged:
+            break
         losses.append(epoch_loss / max(batches, 1))
-    accuracy = evaluate_accuracy(model, eval_set)
+    accuracy = 0.0 if diverged else evaluate_accuracy(model, eval_set)
+    if not np.isfinite(accuracy):
+        accuracy, diverged = 0.0, True
     train_forward = forward_flops * samples_seen
     return TrainingResult(
         accuracy=accuracy,
@@ -155,4 +184,5 @@ def train_model(
         train_forward_flops=int(train_forward),
         train_total_flops=int(train_forward * (1.0 + BACKWARD_FLOPS_FACTOR)),
         parameter_count=model.parameter_count(),
+        diverged=diverged,
     )

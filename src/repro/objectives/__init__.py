@@ -4,6 +4,7 @@ from .base import (
     ACCURACY_FLOOR,
     INFERENCE_METRICS,
     TRAINING_METRICS,
+    WORST_SCORE,
     AccuracyObjective,
     InferenceObjective,
     PowerAwareObjective,
@@ -18,6 +19,7 @@ __all__ = [
     "PowerAwareObjective",
     "InferenceObjective",
     "ACCURACY_FLOOR",
+    "WORST_SCORE",
     "TRAINING_METRICS",
     "INFERENCE_METRICS",
 ]

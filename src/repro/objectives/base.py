@@ -12,6 +12,7 @@ energy), or maximises throughput.  Both are pluggable; scores are always
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,6 +22,16 @@ from ..telemetry import InferenceMeasurement, TrainingMeasurement
 #: Accuracy floor guarding the ratio objectives against division by ~zero
 #: for untrained/diverged models.
 ACCURACY_FLOOR = 0.01
+
+#: Score assigned to trials whose objective inputs are non-finite (NaN
+#: loss, diverged training) or that failed outright: large enough to rank
+#: strictly worse than any real trial — including infeasible-penalised
+#: ones — yet finite, so scheduler model fitting never sees inf/NaN.
+WORST_SCORE = 1e30
+
+
+def _finite(value: Optional[float]) -> bool:
+    return value is not None and math.isfinite(value)
 
 TRAINING_METRICS = ("runtime", "energy")
 INFERENCE_METRICS = ("runtime", "energy", "throughput")
@@ -41,6 +52,10 @@ class TuningObjective:
 
     @staticmethod
     def _safe_accuracy(accuracy: float) -> float:
+        if not _finite(accuracy):
+            # Diverged training reports NaN/Inf accuracy; rank it at the
+            # floor rather than crashing the scoring path.
+            return ACCURACY_FLOOR
         if not 0.0 <= accuracy <= 1.0:
             raise ConfigurationError(
                 f"accuracy must be in [0, 1], got {accuracy}"
@@ -106,7 +121,11 @@ class RatioObjective(TuningObjective):
             inference_cost = (
                 inference.energy_per_sample_j if inference else 1.0
             )
+        if not (_finite(train_cost) and _finite(inference_cost)):
+            return WORST_SCORE
         ratio = train_cost * inference_cost / accuracy
+        if not _finite(ratio):
+            return WORST_SCORE
         if (
             self.accuracy_target is not None
             and accuracy < self.accuracy_target
@@ -148,6 +167,8 @@ class PowerAwareObjective(TuningObjective):
         inference: Optional[InferenceMeasurement],
     ) -> float:
         accuracy = self._safe_accuracy(accuracy)
+        if not _finite(training.energy_j):
+            return WORST_SCORE
         return training.energy_j / accuracy
 
 

@@ -17,8 +17,9 @@ CLI: ``python -m repro.service submit|status|workers|resume|gc``.
 """
 
 from .coordinator import SessionCoordinator, serve
+from .failures import run_with_deadline
 from .pool import WorkerPool
-from .queue import Job, JobQueue, backoff_delay
+from .queue import DeadLetter, Job, JobQueue, backoff_delay
 from .sessions import SessionRecord, SessionStore
 from .spec import SERVICE_SYSTEMS, SessionSpec, build_server
 from .worker import TrialWorker, worker_main
@@ -27,9 +28,11 @@ __all__ = [
     "SessionSpec",
     "SERVICE_SYSTEMS",
     "build_server",
+    "DeadLetter",
     "Job",
     "JobQueue",
     "backoff_delay",
+    "run_with_deadline",
     "SessionRecord",
     "SessionStore",
     "TrialWorker",

@@ -6,6 +6,7 @@ Operate the persistent tuning service against a shared sqlite file::
     python -m repro.service workers --db tuning.sqlite -n 4 --drain
     python -m repro.service status --db tuning.sqlite [SESSION]
     python -m repro.service resume --db tuning.sqlite SESSION
+    python -m repro.service deadletter list --db tuning.sqlite
     python -m repro.service gc --db tuning.sqlite
 
 ``submit`` only records the session; ``workers`` (long-running) or
@@ -63,6 +64,8 @@ def _session_status(record, queue) -> dict:
         "state": record.state,
         "spec": record.spec.to_dict(),
         "jobs": queue.depths(record.id),
+        "dead_letter": queue.dead_letter_count(record.id),
+        "last_error": queue.last_error(record.id),
         "resumable": record.has_checkpoint,
         "error": record.error,
         "result": record.result,
@@ -87,6 +90,13 @@ def _cmd_status(args) -> int:
             print(f"jobs:      " + ", ".join(
                 f"{state}={count}" for state, count in sorted(depths.items())
             ))
+            dead = queue.dead_letter_count(record.id)
+            if dead:
+                print(f"dead:      {dead} job(s) quarantined "
+                      f"(service deadletter list --db ...)")
+            last_error = queue.last_error(record.id)
+            if last_error:
+                print(f"last err:  {last_error.strip().splitlines()[-1]}")
             print(f"resumable: {'yes' if record.has_checkpoint else 'no'}")
             if record.error:
                 print(f"error:     {record.error.strip().splitlines()[-1]}")
@@ -119,6 +129,12 @@ def _cmd_status(args) -> int:
 
 def _cmd_workers(args) -> int:
     warnings.filterwarnings("ignore", category=RuntimeWarning)
+    if args.faults:
+        # Export to REPRO_FAULTS too, so spawned workers inherit the
+        # exact same deterministic fault schedule.
+        from .. import faults
+
+        faults.configure(args.faults)
     with _database(args) as database:
         results = serve(
             database,
@@ -126,6 +142,7 @@ def _cmd_workers(args) -> int:
             lease_ttl_s=args.lease_ttl,
             drain=args.drain,
             idle_timeout_s=args.idle_timeout,
+            trial_timeout_s=args.trial_timeout,
         )
     for result in results:
         print(f"done: {result.system}:{result.workload_id} "
@@ -149,6 +166,47 @@ def _cmd_resume(args) -> int:
             return 1
     print_result(result)
     return 0
+
+
+def _cmd_deadletter(args) -> int:
+    with _database(args) as database:
+        queue = JobQueue(database)
+        if args.action == "list":
+            letters = queue.dead_letters(args.session)
+            if args.json:
+                print(json.dumps(
+                    [
+                        {
+                            "session": letter.session_id,
+                            "trial": letter.trial_id,
+                            "attempts": letter.attempts,
+                            "error": letter.error,
+                            "history": letter.error_history,
+                            "quarantined_at": letter.quarantined_at,
+                        }
+                        for letter in letters
+                    ],
+                    sort_keys=True, indent=2,
+                ))
+                return 0
+            if not letters:
+                print("dead-letter queue is empty")
+            for letter in letters:
+                last = (letter.error or "").strip().splitlines()
+                print(f"{letter.session_id}  trial {letter.trial_id}  "
+                      f"{letter.attempts} attempts  "
+                      f"{last[-1] if last else '?'}")
+            return 0
+        if args.action == "retry":
+            if not args.session:
+                print("error: retry needs --session", file=sys.stderr)
+                return 2
+            released = queue.retry_dead(args.session, trial_id=args.trial)
+            print(f"released {released} job(s) back to the queue")
+            return 0 if released else 1
+        purged = queue.purge_dead(args.session)
+        print(f"purged {purged} dead-letter row(s)")
+        return 0
 
 
 def _cmd_gc(args) -> int:
@@ -207,6 +265,14 @@ def main(argv=None) -> int:
     workers.add_argument("--lease-ttl", type=float,
                          default=DEFAULT_LEASE_TTL_S,
                          help="job lease duration in seconds")
+    workers.add_argument("--trial-timeout", type=float, default=None,
+                         help="wall-clock deadline per trial in seconds "
+                              "(overruns fail the job instead of hanging "
+                              "the worker)")
+    workers.add_argument("--faults", default=None, metavar="SPEC",
+                         help="fault-injection spec, e.g. "
+                              "'seed=7;worker.crash=0.2' (chaos testing; "
+                              "also honoured from $REPRO_FAULTS)")
     workers.set_defaults(func=_cmd_workers)
 
     resume = subparsers.add_parser(
@@ -217,6 +283,20 @@ def main(argv=None) -> int:
     resume.add_argument("-n", "--workers", type=int, default=0,
                         help="worker processes (default: inline)")
     resume.set_defaults(func=_cmd_resume)
+
+    deadletter = subparsers.add_parser(
+        "deadletter", help="inspect / retry / purge quarantined jobs"
+    )
+    deadletter.add_argument("action", choices=["list", "retry", "purge"])
+    deadletter.add_argument("--db", required=True)
+    deadletter.add_argument("--session", default=None,
+                            help="restrict to one session (required for "
+                                 "retry)")
+    deadletter.add_argument("--trial", type=int, default=None,
+                            help="retry only this trial id")
+    deadletter.add_argument("--json", action="store_true",
+                            help="machine-readable list output")
+    deadletter.set_defaults(func=_cmd_deadletter)
 
     gc = subparsers.add_parser(
         "gc", help="purge old finished sessions, reclaim expired leases"

@@ -28,9 +28,13 @@ import time
 import traceback
 from typing import Any, Dict, List, Optional
 
-from ..core.model_server import ModelTuningServer, RunState, _plain
+from .. import faults
+from ..core.model_server import (
+    ModelTuningServer, RunState, _plain, failure_evaluation,
+)
 from ..core.results import TuningRunResult
 from ..errors import ServiceError
+from ..telemetry.meters import FAILURES_SUBSTITUTED
 from ..search import ScheduledTrial
 from ..storage import TrialDatabase
 from ..telemetry import MeterRegistry
@@ -56,6 +60,7 @@ class SessionCoordinator:
         poll_interval_s: float = COORDINATOR_POLL_S,
         pool: Optional[WorkerPool] = None,
         meters: Optional[MeterRegistry] = None,
+        trial_timeout_s: Optional[float] = None,
     ):
         if workers > 0 and pool is None and database.path == ":memory:":
             raise ServiceError(
@@ -70,6 +75,7 @@ class SessionCoordinator:
         self.queue = JobQueue(database)
         self.sessions = SessionStore(database)
         self.meters = meters or MeterRegistry()
+        self.trial_timeout_s = trial_timeout_s
         self._pool = pool
         self._owns_pool = pool is None and workers > 0
         self._inline: Optional[TrialWorker] = None
@@ -89,12 +95,14 @@ class SessionCoordinator:
                     self.database.path,
                     self.workers,
                     lease_ttl_s=self.lease_ttl_s,
+                    trial_timeout_s=self.trial_timeout_s,
                 ).start()
             elif self.workers == 0:
                 self._inline = TrialWorker(
                     database=self.database,
                     worker_id="inline",
                     lease_ttl_s=self.lease_ttl_s,
+                    trial_timeout_s=self.trial_timeout_s,
                 )
             result = self._run(server, record)
         except Exception:
@@ -205,17 +213,41 @@ class SessionCoordinator:
                     return
             if not wave or progressed:
                 continue
+            if self._substitute_failure(server, state, wave):
+                continue
             self._pump(wave)
+
+    def _substitute_failure(
+        self,
+        server: ModelTuningServer,
+        state: RunState,
+        wave: List[ScheduledTrial],
+    ) -> bool:
+        """Integrate a failure record for a dead-lettered wave head.
+
+        A poison trial (fails every attempt) used to abort the whole
+        session; now its quarantined job is *substituted* with a
+        deterministic worst-case evaluation and the wave keeps draining.
+        Substitution happens only at the wave head, so it preserves the
+        strict integration order that makes N-worker runs bit-identical.
+        """
+        head = wave[0]
+        job = self.queue.get(self.session_id, head.trial_id)
+        if job is None or job.state != FAILED:
+            return False
+        trial = wave.pop(0)
+        server.integrate(
+            state, trial, failure_evaluation(trial.trial_id, job.error)
+        )
+        self.meters.counter(FAILURES_SUBSTITUTED).inc()
+        self.meters.counter("trials.integrated").inc()
+        self._checkpoint(server, state, wave)
+        if state.stopped:
+            del wave[:]
+        return True
 
     def _pump(self, wave: List[ScheduledTrial]) -> None:
         """Make progress while the wave head's result is not ready yet."""
-        head = wave[0]
-        job = self.queue.get(self.session_id, head.trial_id)
-        if job is not None and job.state == FAILED:
-            raise ServiceError(
-                f"trial {head.trial_id} of session {self.session_id!r} "
-                f"failed after {job.attempts} attempts: {job.error}"
-            )
         if self._inline is not None:
             leased = self._inline.queue.lease(
                 self._inline.worker_id,
@@ -278,10 +310,18 @@ class SessionCoordinator:
                     "cores": rec.measurement.cores,
                 },
             }
+        plan = faults.get_plan()
+        if plan is not None:
+            self.meters.counter("faults.injected").inc(plan.fired_total())
         return {
             "system": result.system,
             "workload": result.workload_id,
             "num_trials": len(result.trials),
+            "failed_trials": sum(
+                1 for record in result.trials
+                if getattr(record, "failure", None) is not None
+            ),
+            "dead_letter": self.queue.dead_letter_count(self.session_id),
             "best_accuracy": float(result.best_accuracy),
             "best_score": float(result.best_score),
             "best_configuration": {
@@ -306,6 +346,7 @@ def serve(
     poll_interval_s: float = COORDINATOR_POLL_S,
     drain: bool = False,
     idle_timeout_s: Optional[float] = None,
+    trial_timeout_s: Optional[float] = None,
 ) -> List[TuningRunResult]:
     """Claim and run queued sessions until stopped.
 
@@ -319,7 +360,8 @@ def serve(
     pool: Optional[WorkerPool] = None
     if workers > 0:
         pool = WorkerPool(
-            database.path, workers, lease_ttl_s=lease_ttl_s
+            database.path, workers, lease_ttl_s=lease_ttl_s,
+            trial_timeout_s=trial_timeout_s,
         ).start()
     results: List[TuningRunResult] = []
     idle_since = time.time()
@@ -343,6 +385,7 @@ def serve(
                 lease_ttl_s=lease_ttl_s,
                 poll_interval_s=poll_interval_s,
                 pool=pool,
+                trial_timeout_s=trial_timeout_s,
             )
             try:
                 results.append(coordinator.run())

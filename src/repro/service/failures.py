@@ -1,0 +1,54 @@
+"""Trial deadline enforcement.
+
+A hung trial (infinite loop, injected ``worker.hang``, pathological
+configuration) would otherwise pin its worker forever: the heartbeat
+thread keeps renewing the lease, so the job never gets reclaimed and the
+wave never drains.  :func:`run_with_deadline` bounds a trial's wall-clock
+time and turns an overrun into a structured :class:`TrialTimeoutError`
+that the worker reports through the normal ``fail`` path — the job is
+retried (or dead-lettered) like any other failure.
+
+The overrun trial's thread is a daemon and cannot be force-killed from
+Python; it is *abandoned*, not stopped.  That is acceptable here because
+trials are CPU-bound numpy work with no external side effects — the
+abandoned thread finishes (or spins) in the background and its result is
+discarded, while the worker process moves on to the next job.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..errors import TrialTimeoutError
+
+
+def run_with_deadline(
+    fn: Callable[[], Any], timeout_s: float, name: str = "trial"
+) -> Any:
+    """Run ``fn()`` with a wall-clock deadline.
+
+    Returns ``fn``'s result, re-raises its exception, or raises
+    :class:`TrialTimeoutError` when it does not finish in ``timeout_s``
+    seconds.
+    """
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as error:  # noqa: BLE001 — re-raised below
+            box["error"] = error
+
+    thread = threading.Thread(
+        target=target, name=f"deadline-{name}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout=timeout_s)
+    if thread.is_alive():
+        raise TrialTimeoutError(
+            f"{name} exceeded its {timeout_s:.1f}s deadline; abandoning it"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["value"]

@@ -10,11 +10,14 @@ respawns replacements.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from typing import List, Optional
 
 from .queue import DEFAULT_LEASE_TTL_S
 from .worker import IDLE_POLL_S, worker_main
+
+logger = logging.getLogger(__name__)
 
 
 class WorkerPool:
@@ -27,6 +30,7 @@ class WorkerPool:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         poll_interval_s: float = IDLE_POLL_S,
         name_prefix: str = "worker",
+        trial_timeout_s: Optional[float] = None,
     ):
         if workers < 1:
             raise ValueError(f"worker pool needs >= 1 workers, got {workers}")
@@ -35,6 +39,7 @@ class WorkerPool:
         self.lease_ttl_s = lease_ttl_s
         self.poll_interval_s = poll_interval_s
         self.name_prefix = name_prefix
+        self.trial_timeout_s = trial_timeout_s
         self._spawned = 0
         self._processes: List[multiprocessing.Process] = []
 
@@ -48,6 +53,7 @@ class WorkerPool:
             kwargs={
                 "lease_ttl_s": self.lease_ttl_s,
                 "poll_interval_s": self.poll_interval_s,
+                "trial_timeout_s": self.trial_timeout_s,
             },
             name=worker_id,
             daemon=True,
@@ -73,7 +79,13 @@ class WorkerPool:
         return sum(1 for p in self._processes if p.is_alive())
 
     def stop(self, timeout_s: float = 5.0) -> None:
-        """Terminate all workers (leases they held will be reclaimed)."""
+        """Terminate all workers (leases they held will be reclaimed).
+
+        Escalates SIGTERM -> SIGKILL; a process that survives even the
+        kill (unkillable D-state) is logged and abandoned rather than
+        blocking shutdown forever — its lease expires and the job is
+        retried elsewhere.
+        """
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
@@ -82,6 +94,11 @@ class WorkerPool:
             if process.is_alive():
                 process.kill()
                 process.join(timeout=timeout_s)
+            if process.is_alive():
+                logger.warning(
+                    "worker %s (pid %s) survived SIGKILL; abandoning it",
+                    process.name, process.pid,
+                )
         self._processes = []
 
     def __enter__(self) -> "WorkerPool":

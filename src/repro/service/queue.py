@@ -19,8 +19,9 @@ All timestamps are wall-clock seconds (``time.time()``); determinism of
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..storage import TrialDatabase
@@ -42,10 +43,14 @@ BACKOFF_CAP_S = 30.0
 
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: Per-attempt error text cap inside ``error_history`` (full text of the
+#: *last* error still lives in ``jobs.error``).
+_HISTORY_ERROR_CHARS = 2000
+
 _JOB_COLUMNS = (
     "id, session_id, trial_id, payload, state, attempts, max_attempts, "
     "lease_owner, lease_expires_at, next_retry_at, result, error, "
-    "created_at, started_at, finished_at"
+    "created_at, started_at, finished_at, error_history"
 )
 
 
@@ -68,10 +73,42 @@ class Job:
     created_at: float
     started_at: Optional[float]
     finished_at: Optional[float]
+    #: JSON list of ``{"attempt", "error", "at"}`` — one entry per failed
+    #: attempt, in order.
+    error_history: str = "[]"
 
     @classmethod
     def from_row(cls, row: tuple) -> "Job":
         return cls(*row)
+
+    def history(self) -> List[Dict[str, Any]]:
+        return json.loads(self.error_history or "[]")
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined (poison) job: exhausted every retry."""
+
+    id: int
+    session_id: str
+    trial_id: int
+    payload: str
+    attempts: int
+    error: Optional[str]
+    error_history: List[Dict[str, Any]] = field(default_factory=list)
+    created_at: float = 0.0
+    quarantined_at: float = 0.0
+
+
+def _appended_history(raw: Optional[str], attempt: int, error: str,
+                      now: float) -> str:
+    history = json.loads(raw or "[]")
+    history.append({
+        "attempt": int(attempt),
+        "error": str(error)[:_HISTORY_ERROR_CHARS],
+        "at": float(now),
+    })
+    return json.dumps(history)
 
 
 def backoff_delay(attempt: int, base: float = BACKOFF_BASE_S,
@@ -198,33 +235,58 @@ class JobQueue:
         error: str,
         now: Optional[float] = None,
     ) -> bool:
-        """Record a job failure: requeue with backoff or fail terminally."""
+        """Record a job failure: requeue with backoff or quarantine.
+
+        A no-op (returns ``False``) when the lease was reclaimed *or has
+        already expired* — in both cases the reclaim path owns the job's
+        fate and a zombie worker's verdict must not race it.  Terminal
+        failures land the job in ``failed`` and copy it — with its full
+        per-attempt error history — into the ``dead_letter`` quarantine.
+        """
         now = time.time() if now is None else now
         with self.database.transaction() as connection:
             row = connection.execute(
-                "SELECT attempts, max_attempts FROM jobs "
+                "SELECT attempts, max_attempts, lease_expires_at, "
+                "error_history FROM jobs "
                 "WHERE id = ? AND lease_owner = ? AND state = ?",
                 (int(job_id), worker_id, LEASED),
             ).fetchone()
             if row is None:
                 return False
-            attempts, max_attempts = row
+            attempts, max_attempts, lease_expires_at, raw_history = row
+            if lease_expires_at is not None and lease_expires_at < now:
+                return False
+            history = _appended_history(raw_history, attempts, error, now)
             if attempts >= max_attempts:
                 connection.execute(
                     "UPDATE jobs SET state = ?, error = ?, finished_at = ?, "
-                    "lease_owner = NULL, lease_expires_at = NULL "
-                    "WHERE id = ?",
-                    (FAILED, error, now, int(job_id)),
+                    "lease_owner = NULL, lease_expires_at = NULL, "
+                    "error_history = ? WHERE id = ?",
+                    (FAILED, error, now, history, int(job_id)),
                 )
+                self._quarantine(connection, int(job_id), now)
             else:
                 connection.execute(
                     "UPDATE jobs SET state = ?, error = ?, "
                     "lease_owner = NULL, lease_expires_at = NULL, "
-                    "next_retry_at = ? WHERE id = ?",
+                    "next_retry_at = ?, error_history = ? WHERE id = ?",
                     (QUEUED, error, now + backoff_delay(attempts),
-                     int(job_id)),
+                     history, int(job_id)),
                 )
         return True
+
+    @staticmethod
+    def _quarantine(connection, job_id: int, now: float) -> None:
+        """Copy a terminally-failed job into ``dead_letter`` (idempotent:
+        the UNIQUE key makes a job quarantine exactly once)."""
+        connection.execute(
+            "INSERT OR IGNORE INTO dead_letter (session_id, trial_id, "
+            "payload, attempts, error, error_history, created_at, "
+            "quarantined_at) "
+            "SELECT session_id, trial_id, payload, attempts, error, "
+            "error_history, created_at, ? FROM jobs WHERE id = ?",
+            (now, int(job_id)),
+        )
 
     # -- janitor side --------------------------------------------------------
     def reclaim_expired(self, now: Optional[float] = None) -> int:
@@ -238,26 +300,30 @@ class JobQueue:
         reclaimed = 0
         with self.database.transaction() as connection:
             rows = connection.execute(
-                "SELECT id, attempts, max_attempts, lease_owner FROM jobs "
+                "SELECT id, attempts, max_attempts, lease_owner, "
+                "error_history FROM jobs "
                 "WHERE state = ? AND lease_expires_at < ?",
                 (LEASED, now),
             ).fetchall()
-            for job_id, attempts, max_attempts, owner in rows:
+            for job_id, attempts, max_attempts, owner, raw_history in rows:
                 error = f"lease expired (owner {owner!r}, attempt {attempts})"
+                history = _appended_history(raw_history, attempts, error, now)
                 if attempts >= max_attempts:
                     connection.execute(
                         "UPDATE jobs SET state = ?, error = ?, "
                         "finished_at = ?, lease_owner = NULL, "
-                        "lease_expires_at = NULL WHERE id = ?",
-                        (FAILED, error, now, job_id),
+                        "lease_expires_at = NULL, error_history = ? "
+                        "WHERE id = ?",
+                        (FAILED, error, now, history, job_id),
                     )
+                    self._quarantine(connection, int(job_id), now)
                 else:
                     connection.execute(
                         "UPDATE jobs SET state = ?, error = ?, "
                         "lease_owner = NULL, lease_expires_at = NULL, "
-                        "next_retry_at = ? WHERE id = ?",
+                        "next_retry_at = ?, error_history = ? WHERE id = ?",
                         (QUEUED, error, now + backoff_delay(attempts),
-                         job_id),
+                         history, job_id),
                     )
                 reclaimed += 1
         return reclaimed
@@ -340,3 +406,111 @@ class JobQueue:
             }
             for row in rows
         ]
+
+    # -- dead-letter quarantine ----------------------------------------------
+    def dead_letters(
+        self, session_id: Optional[str] = None
+    ) -> List[DeadLetter]:
+        """Quarantined jobs, oldest first."""
+        query = (
+            "SELECT id, session_id, trial_id, payload, attempts, error, "
+            "error_history, created_at, quarantined_at FROM dead_letter"
+        )
+        args: tuple = ()
+        if session_id is not None:
+            query += " WHERE session_id = ?"
+            args = (session_id,)
+        query += " ORDER BY id"
+        rows = self.database.execute(query, args).fetchall()
+        return [
+            DeadLetter(
+                id=int(row[0]),
+                session_id=row[1],
+                trial_id=int(row[2]),
+                payload=row[3],
+                attempts=int(row[4]),
+                error=row[5],
+                error_history=json.loads(row[6] or "[]"),
+                created_at=float(row[7]),
+                quarantined_at=float(row[8]),
+            )
+            for row in rows
+        ]
+
+    def dead_letter_count(self, session_id: Optional[str] = None) -> int:
+        query = "SELECT COUNT(*) FROM dead_letter"
+        args: tuple = ()
+        if session_id is not None:
+            query += " WHERE session_id = ?"
+            args = (session_id,)
+        (count,) = self.database.execute(query, args).fetchone()
+        return int(count)
+
+    def retry_dead(
+        self,
+        session_id: str,
+        trial_id: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Release quarantined jobs back to the queue with a clean slate.
+
+        Resets attempts and error history so the job gets its full retry
+        budget again (the operator presumably fixed the underlying cause).
+        Returns the number of jobs released.
+        """
+        now = time.time() if now is None else now
+        with self.database.transaction() as connection:
+            query = "SELECT trial_id FROM dead_letter WHERE session_id = ?"
+            args: List[Any] = [session_id]
+            if trial_id is not None:
+                query += " AND trial_id = ?"
+                args.append(int(trial_id))
+            trials = [row[0] for row in
+                      connection.execute(query, tuple(args)).fetchall()]
+            for trial in trials:
+                connection.execute(
+                    "UPDATE jobs SET state = ?, attempts = 0, error = NULL, "
+                    "error_history = '[]', next_retry_at = 0, "
+                    "lease_owner = NULL, lease_expires_at = NULL, "
+                    "result = NULL, started_at = NULL, finished_at = NULL "
+                    "WHERE session_id = ? AND trial_id = ?",
+                    (QUEUED, session_id, int(trial)),
+                )
+                connection.execute(
+                    "DELETE FROM dead_letter "
+                    "WHERE session_id = ? AND trial_id = ?",
+                    (session_id, int(trial)),
+                )
+        return len(trials)
+
+    def purge_dead(self, session_id: Optional[str] = None) -> int:
+        """Drop quarantine rows (the failed ``jobs`` rows stay)."""
+        query = "DELETE FROM dead_letter"
+        args: tuple = ()
+        if session_id is not None:
+            query += " WHERE session_id = ?"
+            args = (session_id,)
+        cursor = self.database.execute(query, args)
+        return cursor.rowcount
+
+    def last_error(self, session_id: str) -> Optional[str]:
+        """Most recent job error recorded for a session, if any.
+
+        Reads ``error_history`` rather than ``jobs.error`` because a
+        successful retry clears the latter — the history is the durable
+        record of what went wrong along the way.
+        """
+        rows = self.database.execute(
+            "SELECT error, error_history FROM jobs WHERE session_id = ?",
+            (session_id,),
+        ).fetchall()
+        latest_at = float("-inf")
+        latest: Optional[str] = None
+        for error, raw_history in rows:
+            history = json.loads(raw_history or "[]")
+            if history and history[-1]["at"] > latest_at:
+                latest_at = history[-1]["at"]
+                latest = history[-1]["error"]
+            elif latest is None and error:
+                latest = error  # pre-v5 rows carry only ``error``
+        return latest

@@ -28,7 +28,9 @@ import traceback
 from typing import Dict, Optional, Tuple
 
 from ..core.model_server import TrialTask, evaluate_trial
+from ..faults import fault_point
 from ..storage import TrialDatabase
+from .failures import run_with_deadline
 from .queue import DEFAULT_LEASE_TTL_S, Job, JobQueue
 
 #: How long an idle worker sleeps between queue polls, seconds.
@@ -56,7 +58,11 @@ class _Heartbeat:
 
     def __exit__(self, *exc_info) -> None:
         self._stop.set()
-        self._thread.join(timeout=self._ttl_s)
+        # Bounded join: if the heartbeat thread is itself stuck inside a
+        # wedged sqlite call, blocking here longer than the lease TTL
+        # would delay the failure report past the point where a sibling
+        # reclaims the job anyway.  The thread is a daemon; abandon it.
+        self._thread.join(timeout=min(self._ttl_s, 1.0))
 
     def _run(self) -> None:
         interval = max(0.05, self._ttl_s * HEARTBEAT_FRACTION)
@@ -77,6 +83,7 @@ class TrialWorker:
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
         poll_interval_s: float = IDLE_POLL_S,
         database: Optional[TrialDatabase] = None,
+        trial_timeout_s: Optional[float] = None,
     ):
         if database is None and db_path is None:
             raise ValueError("TrialWorker needs a db_path or a database")
@@ -86,6 +93,8 @@ class TrialWorker:
         self.queue = JobQueue(self.database)
         self.lease_ttl_s = lease_ttl_s
         self.poll_interval_s = poll_interval_s
+        #: Wall-clock budget per trial; ``None`` disables the deadline.
+        self.trial_timeout_s = trial_timeout_s
         self.jobs_done = 0
         self.jobs_failed = 0
         #: (workload_id, seed, samples) -> (train, eval); synthesis is
@@ -98,9 +107,15 @@ class TrialWorker:
         with _Heartbeat(self.queue, job.id, self.worker_id,
                         self.lease_ttl_s):
             try:
+                # Chaos sites: keyed by trial id and gated on the lease
+                # attempt, so (by default) the retry of an injected
+                # failure runs clean and the session still converges.
+                fault_point("worker.crash", key=job.trial_id,
+                            attempt=job.attempts)
+                fault_point("worker.fail", key=job.trial_id,
+                            attempt=job.attempts)
                 task = TrialTask.from_json(job.payload)
-                train_set, eval_set = self._load_datasets(task)
-                evaluation, model = evaluate_trial(task, train_set, eval_set)
+                evaluation, model = self._evaluate(task, job.attempts)
                 evaluation.model_blob = pickle.dumps(
                     model, protocol=pickle.HIGHEST_PROTOCOL
                 )
@@ -115,6 +130,20 @@ class TrialWorker:
                 return
         if self.queue.complete(job.id, self.worker_id, blob):
             self.jobs_done += 1
+
+    def _evaluate(self, task: TrialTask, attempt: int) -> Tuple:
+        """Run one trial, under the wall-clock deadline when configured."""
+
+        def execute() -> Tuple:
+            fault_point("worker.hang", key=task.trial_id, attempt=attempt)
+            train_set, eval_set = self._load_datasets(task)
+            return evaluate_trial(task, train_set, eval_set)
+
+        if self.trial_timeout_s is None:
+            return execute()
+        return run_with_deadline(
+            execute, self.trial_timeout_s, name=f"trial-{task.trial_id}"
+        )
 
     def _load_datasets(self, task: TrialTask) -> Tuple:
         key = (task.workload_id, task.seed, task.samples)
@@ -167,6 +196,7 @@ def worker_main(
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     poll_interval_s: float = IDLE_POLL_S,
     idle_timeout_s: Optional[float] = None,
+    trial_timeout_s: Optional[float] = None,
 ) -> int:
     """Process entry point for pool workers (importable, hence spawn-safe)."""
     worker = TrialWorker(
@@ -174,6 +204,7 @@ def worker_main(
         worker_id=worker_id,
         lease_ttl_s=lease_ttl_s,
         poll_interval_s=poll_interval_s,
+        trial_timeout_s=trial_timeout_s,
     )
     try:
         return worker.run_forever(idle_timeout_s=idle_timeout_s)

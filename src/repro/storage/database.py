@@ -29,11 +29,27 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .. import faults
 from ..errors import StorageError
 
 #: How long (ms) a connection waits on a locked database before failing;
 #: generous because worker processes contend on the shared job queue.
 BUSY_TIMEOUT_MS = 10_000
+
+#: Transient sqlite failures worth retrying at the statement boundary
+#: (a flaky disk or a lock that outlived the busy timeout); anything
+#: else propagates immediately.
+_TRANSIENT_MARKERS = ("disk i/o error", "database is locked",
+                     "database table is locked")
+
+#: Bounded retry envelope for transient statement failures.
+IO_RETRIES = 4
+IO_RETRY_BASE_S = 0.01
+
+
+def _is_transient(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
 
 _SCHEMA_V1 = """
 CREATE TABLE IF NOT EXISTS trials (
@@ -140,6 +156,28 @@ CREATE INDEX IF NOT EXISTS idx_recommendations_device
     ON recommendations (device, objective);
 """
 
+#: v5 — failure containment: the ``dead_letter`` quarantine for jobs
+#: that exhausted their retries (full error history preserved for
+#: forensics and ``service deadletter retry``), plus a per-job
+#: ``error_history`` JSON column accumulating one entry per failed
+#: attempt.
+_SCHEMA_V5 = """
+CREATE TABLE IF NOT EXISTS dead_letter (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    session_id TEXT NOT NULL,
+    trial_id INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    attempts INTEGER NOT NULL,
+    error TEXT,
+    error_history TEXT NOT NULL DEFAULT '[]',
+    created_at REAL NOT NULL,
+    quarantined_at REAL NOT NULL,
+    UNIQUE (session_id, trial_id)
+);
+CREATE INDEX IF NOT EXISTS idx_dead_letter_session
+    ON dead_letter (session_id);
+"""
+
 #: Ordered (version, script) migration ladder; each script must be safe to
 #: run on a database that already contains the objects it creates (older
 #: releases wrote the v1 tables without stamping ``user_version``).
@@ -148,6 +186,7 @@ MIGRATIONS: Tuple[Tuple[int, str], ...] = (
     (2, _SCHEMA_V2),
     (3, _SCHEMA_V3),
     (4, _SCHEMA_V4),
+    (5, _SCHEMA_V5),
 )
 
 SCHEMA_VERSION = MIGRATIONS[-1][0]
@@ -248,6 +287,10 @@ class TrialDatabase:
                 self._ensure_column(
                     "trials", "created_at", "REAL NOT NULL DEFAULT 0"
                 )
+            if target == 5:
+                self._ensure_column(
+                    "jobs", "error_history", "TEXT NOT NULL DEFAULT '[]'"
+                )
             self._connection.executescript(script)
             self._connection.execute(f"PRAGMA user_version = {target}")
             version = target
@@ -274,21 +317,37 @@ class TrialDatabase:
 
     # -- low-level access (service layer) -----------------------------------
     def execute(self, sql: str, args: Tuple = ()) -> sqlite3.Cursor:
-        """Run one statement under the instance lock (autocommitted)."""
-        with self._lock:
-            return self._connection.execute(sql, args)
+        """Run one statement under the instance lock (autocommitted).
+
+        Transient failures (disk I/O errors, locks outliving the busy
+        timeout — or their injected equivalents via the ``storage.io``
+        fault site) are retried with exponential backoff; statements are
+        atomic in autocommit mode, so the retry is always safe.
+        """
+        delay = IO_RETRY_BASE_S
+        for attempt in range(IO_RETRIES + 1):
+            try:
+                with self._lock:
+                    faults.fault_point("storage.io")
+                    return self._connection.execute(sql, args)
+            except sqlite3.OperationalError as error:
+                if attempt >= IO_RETRIES or not _is_transient(error):
+                    raise
+                time.sleep(delay)
+                delay *= 2.0
+        raise StorageError("unreachable")  # pragma: no cover
 
     @contextmanager
     def transaction(self, immediate: bool = True) -> Iterator[sqlite3.Connection]:
         """A serialized read-modify-write section.
 
         ``immediate`` grabs the sqlite write lock up front, which is what
-        makes the job queue's claim step atomic across processes.
+        makes the job queue's claim step atomic across processes.  Only
+        the BEGIN is retried on transient errors: nothing has happened
+        yet, so retrying it cannot double-apply the caller's writes.
         """
         with self._lock:
-            self._connection.execute(
-                "BEGIN IMMEDIATE" if immediate else "BEGIN"
-            )
+            self._begin(immediate)
             try:
                 yield self._connection
             except BaseException:
@@ -296,6 +355,20 @@ class TrialDatabase:
                 raise
             else:
                 self._connection.execute("COMMIT")
+
+    def _begin(self, immediate: bool) -> None:
+        statement = "BEGIN IMMEDIATE" if immediate else "BEGIN"
+        delay = IO_RETRY_BASE_S
+        for attempt in range(IO_RETRIES + 1):
+            try:
+                faults.fault_point("storage.io")
+                self._connection.execute(statement)
+                return
+            except sqlite3.OperationalError as error:
+                if attempt >= IO_RETRIES or not _is_transient(error):
+                    raise
+                time.sleep(delay)
+                delay *= 2.0
 
     # -- trials ------------------------------------------------------------
     def record_trial(

@@ -13,6 +13,13 @@ from typing import Any, Dict, List, Optional
 
 from .metrics import MetricSummary
 
+#: Canonical counter names for the failure-containment path, so the
+#: coordinator, CLI and tests agree on spelling.
+FAULTS_INJECTED = "faults.injected"
+FAILURES_SUBSTITUTED = "failures.substituted"
+FAILURES_DEAD_LETTERED = "failures.dead_lettered"
+FAILURES_TIMEOUTS = "failures.timeouts"
+
 
 @dataclass
 class Counter:

@@ -1,0 +1,134 @@
+"""Retry exhaustion and the dead-letter quarantine (jobs table v5)."""
+
+from repro.service import DeadLetter, JobQueue
+from repro.service.queue import FAILED, QUEUED, backoff_delay
+from repro.storage import TrialDatabase
+
+
+def drive_to_exhaustion(queue, session="s1", trial=1, max_attempts=3,
+                        start=1000.0):
+    """Lease+fail a job through every attempt; returns the fail times."""
+    queue.enqueue(session, trial, "{}", max_attempts=max_attempts,
+                  now=start)
+    now = start
+    fail_times = []
+    for attempt in range(1, max_attempts + 1):
+        now += backoff_delay(attempt - 1) + 1.0
+        job = queue.lease("w1", ttl_s=30.0, now=now)
+        assert job is not None and job.attempts == attempt
+        now += 0.5
+        assert queue.fail(job.id, "w1", f"boom {attempt}", now=now)
+        fail_times.append(now)
+    return fail_times
+
+
+class TestRetryExhaustion:
+    def test_exhausted_job_fails_and_quarantines_exactly_once(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        drive_to_exhaustion(queue)
+        job = queue.get("s1", 1)
+        assert job.state == FAILED
+        assert job.attempts == job.max_attempts == 3
+        letters = queue.dead_letters("s1")
+        assert len(letters) == 1
+        letter = letters[0]
+        assert isinstance(letter, DeadLetter)
+        assert letter.trial_id == 1 and letter.attempts == 3
+        assert letter.error == "boom 3"
+        assert queue.dead_letter_count() == 1
+        assert queue.dead_letter_count("other") == 0
+
+    def test_error_history_is_complete_and_monotonic(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        fail_times = drive_to_exhaustion(queue)
+        history = queue.get("s1", 1).history()
+        assert [entry["attempt"] for entry in history] == [1, 2, 3]
+        assert [entry["error"] for entry in history] == [
+            "boom 1", "boom 2", "boom 3"
+        ]
+        stamps = [entry["at"] for entry in history]
+        assert stamps == sorted(stamps) == fail_times
+        # The quarantine row carries the same history.
+        assert queue.dead_letters("s1")[0].error_history == history
+
+    def test_backoff_timestamps_monotonically_increase(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        queue.enqueue("s1", 1, "{}", max_attempts=5, now=100.0)
+        retry_ats = []
+        now = 100.0
+        for attempt in range(1, 5):
+            now += backoff_delay(attempt - 1) + 0.01
+            job = queue.lease("w1", ttl_s=30.0, now=now)
+            assert job is not None
+            queue.fail(job.id, "w1", "x", now=now)
+            retry_ats.append(queue.get("s1", 1).next_retry_at)
+        assert retry_ats == sorted(retry_ats)
+        assert all(b > a for a, b in zip(retry_ats, retry_ats[1:]))
+
+    def test_fail_after_lease_expiry_is_noop(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        queue.enqueue("s1", 1, "{}", now=100.0)
+        job = queue.lease("w1", ttl_s=5.0, now=100.0)
+        # The zombie reports after its lease lapsed: rejected, and the
+        # job row is untouched (reclaim owns it now).
+        assert not queue.fail(job.id, "w1", "late verdict", now=106.0)
+        after = queue.get("s1", 1)
+        assert after.state == "leased"
+        assert after.error is None
+        assert after.history() == []
+
+    def test_reclaim_exhaustion_also_quarantines(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        queue.enqueue("s1", 1, "{}", max_attempts=1, now=100.0)
+        job = queue.lease("w1", ttl_s=5.0, now=100.0)
+        assert job.attempts == 1
+        assert queue.reclaim_expired(now=200.0) == 1
+        assert queue.get("s1", 1).state == FAILED
+        letters = queue.dead_letters("s1")
+        assert len(letters) == 1
+        assert "lease expired" in letters[0].error
+        assert len(letters[0].error_history) == 1
+
+
+class TestDeadLetterManagement:
+    def test_retry_dead_releases_with_clean_slate(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        drive_to_exhaustion(queue)
+        assert queue.retry_dead("s1") == 1
+        assert queue.dead_letter_count("s1") == 0
+        job = queue.get("s1", 1)
+        assert job.state == QUEUED
+        assert job.attempts == 0
+        assert job.error is None
+        assert job.history() == []
+        # The released job is leasable again immediately.
+        assert queue.lease("w2", ttl_s=30.0, now=9999.0) is not None
+
+    def test_retry_dead_single_trial(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        drive_to_exhaustion(queue, trial=1)
+        drive_to_exhaustion(queue, trial=2)
+        assert queue.retry_dead("s1", trial_id=2) == 1
+        assert {l.trial_id for l in queue.dead_letters("s1")} == {1}
+
+    def test_purge_dead_keeps_failed_jobs(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        drive_to_exhaustion(queue)
+        assert queue.purge_dead("s1") == 1
+        assert queue.dead_letter_count() == 0
+        assert queue.get("s1", 1).state == FAILED  # audit trail stays
+
+    def test_last_error_reports_most_recent(self):
+        db = TrialDatabase()
+        queue = JobQueue(db)
+        assert queue.last_error("s1") is None
+        drive_to_exhaustion(queue)
+        assert queue.last_error("s1") == "boom 3"

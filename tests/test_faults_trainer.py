@@ -1,0 +1,139 @@
+"""Numeric containment: NaN divergence in training, objective guards."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.model_server import (
+    TrialEvaluation, failure_evaluation,
+)
+from repro.datasets import make_cifar10
+from repro.nn import train_model
+from repro.nn.models import get_model_family
+from repro.nn.trainer import TrainingResult
+from repro.objectives import WORST_SCORE, RatioObjective
+from repro.objectives.base import PowerAwareObjective
+from repro.telemetry import InferenceMeasurement, TrainingMeasurement
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def run_training(seed=5):
+    dataset = make_cifar10(samples=160, seed=1)
+    train, test = dataset.split(0.2, rng=0)
+    family = get_model_family("resnet")
+    model = family.instantiate(dataset.sample_shape,
+                               dataset.num_classes, seed=3)
+    return train_model(
+        model, family.make_loss(dataset.num_classes), train, test,
+        epochs=2, batch_size=32, lr=0.05, seed=seed,
+    )
+
+
+class TestNanContainment:
+    def test_injected_nan_is_contained(self):
+        faults.configure("seed=1;trainer.nan=1.0", propagate=False)
+        result = run_training()
+        assert result.diverged
+        assert result.accuracy == 0.0
+        # Divergence struck the very first batch: no step completed.
+        assert result.samples_seen == 0
+        assert result.losses == []
+        assert result.final_loss is None
+
+    def test_healthy_run_unaffected_by_disabled_faults(self):
+        healthy = run_training()
+        assert not healthy.diverged
+        assert healthy.final_loss is not None
+        assert np.isfinite(healthy.final_loss)
+        assert healthy.samples_seen > 0
+
+    def test_diverged_evaluation_is_degraded_and_reports_failure(self):
+        faults.configure("seed=1;trainer.nan=1.0", propagate=False)
+        from repro.core.model_server import TrialTask, evaluate_trial
+
+        task = TrialTask(
+            trial_id=0,
+            values={"num_layers": 8, "train_batch_size": 32},
+            fidelity=1, bracket=0, rung=0,
+            epochs=1, data_fraction=0.5, workload_id="IC", seed=7,
+            samples=160,
+        )
+        evaluation, _ = evaluate_trial(task)
+        assert evaluation.diverged
+        assert evaluation.degraded
+        assert "diverged" in evaluation.failure
+        assert evaluation.accuracy == 0.0
+
+
+class TestFinalLoss:
+    def test_zero_step_run_has_none_final_loss(self):
+        result = TrainingResult(
+            accuracy=0.0, losses=[], epochs_run=0, data_fraction=1.0,
+            samples_seen=0, batch_size=32, forward_flops_per_sample=0,
+            train_forward_flops=0, train_total_flops=0, parameter_count=0,
+        )
+        assert result.final_loss is None
+
+    def test_failure_evaluation_shape(self):
+        evaluation = failure_evaluation(9, "it broke")
+        assert isinstance(evaluation, TrialEvaluation)
+        assert evaluation.failed and evaluation.degraded
+        assert evaluation.failure == "it broke"
+        assert evaluation.accuracy == 0.0
+        assert evaluation.final_loss is None
+        assert evaluation.train_total_flops == 0
+
+
+def training_measurement(runtime=10.0, energy=100.0):
+    return TrainingMeasurement(
+        runtime_s=runtime, energy_j=energy, power_w=10.0,
+        working_set_bytes=1 << 20, device="titan-server", gpus=1,
+    )
+
+
+def inference_measurement(latency=0.01):
+    return InferenceMeasurement(
+        batch_latency_s=latency, throughput_sps=100.0,
+        energy_per_sample_j=0.01, power_w=1.0,
+        working_set_bytes=1 << 16, batch_size=1, cores=1,
+        device="armv7",
+    )
+
+
+class TestObjectiveGuards:
+    def test_nonfinite_runtime_scores_worst(self):
+        objective = RatioObjective("runtime")
+        bad = training_measurement(runtime=float("nan"))
+        assert objective.score(0.9, bad, inference_measurement()) \
+            == WORST_SCORE
+
+    def test_nonfinite_accuracy_scores_worst_not_crash(self):
+        objective = RatioObjective("runtime")
+        score = objective.score(float("nan"), training_measurement(),
+                                inference_measurement())
+        assert math.isfinite(score)
+        # Accuracy floor applies: a NaN accuracy behaves like the worst
+        # possible accuracy, never an exception or a NaN score.
+        assert score > 0
+
+    def test_nonfinite_energy_scores_worst_power_aware(self):
+        objective = PowerAwareObjective()
+        bad = TrainingMeasurement(
+            runtime_s=10.0, energy_j=float("inf"), power_w=10.0,
+            working_set_bytes=1 << 20, device="titan-server", gpus=1,
+        )
+        assert objective.score(0.9, bad, None) == WORST_SCORE
+
+    def test_healthy_inputs_unchanged(self):
+        objective = RatioObjective("runtime")
+        score = objective.score(0.9, training_measurement(),
+                                inference_measurement())
+        assert math.isfinite(score) and 0 < score < WORST_SCORE

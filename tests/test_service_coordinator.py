@@ -147,9 +147,12 @@ class TestCrashResume:
         for trial_id, before in done_before.items():
             assert done_after[trial_id] == before  # untouched by resume
 
-    def test_failing_trial_fails_the_session_after_retries(
+    def test_poison_trials_are_quarantined_and_session_completes(
         self, monkeypatch
     ):
+        """A trial that fails every attempt no longer aborts the session:
+        the job lands in the dead-letter quarantine and the coordinator
+        integrates a worst-case failure record in its place."""
         db = TrialDatabase()
         session_id, _ = make_session(db, max_trials=4)
 
@@ -157,13 +160,23 @@ class TestCrashResume:
             raise ValueError(f"cannot evaluate trial {task.trial_id}")
 
         monkeypatch.setattr(worker_module, "evaluate_trial", broken)
-        with pytest.raises(ServiceError, match="failed after"):
-            SessionCoordinator(
-                db, session_id, workers=0, poll_interval_s=0.01
-            ).run()
+        result = SessionCoordinator(
+            db, session_id, workers=0, poll_interval_s=0.01
+        ).run()
         record = SessionStore(db).get(session_id)
-        assert record.state == S_FAILED
-        failed_jobs = JobQueue(db).jobs_for(session_id, "failed")
+        assert record.state == S_DONE
+        assert record.result["failed_trials"] == len(result.trials) > 0
+        assert all(t.failure is not None for t in result.trials)
+
+        queue = JobQueue(db)
+        failed_jobs = queue.jobs_for(session_id, "failed")
         assert failed_jobs
         assert failed_jobs[0].attempts == failed_jobs[0].max_attempts
         assert "cannot evaluate trial" in failed_jobs[0].error
+        letters = queue.dead_letters(session_id)
+        assert len(letters) == len(failed_jobs)
+        assert record.result["dead_letter"] == len(letters)
+        history = letters[0].error_history
+        assert [entry["attempt"] for entry in history] == [1, 2, 3]
+        assert all("cannot evaluate trial" in entry["error"]
+                   for entry in history)
