@@ -1,0 +1,146 @@
+"""Gate a ``BENCH_nn.json`` produced by ``run_perf.py`` against the
+committed baseline.
+
+Two independent checks:
+
+1. **Speedup floors** (machine independent): the fast backend must stay
+   meaningfully ahead of the ``np.add.at`` reference on the kernels this
+   PR vectorized.  Floors are set below the measured speedups (~2x on
+   the conv workloads at paper-native scale) to absorb scheduler noise
+   without letting a real regression through.
+
+2. **Absolute tolerance band** (same-machine CI cache): each fast-path
+   median may not degrade by more than ``--max-slowdown`` (default 2x)
+   against ``baseline.json``.  The band is deliberately wide because CI
+   machines vary; the speedup floors are the sharp check.
+
+Exits non-zero with a per-metric report on any violation.
+
+Usage::
+
+    python benchmarks/perf/check_regression.py \
+        [--current BENCH_nn.json] [--baseline benchmarks/perf/baseline.json] \
+        [--max-slowdown 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Minimum acceptable fast/reference speedup per metric.  Only the
+#: kernels the vectorization targets are gated; NLP (pure RNN, no conv)
+#: is reported but never gated.
+SPEEDUP_FLOORS = {
+    "micro.conv1d.backward": 1.5,
+    "micro.conv2d.backward": 1.5,
+    # The 1-D pool backward was never an add.at scatter; its fast path
+    # only saves the per-step buffer allocation, so gate the forward
+    # (one-pass reduction vs two) and hold the backward near parity.
+    "micro.maxpool1d.forward": 1.5,
+    "micro.maxpool1d.backward": 0.8,
+    "micro.maxpool2d.backward": 1.2,
+    "e2e.SR": 1.5,
+    "e2e.IC": 1.5,
+}
+
+
+def _metrics(report: dict):
+    for name, entry in report.get("micro", {}).items():
+        yield f"micro.{name}", entry
+    for name, entry in report.get("e2e", {}).items():
+        yield f"e2e.{name}", entry
+
+
+#: Floors are calibrated at full scale; smoke runs use smaller batches
+#: and a single end-to-end round, so the ratio estimate is noisier and
+#: the fixed per-call overheads weigh more.  Relax rather than skip: a
+#: real regression (fast path slower than add.at) still trips the gate.
+SMOKE_FLOOR_RELAX = 0.6
+
+
+def check(current: dict, baseline: dict, max_slowdown: float) -> list:
+    failures = []
+    current_metrics = dict(_metrics(current))
+
+    relax = 1.0 if current.get("scale") == "full" else SMOKE_FLOOR_RELAX
+    for name, floor in SPEEDUP_FLOORS.items():
+        floor = floor * relax
+        entry = current_metrics.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: fast/reference speedup {entry['speedup']:.2f}x "
+                f"below floor {floor:.2f}x"
+            )
+
+    # Absolute medians are only comparable like-for-like: a smoke run
+    # (smaller batches/sample counts) against the committed full-scale
+    # baseline would fail or pass on workload size, not on regressions.
+    # The machine-independent speedup floors above still gate smoke runs.
+    if current.get("scale") != baseline.get("scale"):
+        print(
+            f"note: scale mismatch (current={current.get('scale')!r}, "
+            f"baseline={baseline.get('scale')!r}) — absolute tolerance "
+            "band skipped, speedup floors still enforced"
+        )
+        return failures
+
+    for name, base_entry in _metrics(baseline):
+        entry = current_metrics.get(name)
+        if entry is None:
+            failures.append(f"{name}: present in baseline, missing now")
+            continue
+        if "fast_ms" in base_entry:
+            ratio = entry["fast_ms"] / base_entry["fast_ms"]
+            if ratio > max_slowdown:
+                failures.append(
+                    f"{name}: fast path {entry['fast_ms']:.2f}ms is "
+                    f"{ratio:.2f}x the baseline "
+                    f"{base_entry['fast_ms']:.2f}ms "
+                    f"(allowed {max_slowdown:.1f}x)"
+                )
+        elif "fast_trials_per_sec" in base_entry:
+            ratio = (
+                base_entry["fast_trials_per_sec"]
+                / entry["fast_trials_per_sec"]
+            )
+            if ratio > max_slowdown:
+                failures.append(
+                    f"{name}: {entry['fast_trials_per_sec']:.3f} trials/s "
+                    f"is {ratio:.2f}x slower than baseline "
+                    f"{base_entry['fast_trials_per_sec']:.3f} trials/s "
+                    f"(allowed {max_slowdown:.1f}x)"
+                )
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default="BENCH_nn.json")
+    parser.add_argument(
+        "--baseline", default="benchmarks/perf/baseline.json"
+    )
+    parser.add_argument("--max-slowdown", type=float, default=2.0)
+    args = parser.parse_args()
+
+    with open(args.current) as handle:
+        current = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    failures = check(current, baseline, args.max_slowdown)
+    if failures:
+        print(f"perf regression check FAILED ({len(failures)} violations):")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    count = len(dict(_metrics(current)))
+    print(f"perf regression check passed ({count} metrics within bounds)")
+
+
+if __name__ == "__main__":
+    main()

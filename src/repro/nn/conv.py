@@ -1,8 +1,18 @@
 """Convolutional and pooling layers (1-D for audio, 2-D for images).
 
 Implemented with im2col/col2im so the heavy lifting is a single matrix
-multiply per layer — fast enough in numpy for the scaled-down reproduction
-workloads while remaining a genuine convolution with exact gradients.
+multiply per layer — fast enough in numpy for the reproduction workloads
+while remaining a genuine convolution with exact gradients.  The array
+kernels themselves (patch gather, col2im accumulate, pooling scatter)
+live in :mod:`repro.nn.kernels`, which keeps a vectorized ``fast``
+backend and the original ``reference`` backend side by side; the layers
+here only manage parameters, caches and reusable gradient buffers.
+
+Buffer reuse: each layer keeps its input-gradient buffer (and the conv
+layers their matmul scratch) across steps, so steady-state training does
+not allocate in ``backward``.  The returned gradient is therefore only
+valid until the layer's next ``backward`` call — which is how the
+engine's layer-by-layer backward chain consumes it.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from ..rng import SeedLike, make_rng
+from . import kernels
 from .initializers import he_normal, zeros
 from .module import Module, ParamTensor, Shape, check_ndim
 
@@ -23,35 +34,6 @@ def _out_length(length: int, kernel: int, stride: int) -> int:
             f"input length {length} smaller than kernel {kernel}"
         )
     return (length - kernel) // stride + 1
-
-
-def _im2col_1d(inputs: np.ndarray, kernel: int, stride: int) -> np.ndarray:
-    """(N, C, L) -> (N, Lo, C*K) patch matrix."""
-    batch, channels, length = inputs.shape
-    out_len = _out_length(length, kernel, stride)
-    idx = (np.arange(out_len) * stride)[:, None] + np.arange(kernel)[None, :]
-    # (N, C, Lo, K) -> (N, Lo, C, K) -> (N, Lo, C*K)
-    patches = inputs[:, :, idx]
-    return patches.transpose(0, 2, 1, 3).reshape(batch, out_len, channels * kernel)
-
-
-def _col2im_1d(
-    grad_cols: np.ndarray,
-    input_shape: Tuple[int, int, int],
-    kernel: int,
-    stride: int,
-) -> np.ndarray:
-    """Inverse scatter-add of :func:`_im2col_1d`."""
-    batch, channels, length = input_shape
-    out_len = grad_cols.shape[1]
-    grad = np.zeros(input_shape, dtype=np.float64)
-    cols = grad_cols.reshape(batch, out_len, channels, kernel).transpose(
-        0, 2, 1, 3
-    )  # (N, C, Lo, K)
-    for k in range(kernel):
-        positions = np.arange(out_len) * stride + k
-        np.add.at(grad, (slice(None), slice(None), positions), cols[:, :, :, k])
-    return grad
 
 
 class Conv1d(Module):
@@ -79,6 +61,9 @@ class Conv1d(Module):
         self.bias = ParamTensor("bias", zeros((out_channels,)))
         self._cols: Optional[np.ndarray] = None
         self._input_shape: Optional[Tuple[int, int, int]] = None
+        self._forward_scratch: dict = {}
+        self._backward_scratch: dict = {}
+        self._weight_grad_scratch = np.zeros_like(self.weight.value)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         check_ndim("Conv1d", inputs, 3)
@@ -87,9 +72,15 @@ class Conv1d(Module):
                 f"Conv1d expected {self.in_channels} channels, "
                 f"got {inputs.shape[1]}"
             )
+        out_len = _out_length(inputs.shape[2], self.kernel_size, self.stride)
         self._input_shape = inputs.shape
-        self._cols = _im2col_1d(inputs, self.kernel_size, self.stride)
-        out = self._cols @ self.weight.value + self.bias.value
+        self._cols = kernels.im2col_1d(
+            inputs, self.kernel_size, self.stride, out_len
+        )
+        out = kernels.scratch_matmul(
+            self._cols, self.weight.value, self._forward_scratch, "out"
+        )
+        out += self.bias.value
         return out.transpose(0, 2, 1)  # (N, C_out, Lo)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -97,12 +88,22 @@ class Conv1d(Module):
             raise ShapeError("Conv1d.backward called before forward")
         grad_out = grad_output.transpose(0, 2, 1)  # (N, Lo, C_out)
         flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
-        flat_grad = grad_out.reshape(-1, self.out_channels)
-        self.weight.grad += flat_cols.T @ flat_grad
+        flat_grad = np.ascontiguousarray(
+            grad_out.reshape(-1, self.out_channels)
+        )
+        np.matmul(flat_cols.T, flat_grad, out=self._weight_grad_scratch)
+        self.weight.grad += self._weight_grad_scratch
         self.bias.grad += flat_grad.sum(axis=0)
-        grad_cols = grad_out @ self.weight.value.T
-        return _col2im_1d(
-            grad_cols, self._input_shape, self.kernel_size, self.stride
+        # Feed the gemm the contiguous copy already made for the weight
+        # gradient — same values, but saves matmul an internal buffering
+        # pass over the strided transpose view.
+        return kernels.conv1d_input_grad(
+            flat_grad.reshape(grad_out.shape),
+            self.weight.value,
+            self._input_shape,
+            self.kernel_size,
+            self.stride,
+            self._backward_scratch,
         )
 
     def parameters(self) -> List[ParamTensor]:
@@ -126,6 +127,7 @@ class MaxPool1d(Module):
             raise ShapeError("MaxPool1d kernel must be positive")
         self.kernel_size = kernel_size
         self._cache: Optional[tuple] = None
+        self._grad_input: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         check_ndim("MaxPool1d", inputs, 3)
@@ -137,22 +139,23 @@ class MaxPool1d(Module):
             )
         trimmed = inputs[:, :, : out_len * self.kernel_size]
         windows = trimmed.reshape(batch, channels, out_len, self.kernel_size)
-        argmax = windows.argmax(axis=3)
+        maxima, argmax = kernels.maxpool_forward(windows)
         self._cache = (inputs.shape, out_len, argmax)
-        return windows.max(axis=3)
+        return maxima
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise ShapeError("MaxPool1d.backward called before forward")
         input_shape, out_len, argmax = self._cache
-        batch, channels, _ = input_shape
-        grad = np.zeros(input_shape, dtype=np.float64)
-        windows = grad.reshape(batch, channels, -1)[
-            :, :, : out_len * self.kernel_size
-        ].reshape(batch, channels, out_len, self.kernel_size)
-        b_idx, c_idx, o_idx = np.ogrid[:batch, :channels, :out_len]
-        windows[b_idx, c_idx, o_idx, argmax] = grad_output
-        return grad
+        self._grad_input = kernels.maxpool1d_backward(
+            grad_output,
+            input_shape,
+            out_len,
+            self.kernel_size,
+            argmax,
+            out=self._grad_input,
+        )
+        return self._grad_input
 
     def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
         channels, length = input_shape
@@ -175,32 +178,13 @@ class GlobalAvgPool1d(Module):
         if self._input_shape is None:
             raise ShapeError("GlobalAvgPool1d.backward called before forward")
         batch, channels, length = self._input_shape
-        return np.repeat(
-            grad_output[:, :, None] / length, length, axis=2
-        )
+        return np.broadcast_to(
+            grad_output[:, :, None] / length, self._input_shape
+        ).copy()
 
     def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
         channels, length = input_shape
         return channels * length, (channels,)
-
-
-def _im2col_2d(
-    inputs: np.ndarray, kernel: int, stride: int
-) -> Tuple[np.ndarray, int, int]:
-    """(N, C, H, W) -> (N, Ho*Wo, C*K*K) patch matrix."""
-    batch, channels, height, width = inputs.shape
-    out_h = _out_length(height, kernel, stride)
-    out_w = _out_length(width, kernel, stride)
-    rows = (np.arange(out_h) * stride)[:, None] + np.arange(kernel)[None, :]
-    cols = (np.arange(out_w) * stride)[:, None] + np.arange(kernel)[None, :]
-    # Gather (N, C, Ho, K, Wo, K)
-    patches = inputs[:, :, rows][:, :, :, :, cols]
-    patches = patches.transpose(0, 2, 4, 1, 3, 5)  # (N, Ho, Wo, C, K, K)
-    return (
-        patches.reshape(batch, out_h * out_w, channels * kernel * kernel),
-        out_h,
-        out_w,
-    )
 
 
 class Conv2d(Module):
@@ -228,6 +212,9 @@ class Conv2d(Module):
         self.bias = ParamTensor("bias", zeros((out_channels,)))
         self._cols: Optional[np.ndarray] = None
         self._geometry: Optional[tuple] = None
+        self._forward_scratch: dict = {}
+        self._backward_scratch: dict = {}
+        self._weight_grad_scratch = np.zeros_like(self.weight.value)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         check_ndim("Conv2d", inputs, 4)
@@ -236,10 +223,17 @@ class Conv2d(Module):
                 f"Conv2d expected {self.in_channels} channels, "
                 f"got {inputs.shape[1]}"
             )
-        cols, out_h, out_w = _im2col_2d(inputs, self.kernel_size, self.stride)
+        out_h = _out_length(inputs.shape[2], self.kernel_size, self.stride)
+        out_w = _out_length(inputs.shape[3], self.kernel_size, self.stride)
+        cols = kernels.im2col_2d(
+            inputs, self.kernel_size, self.stride, out_h, out_w
+        )
         self._cols = cols
         self._geometry = (inputs.shape, out_h, out_w)
-        out = cols @ self.weight.value + self.bias.value  # (N, Ho*Wo, C_out)
+        out = kernels.scratch_matmul(
+            cols, self.weight.value, self._forward_scratch, "out"
+        )  # (N, Ho*Wo, C_out)
+        out += self.bias.value
         batch = inputs.shape[0]
         return out.transpose(0, 2, 1).reshape(
             batch, self.out_channels, out_h, out_w
@@ -249,29 +243,27 @@ class Conv2d(Module):
         if self._cols is None or self._geometry is None:
             raise ShapeError("Conv2d.backward called before forward")
         input_shape, out_h, out_w = self._geometry
-        batch, channels, height, width = input_shape
+        batch = input_shape[0]
         grad_out = grad_output.reshape(
             batch, self.out_channels, out_h * out_w
         ).transpose(0, 2, 1)  # (N, Ho*Wo, C_out)
         flat_cols = self._cols.reshape(-1, self._cols.shape[-1])
-        flat_grad = grad_out.reshape(-1, self.out_channels)
-        self.weight.grad += flat_cols.T @ flat_grad
+        flat_grad = np.ascontiguousarray(
+            grad_out.reshape(-1, self.out_channels)
+        )
+        np.matmul(flat_cols.T, flat_grad, out=self._weight_grad_scratch)
+        self.weight.grad += self._weight_grad_scratch
         self.bias.grad += flat_grad.sum(axis=0)
-        grad_cols = grad_out @ self.weight.value.T  # (N, Ho*Wo, C*K*K)
-        # Scatter-add back to the input tensor.
-        grad = np.zeros(input_shape, dtype=np.float64)
-        k = self.kernel_size
-        patches = grad_cols.reshape(batch, out_h, out_w, channels, k, k)
-        for dy in range(k):
-            for dx in range(k):
-                rows = np.arange(out_h) * self.stride + dy
-                cols_idx = np.arange(out_w) * self.stride + dx
-                np.add.at(
-                    grad,
-                    (slice(None), slice(None), rows[:, None], cols_idx[None, :]),
-                    patches[:, :, :, :, dy, dx].transpose(0, 3, 1, 2),
-                )
-        return grad
+        return kernels.conv2d_input_grad(
+            flat_grad.reshape(grad_out.shape),
+            self.weight.value,
+            input_shape,
+            out_h,
+            out_w,
+            self.kernel_size,
+            self.stride,
+            self._backward_scratch,
+        )
 
     def parameters(self) -> List[ParamTensor]:
         return [self.weight, self.bias]
@@ -295,6 +287,7 @@ class MaxPool2d(Module):
             raise ShapeError("MaxPool2d kernel must be positive")
         self.kernel_size = kernel_size
         self._cache: Optional[tuple] = None
+        self._grad_input: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         check_ndim("MaxPool2d", inputs, 4)
@@ -306,28 +299,24 @@ class MaxPool2d(Module):
                 f"MaxPool2d: input {height}x{width} smaller than kernel {k}"
             )
         trimmed = inputs[:, :, : out_h * k, : out_w * k]
-        windows = trimmed.reshape(batch, channels, out_h, k, out_w, k)
-        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
-            batch, channels, out_h, out_w, k * k
-        )
-        argmax = windows.argmax(axis=4)
+        maxima, argmax = kernels.maxpool2d_forward(trimmed, k)
         self._cache = (inputs.shape, out_h, out_w, argmax)
-        return windows.max(axis=4)
+        return maxima
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise ShapeError("MaxPool2d.backward called before forward")
         input_shape, out_h, out_w, argmax = self._cache
-        batch, channels, height, width = input_shape
-        k = self.kernel_size
-        grad = np.zeros(input_shape, dtype=np.float64)
-        flat_pos = argmax  # position within the k*k window
-        dy, dx = flat_pos // k, flat_pos % k
-        b_idx, c_idx, h_idx, w_idx = np.ogrid[:batch, :channels, :out_h, :out_w]
-        rows = h_idx * k + dy
-        cols = w_idx * k + dx
-        np.add.at(grad, (b_idx, c_idx, rows, cols), grad_output)
-        return grad
+        self._grad_input = kernels.maxpool2d_backward(
+            grad_output,
+            input_shape,
+            out_h,
+            out_w,
+            self.kernel_size,
+            argmax,
+            out=self._grad_input,
+        )
+        return self._grad_input
 
     def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
         channels, height, width = input_shape

@@ -1,0 +1,569 @@
+"""Hot-path im2col/col2im and pooling kernels with switchable backends.
+
+The convolution and pooling layers funnel all of their array-heavy work
+through this module.  Two implementations of every kernel are kept:
+
+``fast`` (the default)
+    Strided-slice kernels.  ``im2col`` is a zero-copy
+    :func:`numpy.lib.stride_tricks.sliding_window_view` gather (the only
+    copy is the final reshape into the patch matrix, which the matmul
+    needs contiguous anyway).  ``col2im`` accumulates one strided slice
+    per kernel offset: for a fixed offset ``k`` the destination indices
+    ``o * stride + k`` are strictly increasing, so the slice has **no
+    duplicate indices** and a plain ``+=`` is exact — no scatter needed.
+
+``reference``
+    The original ``np.add.at`` / fancy-indexing implementations, kept
+    verbatim.  They are numpy's slowest write path but trivially correct,
+    which makes them the oracle for the gradient-equivalence tests in
+    ``tests/test_nn_kernels.py`` and the baseline the perf harness
+    (``benchmarks/perf/``) measures speedups against.
+
+Equivalence contract (pinned by ``tests/test_nn_kernels.py``): the
+gather/scatter and pooling kernels are **bit-identical** across backends
+for every shape — they add the same contributions in the same
+kernel-offset order, and IEEE-754 addition of an identical operand
+sequence yields identical bits.  The conv input-gradient entry points
+additionally run a gemm, whose flattened batching (see
+:func:`scratch_matmul`) may differ by an ulp from the reference's
+batched ``@`` at shapes where numpy dispatches the two layouts to
+different inner kernels; the per-kernel contract there is agreement to
+≤1e-10, while end-to-end seeded training on the repo's workloads stays
+bit-identical across backends (the fingerprints do not move).  The
+``benchmarks/perf`` harness and the property tests both rely on
+:func:`use_backend` to flip the engine wholesale.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import ConfigurationError
+
+BACKENDS = ("fast", "reference")
+
+_BACKEND = "fast"
+
+
+def get_backend() -> str:
+    """Name of the kernel backend currently in use."""
+    return _BACKEND
+
+
+def set_backend(name: str) -> None:
+    """Select the kernel backend (``fast`` or ``reference``) globally."""
+    global _BACKEND
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+        )
+    _BACKEND = name
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the kernel backend (used by tests and the perf
+    harness to time ``fast`` against ``reference`` on identical inputs)."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+def _zeroed(
+    shape: Tuple[int, ...], out: Optional[np.ndarray]
+) -> np.ndarray:
+    """Return a zero-filled float64 buffer, reusing ``out`` when its shape
+    matches — the layers keep their input-gradient buffer across steps so
+    steady-state training allocates nothing here."""
+    if out is not None and out.shape == shape:
+        out.fill(0.0)
+        return out
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _scratch_zeroed(
+    shape: Tuple[int, ...], scratch: dict, key: str
+) -> np.ndarray:
+    buf = _zeroed(shape, scratch.get(key))
+    scratch[key] = buf
+    return buf
+
+
+def scratch_matmul(
+    a: np.ndarray, b: np.ndarray, scratch: dict, key: str
+) -> np.ndarray:
+    """``a @ b`` into a buffer kept in ``scratch`` while shapes match.
+
+    A batched ``(N, M, K) @ (K, P)`` product is computed as one flattened
+    ``(N*M, K) @ (K, P)`` gemm: BLAS handles a single tall matrix far
+    better than N small calls, and because gemm reduces over K in the
+    same order regardless of M, the result is bit-identical (asserted by
+    the property tests in ``tests/test_nn_kernels.py``).
+    """
+    shape = a.shape[:-1] + (b.shape[-1],)
+    buf = scratch.get(key)
+    if buf is None or buf.shape != shape:
+        buf = np.empty(shape, dtype=np.result_type(a, b))
+        scratch[key] = buf
+    if a.ndim == 3 and b.ndim == 2 and a.flags.c_contiguous:
+        np.matmul(
+            a.reshape(-1, a.shape[-1]), b,
+            out=buf.reshape(-1, shape[-1]),
+        )
+    else:
+        np.matmul(a, b, out=buf)
+    return buf
+
+
+# ---------------------------------------------------------------------------
+# 1-D convolution
+# ---------------------------------------------------------------------------
+
+def _im2col_1d_fast(
+    inputs: np.ndarray, kernel: int, stride: int, out_len: int
+) -> np.ndarray:
+    """(N, C, L) -> (N, Lo, C*K) patch matrix via a sliding-window view."""
+    batch, channels, _ = inputs.shape
+    windows = sliding_window_view(inputs, kernel, axis=2)[:, :, ::stride]
+    # (N, C, Lo, K) view -> (N, Lo, C, K) -> contiguous (N, Lo, C*K)
+    return windows.transpose(0, 2, 1, 3).reshape(
+        batch, out_len, channels * kernel
+    )
+
+
+def _im2col_1d_reference(
+    inputs: np.ndarray, kernel: int, stride: int, out_len: int
+) -> np.ndarray:
+    """Fancy-indexing gather (one extra full copy before the reshape)."""
+    batch, channels, _ = inputs.shape
+    idx = (np.arange(out_len) * stride)[:, None] + np.arange(kernel)[None, :]
+    patches = inputs[:, :, idx]  # (N, C, Lo, K)
+    return patches.transpose(0, 2, 1, 3).reshape(
+        batch, out_len, channels * kernel
+    )
+
+
+def im2col_1d(inputs: np.ndarray, kernel: int, stride: int, out_len: int) -> np.ndarray:
+    if _BACKEND == "fast":
+        return _im2col_1d_fast(inputs, kernel, stride, out_len)
+    return _im2col_1d_reference(inputs, kernel, stride, out_len)
+
+
+def _conv1d_input_grad_fast(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    scratch: dict,
+) -> np.ndarray:
+    """Input gradient via an offset-major gemm and strided slice-adds.
+
+    The weight matrix is permuted so the gemm emits the patch gradient
+    with the kernel offset as the *outer* block axis: the slice for each
+    offset ``k`` is then a contiguous ``(N, Lo, C)`` block instead of a
+    K-strided gather.  Permuting gemm columns does not change any dot
+    product, so the values are bit-identical to the reference layout.
+    Per offset, the destinations ``o*stride + k`` are strictly increasing
+    in ``o`` — no duplicate indices, so a plain ``+=`` on the strided
+    slice is exact and ``np.add.at`` is unnecessary.
+    """
+    batch, channels, _ = input_shape
+    out_len = grad_out.shape[1]
+    out_channels = weight.shape[1]
+    w_perm = weight.reshape(channels, kernel, out_channels).transpose(
+        1, 0, 2
+    ).reshape(kernel * channels, out_channels)
+    grad_cols = scratch_matmul(
+        grad_out, w_perm.T, scratch, "grad_cols"
+    )  # (N, Lo, K*C)
+    grad = _scratch_zeroed(input_shape, scratch, "grad_input")
+    blocks = grad_cols.reshape(batch, out_len, kernel, channels)
+    for k in range(kernel):
+        end = k + (out_len - 1) * stride + 1
+        grad[:, :, k:end:stride] += blocks[:, :, k, :].transpose(0, 2, 1)
+    return grad
+
+
+def _col2im_1d_reference(
+    grad_cols: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    batch, channels, _ = input_shape
+    out_len = grad_cols.shape[1]
+    grad = _zeroed(input_shape, out)
+    cols = grad_cols.reshape(batch, out_len, channels, kernel).transpose(
+        0, 2, 1, 3
+    )  # (N, C, Lo, K)
+    for k in range(kernel):
+        positions = np.arange(out_len) * stride + k
+        np.add.at(grad, (slice(None), slice(None), positions), cols[:, :, :, k])
+    return grad
+
+
+def conv1d_input_grad(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    scratch: dict,
+) -> np.ndarray:
+    """Gradient w.r.t. the conv input: ``grad_out`` (N, Lo, C_out) back
+    through ``weight`` (C*K, C_out) and the im2col gather.
+
+    ``scratch`` is a layer-owned dict the backend reuses for its gemm and
+    gradient buffers across steps; the returned array aliases it and is
+    only valid until the next call with the same dict.
+    """
+    if _BACKEND == "fast":
+        return _conv1d_input_grad_fast(
+            grad_out, weight, input_shape, kernel, stride, scratch
+        )
+    grad_cols = grad_out @ weight.T  # (N, Lo, C*K)
+    return _col2im_1d_reference(grad_cols, input_shape, kernel, stride, None)
+
+
+# ---------------------------------------------------------------------------
+# 2-D convolution
+# ---------------------------------------------------------------------------
+
+def _im2col_2d_fast(
+    inputs: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    batch, channels, _, _ = inputs.shape
+    windows = sliding_window_view(inputs, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]  # (N, C, Ho, Wo, K, K) view
+    patches = windows.transpose(0, 2, 3, 1, 4, 5)  # (N, Ho, Wo, C, K, K)
+    return patches.reshape(batch, out_h * out_w, channels * kernel * kernel)
+
+
+def _im2col_2d_reference(
+    inputs: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    batch, channels, _, _ = inputs.shape
+    rows = (np.arange(out_h) * stride)[:, None] + np.arange(kernel)[None, :]
+    cols = (np.arange(out_w) * stride)[:, None] + np.arange(kernel)[None, :]
+    # Gather (N, C, Ho, K, Wo, K)
+    patches = inputs[:, :, rows][:, :, :, :, cols]
+    patches = patches.transpose(0, 2, 4, 1, 3, 5)  # (N, Ho, Wo, C, K, K)
+    return patches.reshape(batch, out_h * out_w, channels * kernel * kernel)
+
+
+def im2col_2d(
+    inputs: np.ndarray, kernel: int, stride: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """(N, C, H, W) -> (N, Ho*Wo, C*K*K) patch matrix."""
+    if _BACKEND == "fast":
+        return _im2col_2d_fast(inputs, kernel, stride, out_h, out_w)
+    return _im2col_2d_reference(inputs, kernel, stride, out_h, out_w)
+
+
+def _conv2d_input_grad_fast(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    stride: int,
+    scratch: dict,
+) -> np.ndarray:
+    """2-D analogue of :func:`_conv1d_input_grad_fast`: offset-major gemm
+    so each (dy, dx) slice is a contiguous ``(N, Ho, Wo, C)`` block, then
+    one exact strided slice-add per kernel offset."""
+    batch, channels, _, _ = input_shape
+    out_channels = weight.shape[1]
+    k, s = kernel, stride
+    w_perm = weight.reshape(channels, k * k, out_channels).transpose(
+        1, 0, 2
+    ).reshape(k * k * channels, out_channels)
+    grad_cols = scratch_matmul(
+        grad_out, w_perm.T, scratch, "grad_cols"
+    )  # (N, Ho*Wo, K*K*C)
+    grad = _scratch_zeroed(input_shape, scratch, "grad_input")
+    blocks = grad_cols.reshape(batch, out_h, out_w, k * k, channels)
+    for dy in range(k):
+        row_end = dy + (out_h - 1) * s + 1
+        for dx in range(k):
+            col_end = dx + (out_w - 1) * s + 1
+            grad[:, :, dy:row_end:s, dx:col_end:s] += blocks[
+                :, :, :, dy * k + dx, :
+            ].transpose(0, 3, 1, 2)
+    return grad
+
+
+def _col2im_2d_reference(
+    grad_cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    stride: int,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    batch, channels, _, _ = input_shape
+    grad = _zeroed(input_shape, out)
+    k = kernel
+    patches = grad_cols.reshape(batch, out_h, out_w, channels, k, k)
+    for dy in range(k):
+        for dx in range(k):
+            rows = np.arange(out_h) * stride + dy
+            cols_idx = np.arange(out_w) * stride + dx
+            np.add.at(
+                grad,
+                (slice(None), slice(None), rows[:, None], cols_idx[None, :]),
+                patches[:, :, :, :, dy, dx].transpose(0, 3, 1, 2),
+            )
+    return grad
+
+
+def conv2d_input_grad(
+    grad_out: np.ndarray,
+    weight: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    stride: int,
+    scratch: dict,
+) -> np.ndarray:
+    """Gradient w.r.t. the conv input: ``grad_out`` (N, Ho*Wo, C_out)
+    back through ``weight`` (C*K*K, C_out) and the im2col gather."""
+    if _BACKEND == "fast":
+        return _conv2d_input_grad_fast(
+            grad_out, weight, input_shape, out_h, out_w, kernel, stride,
+            scratch,
+        )
+    grad_cols = grad_out @ weight.T  # (N, Ho*Wo, C*K*K)
+    return _col2im_2d_reference(
+        grad_cols, input_shape, out_h, out_w, kernel, stride, None
+    )
+
+
+# ---------------------------------------------------------------------------
+# Max pooling (non-overlapping windows: kernel == stride)
+# ---------------------------------------------------------------------------
+
+def _maxpool_forward_fast(
+    windows: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(…, K) windows -> (max, argmax) in one pass over the data.
+
+    ``argmax`` fully determines the max (``take_along_axis`` at the argmax
+    *is* the window maximum, bit for bit), so the second full ``max``
+    reduction of the reference implementation is redundant.  The ubiquitous
+    kernel-2 case collapses further to a single vectorized comparison whose
+    tie-breaking (first maximum wins) matches ``argmax`` exactly.
+    """
+    if windows.shape[-1] == 2:
+        first, second = windows[..., 0], windows[..., 1]
+        # maximum.reduce over two lanes IS np.maximum — bit-identical,
+        # NaN-propagating.  Ties keep index 0, matching argmax; a NaN
+        # window can misroute argmax, but a NaN maximum also NaNs the
+        # loss, which aborts the trial before any backward consumes it.
+        argmax = (second > first).astype(np.intp)
+        return np.maximum(first, second), argmax
+    if windows.shape[-1] == 4:
+        # 2x2 pooling windows: a comparison tournament.  maximum() keeps
+        # the later operand on ties exactly like maximum.reduce's left
+        # fold, and the index selection keeps the first maximum exactly
+        # like argmax, so both outputs stay bit-identical.
+        w0, w1 = windows[..., 0], windows[..., 1]
+        w2, w3 = windows[..., 2], windows[..., 3]
+        front_idx = (w1 > w0).astype(np.intp)
+        back_idx = (w3 > w2).astype(np.intp)
+        back_idx += 2
+        front = np.maximum(w0, w1)
+        back = np.maximum(w2, w3)
+        return np.maximum(front, back), np.where(
+            back > front, back_idx, front_idx
+        )
+    argmax = windows.argmax(axis=-1)
+    maxima = np.take_along_axis(windows, argmax[..., None], axis=-1)
+    return maxima[..., 0], argmax
+
+
+def _maxpool_forward_reference(
+    windows: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two full passes: one for the argmax, one for the max."""
+    argmax = windows.argmax(axis=-1)
+    return windows.max(axis=-1), argmax
+
+
+def maxpool_forward(windows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce the trailing window axis to ``(max, argmax)``."""
+    if _BACKEND == "fast":
+        return _maxpool_forward_fast(windows)
+    return _maxpool_forward_reference(windows)
+
+
+def _maxpool2d_windows(trimmed: np.ndarray, kernel: int) -> np.ndarray:
+    """(N, C, Ho*K, Wo*K) -> materialized (N, C, Ho, Wo, K*K) windows."""
+    batch, channels, height, width = trimmed.shape
+    k = kernel
+    region = trimmed.reshape(batch, channels, height // k, k, width // k, k)
+    return region.transpose(0, 1, 2, 4, 3, 5).reshape(
+        batch, channels, height // k, width // k, k * k
+    )
+
+
+def maxpool2d_forward(
+    trimmed: np.ndarray, kernel: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """2-D window reduction of a pre-trimmed (N, C, Ho*K, Wo*K) input to
+    ``(max, argmax)``, with argmax numbered in row-major K*K lane order.
+
+    The reference path materializes every window as a trailing axis (one
+    full input copy) before reducing twice.  The fast K=2 path reduces the
+    four strided lane views directly — no copy, one comparison tournament
+    (bit-identical, see :func:`_maxpool_forward_fast`).
+    """
+    if _BACKEND == "fast" and kernel == 2:
+        batch, channels, height, width = trimmed.shape
+        region = trimmed.reshape(
+            batch, channels, height // 2, 2, width // 2, 2
+        )  # axis-splitting views even a sliced input; no copy
+        w0, w1 = region[:, :, :, 0, :, 0], region[:, :, :, 0, :, 1]
+        w2, w3 = region[:, :, :, 1, :, 0], region[:, :, :, 1, :, 1]
+        front_idx = (w1 > w0).astype(np.intp)
+        back_idx = (w3 > w2).astype(np.intp)
+        back_idx += 2
+        front = np.maximum(w0, w1)
+        back = np.maximum(w2, w3)
+        return np.maximum(front, back), np.where(
+            back > front, back_idx, front_idx
+        )
+    windows = _maxpool2d_windows(trimmed, kernel)
+    if _BACKEND == "fast":
+        return _maxpool_forward_fast(windows)
+    return _maxpool_forward_reference(windows)
+
+
+def _maxpool1d_backward_fast(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    out_len: int,
+    kernel: int,
+    argmax: np.ndarray,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    batch, channels, _ = input_shape
+    grad = _zeroed(input_shape, out)
+    windows = grad[:, :, : out_len * kernel].reshape(
+        batch, channels, out_len, kernel
+    )
+    # The reference write path (indexed assignment on disjoint windows)
+    # was never the bottleneck here — the fast path's win is reusing the
+    # zeroed gradient buffer instead of allocating it every step.
+    b_idx, c_idx, o_idx = np.ogrid[:batch, :channels, :out_len]
+    windows[b_idx, c_idx, o_idx, argmax] = grad_output
+    return grad
+
+
+def _maxpool1d_backward_reference(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    out_len: int,
+    kernel: int,
+    argmax: np.ndarray,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    batch, channels, _ = input_shape
+    grad = _zeroed(input_shape, out)
+    windows = grad.reshape(batch, channels, -1)[
+        :, :, : out_len * kernel
+    ].reshape(batch, channels, out_len, kernel)
+    b_idx, c_idx, o_idx = np.ogrid[:batch, :channels, :out_len]
+    windows[b_idx, c_idx, o_idx, argmax] = grad_output
+    return grad
+
+
+def maxpool1d_backward(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int],
+    out_len: int,
+    kernel: int,
+    argmax: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Route ``grad_output`` to each window's argmax position."""
+    if _BACKEND == "fast":
+        return _maxpool1d_backward_fast(
+            grad_output, input_shape, out_len, kernel, argmax, out
+        )
+    return _maxpool1d_backward_reference(
+        grad_output, input_shape, out_len, kernel, argmax, out
+    )
+
+
+def _maxpool2d_backward_fast(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    argmax: np.ndarray,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    batch, channels, _, _ = input_shape
+    k = kernel
+    grad = _zeroed(input_shape, out)
+    # Non-overlapping windows: every (window, argmax) pair targets a
+    # distinct input cell, so a plain fancy assignment is an exact
+    # replacement for the buffered np.add.at scatter.
+    dy, dx = argmax // k, argmax % k
+    b_idx, c_idx, h_idx, w_idx = np.ogrid[:batch, :channels, :out_h, :out_w]
+    grad[b_idx, c_idx, h_idx * k + dy, w_idx * k + dx] = grad_output
+    return grad
+
+
+def _maxpool2d_backward_reference(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    argmax: np.ndarray,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    batch, channels, _, _ = input_shape
+    k = kernel
+    grad = _zeroed(input_shape, out)
+    flat_pos = argmax  # position within the k*k window
+    dy, dx = flat_pos // k, flat_pos % k
+    b_idx, c_idx, h_idx, w_idx = np.ogrid[:batch, :channels, :out_h, :out_w]
+    rows = h_idx * k + dy
+    cols = w_idx * k + dx
+    np.add.at(grad, (b_idx, c_idx, rows, cols), grad_output)
+    return grad
+
+
+def maxpool2d_backward(
+    grad_output: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    out_h: int,
+    out_w: int,
+    kernel: int,
+    argmax: np.ndarray,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Route ``grad_output`` to each window's argmax position."""
+    if _BACKEND == "fast":
+        return _maxpool2d_backward_fast(
+            grad_output, input_shape, out_h, out_w, kernel, argmax, out
+        )
+    return _maxpool2d_backward_reference(
+        grad_output, input_shape, out_h, out_w, kernel, argmax, out
+    )

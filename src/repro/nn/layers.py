@@ -56,19 +56,37 @@ class Linear(Module):
 
 
 class ReLU(Module):
-    """Rectified linear unit."""
+    """Rectified linear unit.
+
+    Keeps its mask/output/gradient buffers across steps so steady-state
+    training allocates nothing here (activations are among the largest
+    arrays in a step).  The returned arrays are therefore only valid
+    until the next call — the same contract as the conv layers' reused
+    gradient buffers.
+    """
 
     def __init__(self) -> None:
         self._mask: Optional[np.ndarray] = None
+        self._out: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        self._mask = inputs > 0
-        return inputs * self._mask
+        if self._mask is not None and self._mask.shape == inputs.shape:
+            np.greater(inputs, 0, out=self._mask)
+        else:
+            self._mask = inputs > 0
+        if self._out is not None and self._out.shape == inputs.shape:
+            return np.multiply(inputs, self._mask, out=self._out)
+        self._out = inputs * self._mask
+        return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise ShapeError("ReLU.backward called before forward")
-        return grad_output * self._mask
+        if self._grad is not None and self._grad.shape == grad_output.shape:
+            return np.multiply(grad_output, self._mask, out=self._grad)
+        self._grad = grad_output * self._mask
+        return self._grad
 
     def flops(self, input_shape: Shape) -> Tuple[int, Shape]:
         return int(np.prod(input_shape)), input_shape

@@ -2,7 +2,12 @@
 
 from .m5 import M5_EMBEDDING_CHOICES, build_m5
 from .registry import MODEL_FAMILIES, ModelFamily, get_model_family, model_names
-from .resnet import RESNET_LAYER_CHOICES, build_resnet, residual_blocks_for
+from .resnet import (
+    RESNET_LAYER_CHOICES,
+    build_conv_resnet,
+    build_resnet,
+    residual_blocks_for,
+)
 from .textrnn import TEXTRNN_STRIDE_RANGE, build_textrnn
 from .yolo import YOLO_DROPOUT_RANGE, build_yolo
 
@@ -12,6 +17,7 @@ __all__ = [
     "get_model_family",
     "model_names",
     "build_resnet",
+    "build_conv_resnet",
     "residual_blocks_for",
     "RESNET_LAYER_CHOICES",
     "build_m5",

@@ -56,14 +56,27 @@ class SGD(Optimizer):
         self._velocity: List[np.ndarray] = [
             np.zeros_like(p.value) for p in self.parameters
         ]
+        # Per-parameter scratch for the effective-gradient temporary, so a
+        # step allocates nothing.  The update below is bit-identical to the
+        # textbook ``v = m*v - lr*(g + wd*w)`` form: IEEE-754 addition and
+        # multiplication are commutative, so regrouping into in-place ops
+        # does not change a single bit.
+        self._scratch: List[np.ndarray] = [
+            np.zeros_like(p.value) for p in self.parameters
+        ]
 
     def step(self) -> None:
-        for parameter, velocity in zip(self.parameters, self._velocity):
-            grad = parameter.grad
+        for parameter, velocity, scratch in zip(
+            self.parameters, self._velocity, self._scratch
+        ):
             if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.value
+                np.multiply(parameter.value, self.weight_decay, out=scratch)
+                scratch += parameter.grad
+            else:
+                scratch[...] = parameter.grad
+            scratch *= self.lr
             velocity *= self.momentum
-            velocity -= self.lr * grad
+            velocity -= scratch
             parameter.value += velocity
 
 

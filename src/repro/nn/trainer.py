@@ -34,6 +34,9 @@ class TrainingResult:
 
     accuracy: float
     losses: List[float]
+    #: Epochs actually *completed* — fewer than requested when training
+    #: diverges mid-epoch.  FLOP/runtime accounting and the hardware
+    #: emulator consume this, so it must reflect work done, not work asked.
     epochs_run: int
     data_fraction: float
     samples_seen: int
@@ -134,6 +137,7 @@ def train_model(
     model.train()
     losses: List[float] = []
     samples_seen = 0
+    epochs_completed = 0
     diverged = False
     first_batch = True
     for epoch in range(epochs):
@@ -167,8 +171,17 @@ def train_model(
             batches += 1
             samples_seen += len(features)
         if diverged:
+            # The epoch was cut short, so it does not count as run and its
+            # partial mean loss would be misleading — drop both.
             break
-        losses.append(epoch_loss / max(batches, 1))
+        epochs_completed += 1
+        if batches == 0:
+            # Empty subset (tiny data_fraction x small dataset): no steps
+            # were taken, so there is no epoch loss to record.  Appending
+            # 0.0 here would make ``final_loss`` report a perfect loss for
+            # a model that never trained.
+            continue
+        losses.append(epoch_loss / batches)
     accuracy = 0.0 if diverged else evaluate_accuracy(model, eval_set)
     if not np.isfinite(accuracy):
         accuracy, diverged = 0.0, True
@@ -176,7 +189,7 @@ def train_model(
     return TrainingResult(
         accuracy=accuracy,
         losses=losses,
-        epochs_run=epochs,
+        epochs_run=epochs_completed,
         data_fraction=min(data_fraction, 1.0),
         samples_seen=samples_seen,
         batch_size=batch_size,

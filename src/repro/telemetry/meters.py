@@ -4,10 +4,18 @@ Distinct from :mod:`repro.telemetry.metrics` (simulated physical
 measurements): meters track *real* operational quantities — queue depth
 over time, jobs per worker, wave latencies — cheaply enough to sample in
 the coordinator's poll loop.
+
+Thread safety: the advisor's TCP server mutates meters from its
+per-connection handler threads while the drain path snapshots them, so
+every mutation and read goes through a per-instrument lock (and the
+registry guards its name tables the same way).  The locks are plain
+``threading.Lock`` — uncontended acquisition is tens of nanoseconds,
+invisible next to the work being metered.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -27,9 +35,13 @@ class Counter:
 
     name: str
     value: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: int = 1) -> None:
-        self.value += int(amount)
+        with self._lock:
+            self.value += int(amount)
 
 
 @dataclass
@@ -38,9 +50,13 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 @dataclass
@@ -50,42 +66,57 @@ class Meter:
 
     name: str
     samples: List[float] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, value: float) -> None:
-        self.samples.append(float(value))
+        with self._lock:
+            self.samples.append(float(value))
 
     def summary(self) -> Optional[MetricSummary]:
-        if not self.samples:
-            return None
-        return MetricSummary.of(self.samples)
+        with self._lock:
+            if not self.samples:
+                return None
+            samples = list(self.samples)
+        return MetricSummary.of(samples)
 
 
 class MeterRegistry:
-    """Named meters for one coordinator run."""
+    """Named meters for one coordinator run (safe to share across the
+    advisor server's handler threads)."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._meters: Dict[str, Meter] = {}
 
     def counter(self, name: str) -> Counter:
-        return self._counters.setdefault(name, Counter(name))
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
 
     def gauge(self, name: str) -> Gauge:
-        return self._gauges.setdefault(name, Gauge(name))
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
 
     def meter(self, name: str) -> Meter:
-        return self._meters.setdefault(name, Meter(name))
+        with self._lock:
+            return self._meters.setdefault(name, Meter(name))
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict dump (JSON-safe) for status output and session
         result summaries."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            meters = sorted(self._meters.items())
         out: Dict[str, Any] = {}
-        for name, counter in sorted(self._counters.items()):
+        for name, counter in counters:
             out[name] = counter.value
-        for name, gauge in sorted(self._gauges.items()):
+        for name, gauge in gauges:
             out[name] = gauge.value
-        for name, meter in sorted(self._meters.items()):
+        for name, meter in meters:
             summary = meter.summary()
             if summary is None:
                 continue
