@@ -43,6 +43,12 @@ SPEEDUP_FLOORS = {
     "micro.maxpool2d.backward": 1.2,
     "e2e.SR": 1.5,
     "e2e.IC": 1.5,
+    # Artifact cache, end-to-end: warm-resume must at least halve the
+    # retrain cost over a BOHB bracket (analytic work ratio is 1.92x),
+    # and an exact-memo replay of a finished session must be far faster
+    # than retraining.
+    "artifact.IC": 1.5,
+    "artifact.IC_memo": 2.0,
 }
 
 
@@ -51,6 +57,8 @@ def _metrics(report: dict):
         yield f"micro.{name}", entry
     for name, entry in report.get("e2e", {}).items():
         yield f"e2e.{name}", entry
+    for name, entry in report.get("artifact", {}).items():
+        yield f"artifact.{name}", entry
 
 
 #: Floors are calibrated at full scale; smoke runs use smaller batches

@@ -30,10 +30,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import shutil
 import statistics
+import tempfile
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -243,6 +246,81 @@ def run_e2e(scale: str, repeats: int) -> Dict[str, dict]:
     return results
 
 
+# ---------------------------------------------------------------------------
+# Artifact cache: warm-resume and exact-memoization end-to-end speedups
+# ---------------------------------------------------------------------------
+
+def run_artifact(scale: str) -> Dict[str, dict]:
+    """Time one BOHB bracket on IC three ways: cold (no cache), warm
+    (``--reuse-checkpoints`` on a fresh store) and memo (the same session
+    replayed against the populated store).
+
+    Unlike the kernel benchmarks these are single-shot wall-clock
+    sessions — the cold/warm work difference (40 vs 20.8 budget units
+    over the 31-trial bracket) is far larger than scheduler noise.
+    ``speedup`` is cold-over-{warm,memo}, gated by ``check_regression``.
+    """
+    from repro.core import ModelTuningServer
+    from repro.storage import TrialDatabase
+    from repro.workloads import get_workload
+
+    # Larger than the e2e cases on purpose: the warm-resume win is a
+    # *work* ratio (40 vs 20.8 budget units over the bracket), so the
+    # measured wall-clock ratio approaches it only where training time
+    # dwarfs the per-trial fixed costs (model build, eval, store I/O).
+    samples = 9600 if scale == "full" else 1200
+
+    def session(database: Optional[TrialDatabase] = None,
+                reuse: bool = False) -> float:
+        server = ModelTuningServer(
+            workload=get_workload("IC"),
+            algorithm="bohb",
+            database=database,
+            seed=7,
+            samples=samples,
+            max_trials=31,  # exactly the first (widest) BOHB bracket
+            reuse_checkpoints=reuse,
+        )
+        start = time.perf_counter()
+        server.run()
+        return time.perf_counter() - start
+
+    cold_s = session()
+    tempdir = tempfile.mkdtemp(prefix="repro-perf-artifacts-")
+    try:
+        path = os.path.join(tempdir, "artifacts.sqlite")
+        database = TrialDatabase(path)
+        warm_s = session(database=database, reuse=True)
+        database.close()
+        database = TrialDatabase(path)
+        memo_s = session(database=database, reuse=True)
+        database.close()
+    finally:
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+    results = {
+        "IC": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": cold_s / warm_s,
+        },
+        "IC_memo": {
+            "cold_s": cold_s,
+            "warm_s": memo_s,
+            "speedup": cold_s / memo_s,
+        },
+    }
+    print(
+        f"artifact IC       cold {cold_s:7.2f}s  warm {warm_s:7.2f}s  "
+        f"speedup {results['IC']['speedup']:.2f}x"
+    )
+    print(
+        f"artifact IC_memo  cold {cold_s:7.2f}s  memo {memo_s:7.2f}s  "
+        f"speedup {results['IC_memo']['speedup']:.2f}x"
+    )
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -267,6 +345,7 @@ def main() -> None:
         "numpy": np.__version__,
         "micro": run_micro(args.scale, args.repeats),
         "e2e": run_e2e(args.scale, e2e_repeats),
+        "artifact": run_artifact(args.scale),
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -71,6 +71,7 @@ def _tune_service(args) -> int:
             samples=args.samples,
             target_accuracy=args.target,
             warm_start=args.warm_start,
+            reuse_checkpoints=args.reuse_checkpoints,
         )
         session_id = SessionStore(database).create(spec)
         result = SessionCoordinator(
@@ -105,6 +106,10 @@ def _cmd_tune(args) -> int:
         print("--warm-start is not supported by the hierarchical tuner",
               file=sys.stderr)
         return 2
+    if args.reuse_checkpoints and args.system == "hierarchical":
+        print("--reuse-checkpoints is not supported by the hierarchical "
+              "tuner", file=sys.stderr)
+        return 2
     database = TrialDatabase(args.db) if args.db is not None else None
     common = dict(
         workload=args.workload,
@@ -117,7 +122,9 @@ def _cmd_tune(args) -> int:
         if args.system == "edgetune":
             tuner = EdgeTune(device=args.device, budget=args.budget,
                              tuning_metric=args.metric,
-                             warm_start=args.warm_start, **common)
+                             warm_start=args.warm_start,
+                             reuse_checkpoints=args.reuse_checkpoints,
+                             **common)
         elif args.system == "tune":
             tuner = TuneBaseline(budget=build_budget(args.budget), **common)
         elif args.system == "hyperpower":
@@ -130,6 +137,8 @@ def _cmd_tune(args) -> int:
                                       tuning_metric=args.metric, **common)
         if args.warm_start and args.system in ("tune", "hyperpower"):
             tuner.server.warm_start = True
+        if args.reuse_checkpoints and args.system in ("tune", "hyperpower"):
+            tuner.server.enable_checkpoint_reuse()
         result = tuner.tune()
     finally:
         if database is not None:
@@ -195,6 +204,10 @@ def main(argv=None) -> int:
     tune.add_argument("--warm-start", action="store_true",
                       help="seed the search model from prior trials of the "
                            "same experiment recorded in --db")
+    tune.add_argument("--reuse-checkpoints", action="store_true",
+                      help="warm-resume promoted trials from their parent "
+                           "rung's checkpoint via the artifact cache "
+                           "(changes scores vs. retrain-from-scratch)")
     tune.set_defaults(func=_cmd_tune)
 
     devices = subparsers.add_parser("devices", help="list emulated devices")

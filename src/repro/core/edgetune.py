@@ -49,6 +49,7 @@ class EdgeTune:
         samples: Optional[int] = None,
         stop_on_target: bool = True,
         warm_start: bool = False,
+        reuse_checkpoints: bool = False,
     ):
         self.workload = (
             get_workload(workload) if isinstance(workload, str) else workload
@@ -85,6 +86,7 @@ class EdgeTune:
             system_name="edgetune",
             stop_on_target=stop_on_target,
             warm_start=warm_start,
+            reuse_checkpoints=reuse_checkpoints,
         )
 
     def tune(self) -> TuningRunResult:

@@ -39,9 +39,10 @@ from __future__ import annotations
 
 import json
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..artifacts import ArtifactStore, pack_velocity, trial_key
 from ..budgets import BudgetStrategy, MultiBudget
 from ..datasets.base import Dataset
 from ..errors import TuningError
@@ -83,6 +84,12 @@ class TrialTask:
     Carries everything a worker process needs to reproduce the training
     bit-for-bit: the configuration values, the resolved budget, and the
     seeds/workload identifiers the serial path would have used.
+
+    The warm-resume fields are populated only under
+    ``--reuse-checkpoints``: ``reuse`` switches the trainer to the nested
+    budget subset (and asks it to capture resume state), ``parent_key``
+    names the parent rung's artifact, and ``start_epoch`` is how many
+    epochs the restored state already trained.
     """
 
     trial_id: int
@@ -95,6 +102,9 @@ class TrialTask:
     workload_id: str
     seed: int
     samples: Optional[int]
+    reuse: bool = False
+    parent_key: Optional[str] = None
+    start_epoch: int = 0
 
     def to_json(self) -> str:
         return json.dumps(
@@ -109,6 +119,9 @@ class TrialTask:
                 "workload_id": self.workload_id,
                 "seed": self.seed,
                 "samples": self.samples,
+                "reuse": self.reuse,
+                "parent_key": self.parent_key,
+                "start_epoch": self.start_epoch,
             },
             sort_keys=True,
         )
@@ -169,10 +182,31 @@ def failure_evaluation(trial_id: int, error: Optional[str]) -> TrialEvaluation:
     )
 
 
+#: Dataset memo: (workload_id, seed, samples) -> (train, eval).  Worker
+#: processes evaluate many tasks of the same session back to back, and
+#: rebuilding the synthetic dataset dominated small-trial latency.  FIFO
+#: capped — a worker serving interleaved sessions holds at most this many
+#: materialised datasets.
+_DATASET_CACHE: Dict[Tuple[str, int, Optional[int]], Tuple[Dataset, Dataset]] = {}
+_DATASET_CACHE_MAX = 4
+
+
 def load_task_datasets(task: TrialTask) -> Tuple[Dataset, Dataset]:
-    """(train, eval) splits for a task — identical to the serial path."""
-    workload = get_workload(task.workload_id)
-    return workload.load(seed=task.seed, samples=task.samples)
+    """(train, eval) splits for a task — identical to the serial path.
+
+    Memoized per process: datasets are immutable after construction and
+    fully determined by ``(workload_id, seed, samples)``, so sharing one
+    instance across a worker's jobs cannot change results.
+    """
+    cache_key = (task.workload_id, task.seed, task.samples)
+    cached = _DATASET_CACHE.get(cache_key)
+    if cached is None:
+        workload = get_workload(task.workload_id)
+        cached = workload.load(seed=task.seed, samples=task.samples)
+        while len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+        _DATASET_CACHE[cache_key] = cached
+    return cached
 
 
 def evaluate_trial(
@@ -180,6 +214,7 @@ def evaluate_trial(
     train_set: Optional[Dataset] = None,
     eval_set: Optional[Dataset] = None,
     workload: Optional[Workload] = None,
+    artifacts: Optional[ArtifactStore] = None,
 ) -> Tuple[TrialEvaluation, Any]:
     """Run the real numpy training for one :class:`TrialTask`.
 
@@ -189,8 +224,34 @@ def evaluate_trial(
     across a process boundary pickle the model into ``model_blob``.
     ``workload`` short-circuits the registry lookup for in-process callers
     holding a custom workload object.
+
+    ``artifacts`` plugs in the trial artifact cache.  Tier 1 (exact
+    memoization): a task whose :func:`~repro.artifacts.trial_key` is
+    already stored returns the stored evaluation and model bit-for-bit
+    without training.  Tier 2 (warm-resume, only when ``task.reuse``):
+    the parent rung's weights/momentum are restored and training starts
+    at ``task.start_epoch``.  A missing parent artifact degrades to a
+    cold run — the task is re-keyed with the lineage stripped so the
+    stored artifact always describes what actually ran.
     """
     workload = workload or get_workload(task.workload_id)
+    key: Optional[str] = None
+    if artifacts is not None:
+        key = trial_key(task)
+        cached = artifacts.load_trial(key)
+        if cached is not None:
+            return cached[0], cached[1]
+    resume: Optional[Tuple[Dict[str, Any], List[Any]]] = None
+    if artifacts is not None and task.reuse and task.parent_key is not None:
+        resume = artifacts.resume_state(task.parent_key)
+        if resume is None:
+            # Parent evicted (gc) or never stored: fall back to a cold
+            # run under the cold key, which may itself already be cached.
+            task = replace(task, parent_key=None, start_epoch=0)
+            key = trial_key(task)
+            cached = artifacts.load_trial(key)
+            if cached is not None:
+                return cached[0], cached[1]
     if train_set is None or eval_set is None:
         train_set, eval_set = workload.load(
             seed=task.seed, samples=task.samples
@@ -205,6 +266,9 @@ def evaluate_trial(
     loss = family.make_loss(train_set.num_classes)
     configured_batch = int(task.values["train_batch_size"])
     real_batch, learning_rate = workload.effective_training(configured_batch)
+    init_state: Optional[Dict[str, Any]] = None
+    if resume is not None:
+        init_state = {"weights": resume[0], "velocity": resume[1]}
     result = train_model(
         model,
         loss,
@@ -215,6 +279,10 @@ def evaluate_trial(
         lr=learning_rate,
         data_fraction=task.data_fraction,
         seed=derive_seed(task.seed, "train", task.trial_id),
+        start_epoch=task.start_epoch if init_state is not None else 0,
+        init_state=init_state,
+        nested_subset=task.reuse,
+        capture_state=task.reuse and artifacts is not None,
     )
     evaluation = TrialEvaluation(
         trial_id=task.trial_id,
@@ -228,6 +296,21 @@ def evaluate_trial(
         failure="training diverged (non-finite loss)"
         if result.diverged else None,
     )
+    if artifacts is not None and key is not None:
+        resume_blob = None
+        if result.resume_state is not None:
+            # Only the optimizer half travels in the resume blob; the
+            # post-training weights are already the stored model pickle.
+            resume_blob = pack_velocity(result.resume_state["velocity"])
+        artifacts.store_trial(
+            key,
+            evaluation,
+            model,
+            resume_blob,
+            workload=task.workload_id,
+            epochs=task.epochs,
+            data_fraction=task.data_fraction,
+        )
     return evaluation, model
 
 
@@ -255,6 +338,10 @@ class RunState:
     best: Optional[TrialRecord] = None
     best_model: Optional[Any] = None
     stopped: bool = False
+    #: trial_id -> artifact key, the rung-lineage chain the warm-resume
+    #: tier walks when a promoted child looks up its parent's checkpoint.
+    #: Part of every snapshot so resume after a crash keeps the chain.
+    artifact_keys: Dict[int, str] = field(default_factory=dict)
 
 
 class ModelTuningServer:
@@ -281,6 +368,8 @@ class ModelTuningServer:
         stop_on_target: bool = True,
         warm_start: bool = False,
         warm_start_records: Optional[List[Dict[str, Any]]] = None,
+        reuse_checkpoints: bool = False,
+        artifacts: Optional[ArtifactStore] = None,
     ):
         self.workload = workload
         self.algorithm = algorithm
@@ -307,7 +396,27 @@ class ModelTuningServer:
         self.warm_start_records = warm_start_records
         #: Records actually absorbed by the last :meth:`prepare` (telemetry).
         self.warm_started_trials = 0
+        #: Cross-rung checkpoint reuse (the artifact cache's warm-resume
+        #: tier).  Off by default: warm-resumed trials train fewer epochs
+        #: from a parent's weights, which changes scores vs. the paper's
+        #: retrain-from-scratch semantics.
+        self.reuse_checkpoints = bool(reuse_checkpoints)
+        if artifacts is not None:
+            self.artifacts: Optional[ArtifactStore] = artifacts
+        elif self.reuse_checkpoints or self.database.path != ":memory:":
+            # Exact memoization is bit-safe, so any persistent database
+            # gets a store by default; pure in-memory runs skip the
+            # bookkeeping unless warm-resume asks for it.
+            self.artifacts = ArtifactStore(self.database)
+        else:
+            self.artifacts = None
         self._sizing_cache: Dict[tuple, Tuple[int, int]] = {}
+
+    def enable_checkpoint_reuse(self) -> None:
+        """Turn on warm-resume after construction (CLI flag plumbing)."""
+        self.reuse_checkpoints = True
+        if self.artifacts is None:
+            self.artifacts = ArtifactStore(self.database)
 
     @property
     def experiment_name(self) -> str:
@@ -410,14 +519,23 @@ class ModelTuningServer:
             wave.append(trial)
         return wave
 
-    def make_task(self, trial: ScheduledTrial) -> TrialTask:
-        """The serializable job payload for one scheduled trial."""
+    def make_task(
+        self, trial: ScheduledTrial, state: Optional[RunState] = None
+    ) -> TrialTask:
+        """The serializable job payload for one scheduled trial.
+
+        Under ``reuse_checkpoints`` (and given ``state`` to consult), the
+        task carries the warm-resume lineage: the parent rung's artifact
+        key and how many epochs its checkpoint already trained.  The
+        child's own key is recorded in ``state.artifact_keys`` so *its*
+        promotions can chain from it.
+        """
         budget = self.budget.budget(trial.fidelity)
         values = {
             name: _plain(value)
             for name, value in trial.configuration.to_dict().items()
         }
-        return TrialTask(
+        task = TrialTask(
             trial_id=trial.trial_id,
             values=values,
             fidelity=trial.fidelity,
@@ -429,6 +547,29 @@ class ModelTuningServer:
             seed=self.seed,
             samples=self.samples,
         )
+        if self.reuse_checkpoints and self.artifacts is not None:
+            parent_key: Optional[str] = None
+            start_epoch = 0
+            parent_id = getattr(trial, "parent_id", None)
+            parent_fidelity = getattr(trial, "parent_fidelity", None)
+            if (
+                state is not None
+                and parent_id is not None
+                and parent_fidelity is not None
+            ):
+                parent_key = state.artifact_keys.get(parent_id)
+                if parent_key is not None:
+                    parent_budget = self.budget.budget(parent_fidelity)
+                    start_epoch = min(parent_budget.epochs, budget.epochs)
+            task = replace(
+                task,
+                reuse=True,
+                parent_key=parent_key,
+                start_epoch=start_epoch,
+            )
+            if state is not None:
+                state.artifact_keys[trial.trial_id] = trial_key(task)
+        return task
 
     def integrate(
         self,
@@ -673,10 +814,11 @@ class ModelTuningServer:
             if trial is None:
                 break
             evaluation, model = evaluate_trial(
-                self.make_task(trial),
+                self.make_task(trial, state),
                 state.train_set,
                 state.eval_set,
                 workload=self.workload,
+                artifacts=self.artifacts,
             )
             self.integrate(state, trial, evaluation, model=model)
         return self.finalize(state)

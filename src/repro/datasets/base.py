@@ -15,7 +15,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from ..errors import BudgetError, ShapeError
-from ..rng import SeedLike, make_rng
+from ..rng import SeedLike, derive_seed, make_rng
 
 #: Supported learning tasks.
 TASKS = ("classification", "detection")
@@ -38,6 +38,14 @@ class Dataset:
         Number of target classes.
     task:
         One of :data:`TASKS`.
+    order_seed:
+        Optional per-dataset seed fixing *one* canonical sample
+        permutation.  When set, :meth:`subset` called without an explicit
+        ``rng`` slices a prefix of that permutation, making budget
+        subsets *nested*: a smaller fraction is always contained in a
+        larger one — the property warm-resumed trials rely on to see a
+        superset of their parent's data, and what makes budget-axis
+        scores comparable between rungs.
     """
 
     name: str
@@ -45,6 +53,7 @@ class Dataset:
     targets: np.ndarray
     num_classes: int
     task: str = "classification"
+    order_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.features = np.asarray(self.features, dtype=np.float64)
@@ -79,6 +88,11 @@ class Dataset:
         The paper's dataset-based budget (§4.3) trains each trial on a
         fraction of the data proportional to its iteration.  ``fraction`` is
         clipped to (0, 1]; at least one sample is always kept.
+
+        With ``rng=None`` on a dataset carrying an :attr:`order_seed`,
+        the subset is a prefix of the dataset's canonical permutation, so
+        subsets of growing fractions are nested.  An explicit ``rng``
+        keeps the historical independent-shuffle behaviour bit-for-bit.
         """
         if not 0.0 < fraction <= 1.0 + 1e-12:
             raise BudgetError(f"fraction must be in (0, 1], got {fraction}")
@@ -86,7 +100,10 @@ class Dataset:
         if fraction == 1.0:
             return self
         count = max(1, int(math.floor(len(self) * fraction)))
-        generator = make_rng(rng)
+        if rng is None and self.order_seed is not None:
+            generator = make_rng(self.order_seed)
+        else:
+            generator = make_rng(rng)
         indices = generator.permutation(len(self))[:count]
         return Dataset(
             name=self.name,
@@ -94,6 +111,8 @@ class Dataset:
             targets=self.targets[indices],
             num_classes=self.num_classes,
             task=self.task,
+            order_seed=None if self.order_seed is None
+            else derive_seed(self.order_seed, "subset", count),
         )
 
     def split(
@@ -110,14 +129,16 @@ class Dataset:
         test_idx, train_idx = indices[:test_count], indices[test_count:]
         if len(train_idx) == 0:
             raise BudgetError("split leaves no training samples")
-        make = lambda idx: Dataset(  # noqa: E731 - tiny local factory
+        make = lambda idx, part: Dataset(  # noqa: E731 - tiny local factory
             name=self.name,
             features=self.features[idx],
             targets=self.targets[idx],
             num_classes=self.num_classes,
             task=self.task,
+            order_seed=None if self.order_seed is None
+            else derive_seed(self.order_seed, "split", part),
         )
-        return make(train_idx), make(test_idx)
+        return make(train_idx, "train"), make(test_idx, "test")
 
     def batches(
         self, batch_size: int, rng: SeedLike = None, shuffle: bool = True
@@ -141,4 +162,6 @@ class Dataset:
             targets=self.targets[:count],
             num_classes=self.num_classes,
             task=self.task,
+            order_seed=None if self.order_seed is None
+            else derive_seed(self.order_seed, "take", count),
         )

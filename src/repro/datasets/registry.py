@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from ..errors import WorkloadError
-from ..rng import SeedLike
+from ..rng import SeedLike, derive_seed, ensure_seed
 from .base import Dataset
 from .synthetic import make_agnews, make_cifar10, make_coco, make_speech_commands
 
@@ -34,4 +34,8 @@ def build_dataset(name: str, seed: SeedLike = None, **overrides) -> Dataset:
         raise WorkloadError(
             f"unknown dataset {name!r}; expected one of {dataset_names()}"
         )
-    return _BUILDERS[key](seed=seed, **overrides)
+    dataset = _BUILDERS[key](seed=seed, **overrides)
+    # One canonical permutation per dataset, derived from the build seed:
+    # rng-less ``subset`` calls become prefix-nested (see Dataset.subset).
+    dataset.order_seed = derive_seed(ensure_seed(seed), "order", key)
+    return dataset

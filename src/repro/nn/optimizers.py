@@ -65,6 +65,31 @@ class SGD(Optimizer):
             np.zeros_like(p.value) for p in self.parameters
         ]
 
+    def state_dict(self) -> Dict[str, List[np.ndarray]]:
+        """Copy of the mutable optimizer state (momentum buffers).
+
+        Together with the model weights this is everything a warm-resumed
+        trial needs to continue the SGD trajectory bit-for-bit.
+        """
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, List[np.ndarray]]) -> None:
+        """Restore momentum buffers captured by :meth:`state_dict`."""
+        velocity = state["velocity"]
+        if len(velocity) != len(self._velocity):
+            raise ConfigurationError(
+                f"optimizer state has {len(velocity)} velocity buffers, "
+                f"expected {len(self._velocity)}"
+            )
+        for slot, value in zip(self._velocity, velocity):
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != slot.shape:
+                raise ConfigurationError(
+                    f"velocity shape {value.shape} does not match "
+                    f"parameter shape {slot.shape}"
+                )
+            slot[...] = value
+
     def step(self) -> None:
         for parameter, velocity, scratch in zip(
             self.parameters, self._velocity, self._scratch

@@ -15,7 +15,7 @@ choosing these two numbers per trial.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -54,6 +54,10 @@ class TrainingResult:
     #: ``accuracy`` is the worst case 0.0 so the scheduler prunes the
     #: configuration instead of the run crashing.
     diverged: bool = False
+    #: Final (weights, optimizer) state for warm-resuming a bigger-budget
+    #: trial from this one — ``{"weights": ..., "velocity": ...}`` —
+    #: captured only when requested (``capture_state=True``).
+    resume_state: Optional[Dict[str, Any]] = None
 
     @property
     def final_loss(self) -> Optional[float]:
@@ -117,22 +121,50 @@ def train_model(
     schedule: Optional[LRSchedule] = None,
     data_fraction: float = 1.0,
     seed: SeedLike = None,
+    start_epoch: int = 0,
+    init_state: Optional[Dict[str, Any]] = None,
+    nested_subset: bool = False,
+    capture_state: bool = False,
 ) -> TrainingResult:
     """Train ``model`` under an (epochs x data_fraction) budget.
 
     Returns a :class:`TrainingResult` whose accuracy is measured on
     ``eval_set`` (the held-out split, per paper §2.1).
+
+    Warm-resume (the artifact cache's cross-rung tier) enters through
+    four opt-in knobs, all default-off so the classic path is untouched
+    bit-for-bit: ``init_state`` restores a parent trial's weights and
+    momentum buffers, ``start_epoch`` skips the epochs the parent already
+    ran (the compute tally counts only the incremental epochs, which is
+    what the emulator charges), ``nested_subset`` draws the budget subset
+    from the dataset's canonical permutation so the resumed trial sees a
+    superset of its parent's data, and ``capture_state`` returns the
+    final state so this trial can itself be resumed from.
+    ``start_epoch == epochs`` is legal and runs zero epochs — the
+    degenerate promotion where the grown budget adds no new epochs.
     """
     if epochs <= 0:
         raise BudgetError(f"epochs must be positive, got {epochs}")
+    if not 0 <= start_epoch <= epochs:
+        raise BudgetError(
+            f"start_epoch must be in [0, {epochs}], got {start_epoch}"
+        )
     base_seed = ensure_seed(seed)
     schedule = schedule or ConstantLR()
-    subset = train_set.subset(
-        data_fraction, rng=spawn_rng(base_seed, "subset")
-    )
+    if nested_subset:
+        subset = train_set.subset(data_fraction)
+    else:
+        subset = train_set.subset(
+            data_fraction, rng=spawn_rng(base_seed, "subset")
+        )
     optimizer = SGD(
         model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay
     )
+    if init_state is not None:
+        from .serialize import load_state_dict
+
+        load_state_dict(model, init_state["weights"])
+        optimizer.load_state_dict({"velocity": init_state["velocity"]})
     forward_flops, _ = model.flops(train_set.sample_shape)
     model.train()
     losses: List[float] = []
@@ -140,7 +172,7 @@ def train_model(
     epochs_completed = 0
     diverged = False
     first_batch = True
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         optimizer.lr = schedule.rate(epoch, lr)
         epoch_loss = 0.0
         batches = 0
@@ -185,6 +217,14 @@ def train_model(
     accuracy = 0.0 if diverged else evaluate_accuracy(model, eval_set)
     if not np.isfinite(accuracy):
         accuracy, diverged = 0.0, True
+    resume_state: Optional[Dict[str, Any]] = None
+    if capture_state:
+        from .serialize import state_dict
+
+        resume_state = {
+            "weights": state_dict(model),
+            "velocity": optimizer.state_dict()["velocity"],
+        }
     train_forward = forward_flops * samples_seen
     return TrainingResult(
         accuracy=accuracy,
@@ -198,4 +238,5 @@ def train_model(
         train_total_flops=int(train_forward * (1.0 + BACKWARD_FLOPS_FACTOR)),
         parameter_count=model.parameter_count(),
         diverged=diverged,
+        resume_state=resume_state,
     )

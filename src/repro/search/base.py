@@ -125,6 +125,13 @@ class ScheduledTrial:
     the budget strategies translate it into concrete epochs / dataset
     fractions.  ``rung``/``bracket`` locate the trial inside successive
     halving; plain searchers issue everything at ``max_fidelity``.
+
+    ``parent_id``/``parent_fidelity`` record rung lineage: a trial
+    promoted by successive halving names the lower-fidelity trial whose
+    configuration it continues, which is what lets the artifact cache
+    warm-resume the promotion from the parent's checkpoint instead of
+    retraining from scratch.  ``None`` for first-rung trials and plain
+    searchers.
     """
 
     trial_id: int
@@ -132,6 +139,8 @@ class ScheduledTrial:
     fidelity: int
     bracket: int = 0
     rung: int = 0
+    parent_id: Optional[int] = None
+    parent_fidelity: Optional[int] = None
 
 
 @dataclass

@@ -9,7 +9,7 @@ until one trial runs at full fidelity.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import SearchSpaceError, TuningError
 from ..rng import SeedLike
@@ -66,7 +66,11 @@ class SuccessiveHalvingScheduler(TrialScheduler):
         self.num_configs = num_configs
         self._next_trial_id = first_trial_id
         self._rung = 0
-        self._pending: List[Configuration] = []
+        #: (configuration, parent trial id, parent fidelity) per slot;
+        #: first-rung entries carry (config, None, None).
+        self._pending: List[
+            Tuple[Configuration, Optional[int], Optional[int]]
+        ] = []
         self._awaiting: Dict[int, ScheduledTrial] = {}
         self._reports: List[TrialReport] = []
         self._exhausted = False
@@ -78,7 +82,7 @@ class SuccessiveHalvingScheduler(TrialScheduler):
             configuration = self.searcher.suggest()
             if configuration is None:  # finite space exhausted
                 break
-            self._pending.append(configuration)
+            self._pending.append((configuration, None, None))
         if not self._pending:
             raise TuningError("searcher produced no configurations")
 
@@ -90,8 +94,15 @@ class SuccessiveHalvingScheduler(TrialScheduler):
         if self._rung >= len(self.fidelities):
             self._exhausted = True
             return
+        # Survivors carry their lineage: the promoted trial's parent is
+        # the report it grew out of (the warm-resume chain).
         self._pending = [
-            report.trial.configuration for report in ordered[:survivors]
+            (
+                report.trial.configuration,
+                report.trial.trial_id,
+                report.trial.fidelity,
+            )
+            for report in ordered[:survivors]
         ]
         self._reports = []
 
@@ -105,13 +116,19 @@ class SuccessiveHalvingScheduler(TrialScheduler):
             self._promote()
             if self._exhausted or not self._pending:
                 return None
-        configuration = self._pending.pop(0)
+        entry = self._pending.pop(0)
+        if isinstance(entry, tuple):
+            configuration, parent_id, parent_fidelity = entry
+        else:  # pre-lineage checkpoint restored into this release
+            configuration, parent_id, parent_fidelity = entry, None, None
         trial = ScheduledTrial(
             trial_id=self._next_trial_id,
             configuration=configuration,
             fidelity=self.fidelities[self._rung],
             bracket=self.bracket,
             rung=self._rung,
+            parent_id=parent_id,
+            parent_fidelity=parent_fidelity,
         )
         self._next_trial_id += 1
         self._awaiting[trial.trial_id] = trial

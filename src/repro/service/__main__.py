@@ -22,6 +22,7 @@ import json
 import sys
 import warnings
 
+from ..artifacts import ArtifactStore
 from ..errors import ServiceError
 from ..storage import TrialDatabase
 from .coordinator import SessionCoordinator, serve
@@ -51,13 +52,14 @@ def _cmd_submit(args) -> int:
             max_trials=args.max_trials,
             target_accuracy=args.target,
             warm_start=args.warm_start,
+            reuse_checkpoints=args.reuse_checkpoints,
         )
         session_id = SessionStore(database).create(spec)
     print(session_id)
     return 0
 
 
-def _session_status(record, queue) -> dict:
+def _session_status(record, queue, artifacts=None) -> dict:
     """Machine-readable status for one session (the ``--json`` shape)."""
     return {
         "session": record.id,
@@ -70,6 +72,7 @@ def _session_status(record, queue) -> dict:
         "error": record.error,
         "result": record.result,
         "workers": queue.worker_stats(record.id),
+        "artifact_cache": artifacts.stats() if artifacts else None,
     }
 
 
@@ -77,11 +80,13 @@ def _cmd_status(args) -> int:
     with _database(args) as database:
         store = SessionStore(database)
         queue = JobQueue(database)
+        artifacts = ArtifactStore(database)
         if args.session:
             record = store.get(args.session)
             if args.json:
-                print(json.dumps(_session_status(record, queue),
-                                 sort_keys=True, indent=2))
+                print(json.dumps(
+                    _session_status(record, queue, artifacts),
+                    sort_keys=True, indent=2))
                 return 0
             depths = queue.depths(record.id)
             print(f"session:   {record.id}")
@@ -98,6 +103,10 @@ def _cmd_status(args) -> int:
             if last_error:
                 print(f"last err:  {last_error.strip().splitlines()[-1]}")
             print(f"resumable: {'yes' if record.has_checkpoint else 'no'}")
+            cache = artifacts.stats()
+            print(f"artifacts: {cache['entries']} entries, "
+                  f"{cache['bytes']} bytes, {cache['hits']} hits / "
+                  f"{cache['misses']} misses")
             if record.error:
                 print(f"error:     {record.error.strip().splitlines()[-1]}")
             if record.result:
@@ -111,7 +120,8 @@ def _cmd_status(args) -> int:
             records = store.list()
             if args.json:
                 print(json.dumps(
-                    [_session_status(record, queue) for record in records],
+                    [_session_status(record, queue, artifacts)
+                     for record in records],
                     sort_keys=True, indent=2,
                 ))
                 return 0
@@ -212,9 +222,15 @@ def _cmd_deadletter(args) -> int:
 def _cmd_gc(args) -> int:
     with _database(args) as database:
         counts = SessionStore(database).gc(max_age_s=args.max_age)
+        pruned = ArtifactStore(database).gc(
+            max_age_s=args.max_age, max_bytes=args.max_cache_bytes
+        )
     print(f"sessions deleted:  {counts['sessions_deleted']}")
     print(f"jobs deleted:      {counts['jobs_deleted']}")
     print(f"leases reclaimed:  {counts['leases_reclaimed']}")
+    print(f"artifacts deleted: {pruned['artifacts_deleted']}")
+    print(f"bytes freed:       {pruned['bytes_freed']}")
+    print(f"orphans removed:   {pruned['orphans_removed']}")
     return 0
 
 
@@ -242,6 +258,11 @@ def main(argv=None) -> int:
     submit.add_argument("--warm-start", action="store_true",
                         help="seed the session's search model from prior "
                              "trials of the same experiment in --db")
+    submit.add_argument("--reuse-checkpoints", action="store_true",
+                        help="warm-resume promoted trials from their "
+                             "parent rung's checkpoint (changes scores vs. "
+                             "retrain-from-scratch; exact memoization is "
+                             "always on)")
     submit.set_defaults(func=_cmd_submit)
 
     status = subparsers.add_parser("status",
@@ -303,7 +324,11 @@ def main(argv=None) -> int:
     )
     gc.add_argument("--db", required=True)
     gc.add_argument("--max-age", type=float, default=7 * 24 * 3600.0,
-                    help="age threshold in seconds for done/failed sessions")
+                    help="age threshold in seconds for done/failed sessions "
+                         "and unused cached artifacts")
+    gc.add_argument("--max-cache-bytes", type=int, default=None,
+                    help="evict least-recently-used artifacts until the "
+                         "cache is under this many bytes")
     gc.set_defaults(func=_cmd_gc)
 
     args = parser.parse_args(argv)

@@ -140,7 +140,7 @@ class SessionCoordinator:
                     self.queue.enqueue(
                         self.session_id,
                         trial.trial_id,
-                        server.make_task(trial).to_json(),
+                        server.make_task(trial, state).to_json(),
                     )
                 self._checkpoint(server, state, wave)
             wave_started = time.time()
@@ -313,6 +313,14 @@ class SessionCoordinator:
         plan = faults.get_plan()
         if plan is not None:
             self.meters.counter("faults.injected").inc(plan.fired_total())
+        artifact_cache: Optional[Dict[str, int]] = None
+        if getattr(server, "artifacts", None) is not None:
+            artifact_cache = server.artifacts.stats()
+            self.meters.gauge("artifacts.entries").set(
+                artifact_cache["entries"]
+            )
+            self.meters.gauge("artifacts.bytes").set(artifact_cache["bytes"])
+            self.meters.gauge("artifacts.hits").set(artifact_cache["hits"])
         return {
             "system": result.system,
             "workload": result.workload_id,
@@ -333,6 +341,10 @@ class SessionCoordinator:
             "stall_s": float(result.stall_s),
             "workers": self.workers,
             "warm_started_trials": int(server.warm_started_trials),
+            "reuse_checkpoints": bool(
+                getattr(server, "reuse_checkpoints", False)
+            ),
+            "artifact_cache": artifact_cache,
             "inference": inference,
             "meters": self.meters.snapshot(),
             "worker_stats": self.queue.worker_stats(self.session_id),

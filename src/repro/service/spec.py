@@ -37,6 +37,11 @@ class SessionSpec:
     #: Seed the session's search model from historical trials of the same
     #: experiment before the first suggestion (the advisor's transfer path).
     warm_start: bool = False
+    #: Warm-resume promoted trials from their parent rung's checkpoint
+    #: (the artifact cache's cross-rung tier).  Opt-in: resumed trials
+    #: train fewer epochs from inherited weights, so scores differ from
+    #: the retrain-from-scratch default.
+    reuse_checkpoints: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SERVICE_SYSTEMS:
@@ -89,4 +94,6 @@ def build_server(spec: SessionSpec, database: TrialDatabase):
         raise ServiceError(f"unsupported service system {spec.system!r}")
     # All systems run on a ModelTuningServer, so transfer works uniformly.
     server.warm_start = bool(spec.warm_start)
+    if spec.reuse_checkpoints:
+        server.enable_checkpoint_reuse()
     return server

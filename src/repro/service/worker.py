@@ -25,9 +25,10 @@ import pickle
 import threading
 import time
 import traceback
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-from ..core.model_server import TrialTask, evaluate_trial
+from ..artifacts import ArtifactStore
+from ..core.model_server import TrialTask, evaluate_trial, load_task_datasets
 from ..faults import fault_point
 from ..storage import TrialDatabase
 from .failures import run_with_deadline
@@ -97,9 +98,10 @@ class TrialWorker:
         self.trial_timeout_s = trial_timeout_s
         self.jobs_done = 0
         self.jobs_failed = 0
-        #: (workload_id, seed, samples) -> (train, eval); synthesis is
-        #: deterministic, so caching is purely an optimisation.
-        self._datasets: Dict[Tuple, Tuple] = {}
+        #: Trial artifact cache over the session database.  Exact
+        #: memoization is always on (bit-safe); warm-resume activates
+        #: only for tasks that carry lineage (``--reuse-checkpoints``).
+        self.artifacts = ArtifactStore(self.database)
 
     # -- execution ----------------------------------------------------------
     def run_job(self, job: Job) -> None:
@@ -136,24 +138,16 @@ class TrialWorker:
 
         def execute() -> Tuple:
             fault_point("worker.hang", key=task.trial_id, attempt=attempt)
-            train_set, eval_set = self._load_datasets(task)
-            return evaluate_trial(task, train_set, eval_set)
+            train_set, eval_set = load_task_datasets(task)
+            return evaluate_trial(
+                task, train_set, eval_set, artifacts=self.artifacts
+            )
 
         if self.trial_timeout_s is None:
             return execute()
         return run_with_deadline(
             execute, self.trial_timeout_s, name=f"trial-{task.trial_id}"
         )
-
-    def _load_datasets(self, task: TrialTask) -> Tuple:
-        key = (task.workload_id, task.seed, task.samples)
-        if key not in self._datasets:
-            from ..workloads import get_workload
-
-            self._datasets[key] = get_workload(task.workload_id).load(
-                seed=task.seed, samples=task.samples
-            )
-        return self._datasets[key]
 
     # -- main loop -----------------------------------------------------------
     def run_forever(

@@ -178,6 +178,29 @@ CREATE INDEX IF NOT EXISTS idx_dead_letter_session
     ON dead_letter (session_id);
 """
 
+#: v6 — the trial artifact cache (:mod:`repro.artifacts`): one row per
+#: content-addressed trial result.  ``key`` is the blake2b trial key;
+#: ``blob`` holds the pickled payload inline for ``:memory:`` databases,
+#: while file-backed databases keep payloads in a ``<db>.artifacts/``
+#: sidecar directory (atomic rename writes) and leave ``blob`` NULL.
+#: ``size_bytes``/``hits``/``last_hit_at`` feed ``service gc`` and the
+#: cache-hit telemetry.
+_SCHEMA_V6 = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    key TEXT PRIMARY KEY,
+    workload TEXT NOT NULL,
+    trial_id INTEGER NOT NULL,
+    epochs INTEGER NOT NULL,
+    data_fraction REAL NOT NULL,
+    size_bytes INTEGER NOT NULL,
+    hits INTEGER NOT NULL DEFAULT 0,
+    blob BLOB,
+    created_at REAL NOT NULL,
+    last_hit_at REAL
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_created ON artifacts (created_at);
+"""
+
 #: Ordered (version, script) migration ladder; each script must be safe to
 #: run on a database that already contains the objects it creates (older
 #: releases wrote the v1 tables without stamping ``user_version``).
@@ -187,6 +210,7 @@ MIGRATIONS: Tuple[Tuple[int, str], ...] = (
     (3, _SCHEMA_V3),
     (4, _SCHEMA_V4),
     (5, _SCHEMA_V5),
+    (6, _SCHEMA_V6),
 )
 
 SCHEMA_VERSION = MIGRATIONS[-1][0]
