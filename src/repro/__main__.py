@@ -224,12 +224,23 @@ def main(argv=None) -> int:
         add_help=False,
     )
 
+    subparsers.add_parser(
+        "fleet",
+        help="multi-host tuning fleet (serve/workers/register/status/"
+             "drain); see `python -m repro fleet --help`",
+        add_help=False,
+    )
+
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "advisor":
         # The advisor owns its whole sub-CLI (including --help).
         from .advisor.cli import main as advisor_main
 
         return advisor_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        from .fleet.cli import main as fleet_main
+
+        return fleet_main(argv[1:])
     args = parser.parse_args(argv)
     return args.func(args)
 

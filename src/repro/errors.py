@@ -62,6 +62,11 @@ class AdvisorError(ReproError):
     malformed request, unreachable server)."""
 
 
+class FleetError(ServiceError):
+    """The multi-host tuning fleet hit an unrecoverable condition
+    (unreachable coordinator, protocol violation, unknown machine)."""
+
+
 class TrialTimeoutError(ServiceError):
     """A trial exceeded its wall-clock deadline and was abandoned; the
     job is failed (and retried) instead of hanging its worker."""

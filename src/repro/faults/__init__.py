@@ -37,6 +37,9 @@ Injection sites wired into the codebase:
 ``storage.io``            raises a transient sqlite "disk I/O error"
 ``advisor.drop``          drops the advisor client's TCP connection
 ``advisor.garbage``       corrupts one advisor response frame
+``fleet.dead_host``       hard-kills a remote fleet host process mid-lease
+``fleet.partition``       severs a fleet host's dispatch connection
+``fleet.stale_lease``     suppresses one job's remote lease extensions
 ========================  ====================================================
 """
 

@@ -32,6 +32,9 @@ KNOWN_SITES = (
     "storage.io",
     "advisor.drop",
     "advisor.garbage",
+    "fleet.dead_host",
+    "fleet.partition",
+    "fleet.stale_lease",
 )
 
 #: Exit code of an injected worker crash (mirrors SIGKILL's 128+9).
@@ -172,9 +175,11 @@ class FaultPlan:
         if not self.should(site, key, attempt):
             return
         rule = self.rules[site]
-        if site == "worker.crash":
+        if site in ("worker.crash", "fleet.dead_host"):
             # A real crash: no cleanup, no exception handlers — the
             # heartbeat dies with us and the lease protocol takes over.
+            # ``fleet.dead_host`` is the same death at host granularity:
+            # the whole remote-host process disappears mid-lease.
             os._exit(CRASH_EXIT_CODE)
         if site == "worker.hang":
             time.sleep(rule.param if rule.param is not None

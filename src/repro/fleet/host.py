@@ -1,0 +1,432 @@
+"""The remote worker host: a separate process (machine) serving the fleet.
+
+A :class:`RemoteHost` is everything one fleet member runs: its own
+*isolated* trial database and artifact store (nothing is shared with the
+coordinator but the TCP connection), a dispatch loop leasing jobs from
+its shard, and the artifact-federation shim that checks the
+coordinator's cache before paying for a cold run.
+
+Execution path per job::
+
+    lease → [federation prefetch] → evaluate_trial → complete
+              │                        │
+              │                        └─ local ArtifactStore (isolated)
+              └─ artifact_get from the hub on local miss
+
+``evaluate_trial`` is pure given the task (all seeds travel inside it),
+so a trial runs bit-identically on any machine — which is what makes the
+fleet's results mergeable by the coordinator's wave-ordered integrator
+without any cross-host coordination.
+
+Chaos sites (all deterministic, via ``$REPRO_FAULTS``):
+
+* ``fleet.dead_host`` — the whole host process dies mid-lease
+  (``os._exit``), exercising dead-host detection and lease draining;
+* ``fleet.partition`` — fires inside :class:`~repro.fleet.client
+  .FleetClient`: the dispatch connection is severed and must
+  reconnect-resync;
+* ``fleet.stale_lease`` — this host silently stops extending one job's
+  lease, exercising expiry and re-acquisition by someone else.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..artifacts import ArtifactStore, trial_key
+from ..core.model_server import TrialTask, evaluate_trial
+from ..errors import FleetError
+from ..faults import fault_point, should
+from ..storage import TrialDatabase
+from .client import FleetClient
+from .registry import local_capabilities
+
+logger = logging.getLogger(__name__)
+
+#: How long an idle host sleeps between lease polls, seconds.
+IDLE_POLL_S = 0.05
+
+#: Lease-extension period as a fraction of the granted TTL.
+EXTEND_FRACTION = 0.25
+
+
+class _LeaseExtender:
+    """Daemon thread renewing one remote lease until stopped.
+
+    The fleet-side mirror of the local worker's heartbeat thread; a host
+    that dies mid-trial stops extending, the lease expires, and the
+    janitor (or any reclaimer) hands the job to another machine.
+    """
+
+    def __init__(self, host: "RemoteHost", job_id: int, interval_s: float,
+                 suppressed: bool = False):
+        self._host = host
+        self._job_id = job_id
+        self._interval_s = interval_s
+        #: ``fleet.stale_lease``: pretend to extend but never do — the
+        #: lease quietly ages out under a still-running trial.
+        self._suppressed = suppressed
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_LeaseExtender":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if self._suppressed:
+                continue
+            try:
+                response = self._host.call(
+                    "extend", job_id=self._job_id,
+                    worker=self._host.worker_name,
+                )
+            except FleetError:
+                continue  # partition: keep trying until stopped
+            if response.get("ok") and not response.get("renewed"):
+                return  # lease lost; the retry owns the job now
+
+
+class RemoteHost:
+    """One fleet machine: isolated storage plus the dispatch loop."""
+
+    def __init__(
+        self,
+        machine_id: str,
+        server_host: str = "127.0.0.1",
+        server_port: int = 0,
+        db_path: str = ":memory:",
+        poll_interval_s: float = IDLE_POLL_S,
+        worker_name: str = "w0",
+    ):
+        self.machine_id = machine_id
+        self.worker_name = worker_name
+        self.client = FleetClient(server_host, server_port)
+        #: Serializes dispatch-connection use between the main loop and
+        #: the lease-extender thread (one socket, one line protocol).
+        self._client_lock = threading.Lock()
+        self.database = TrialDatabase(db_path)
+        self.artifacts = ArtifactStore(self.database)
+        self.poll_interval_s = poll_interval_s
+        self.shard: Optional[int] = None
+        self.lease_ttl_s: float = 10.0
+        self.machine_ttl_s: float = 30.0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        #: Federation accounting, host side.
+        self.federation_hits = 0
+        self.federation_uploads = 0
+        self._heartbeat_at = 0.0
+
+    # -- protocol ------------------------------------------------------------
+    def call(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One dispatch request with this machine's identity attached."""
+        with self._client_lock:
+            return self.client.request(
+                op, machine_id=self.machine_id, **params
+            )
+
+    def register(self) -> Dict[str, Any]:
+        response = self.call(
+            "register", capabilities=local_capabilities()
+        )
+        if not response.get("ok"):
+            raise FleetError(
+                f"registration refused: {response.get('error')}"
+            )
+        self.shard = int(response["shard"])
+        self.lease_ttl_s = float(response["lease_ttl_s"])
+        self.machine_ttl_s = float(response["machine_ttl_s"])
+        self._heartbeat_at = time.time()
+        return response
+
+    def _maybe_heartbeat(self) -> None:
+        interval = max(0.05, self.machine_ttl_s * EXTEND_FRACTION)
+        now = time.time()
+        if now - self._heartbeat_at < interval:
+            return
+        try:
+            response = self.call("heartbeat")
+        except FleetError:
+            return  # partition: the run loop keeps retrying leases
+        self._heartbeat_at = now
+        if not response.get("ok") and response.get("reregister"):
+            # Declared dead during a partition that has now healed: our
+            # leases were already drained; rejoin and keep serving.
+            self.register()
+
+    # -- artifact federation -------------------------------------------------
+    def _prefetch(self, task: TrialTask) -> Optional[str]:
+        """Pull the task's artifact from the hub into the local store.
+
+        Returns the trial key when the artifact is now locally available
+        (``evaluate_trial`` will then short-circuit bit-identically), or
+        ``None`` when the fleet has never run this trial and a cold run
+        is due.
+        """
+        key = trial_key(task)
+        if self.artifacts.get(key, count_miss=False) is not None:
+            return key  # already local (this host ran it before)
+        try:
+            response = self.call("artifact_get", key=key)
+        except FleetError:
+            return None  # partition: degrade to a cold run
+        blob = response.get("payload") if response.get("ok") else None
+        if blob is None:
+            return None
+        from .wire import unpack_bytes
+
+        self.artifacts.put(
+            key,
+            unpack_bytes(blob),
+            workload=task.workload_id,
+            trial_id=task.trial_id,
+            epochs=task.epochs,
+            data_fraction=task.data_fraction,
+        )
+        self.federation_hits += 1
+        return key
+
+    def _publish(self, task: TrialTask, key: str) -> None:
+        """Upload a cold-run artifact so no other machine re-runs it."""
+        payload = self.artifacts.get(key, count_miss=False)
+        if payload is None:
+            return  # evaluation was not cached locally (no store row)
+        from .wire import pack_bytes
+
+        try:
+            response = self.call(
+                "artifact_put",
+                key=key,
+                payload=pack_bytes(payload),
+                workload=task.workload_id,
+                trial_id=task.trial_id,
+                epochs=task.epochs,
+                data_fraction=task.data_fraction,
+            )
+        except FleetError:
+            return  # best-effort: the result blob still reaches the hub
+        if response.get("ok"):
+            self.federation_uploads += 1
+
+    # -- job execution -------------------------------------------------------
+    def _run_job(self, job: Dict[str, Any]) -> None:
+        job_id = int(job["id"])
+        trial_id = job["trial_id"]
+        attempt = int(job.get("attempts", 1))
+        extend_s = max(0.05, self.lease_ttl_s * EXTEND_FRACTION)
+        stale = should("fleet.stale_lease", key=trial_id, attempt=attempt)
+        with _LeaseExtender(self, job_id, extend_s, suppressed=stale):
+            try:
+                # The whole machine disappears mid-lease: heartbeats,
+                # extender, all of it.  Dead-host containment takes over.
+                fault_point("fleet.dead_host", key=trial_id,
+                            attempt=attempt)
+                task = TrialTask.from_json(job["payload"])
+                prefetched = self._prefetch(task)
+                evaluation, model = evaluate_trial(
+                    task, artifacts=self.artifacts
+                )
+                evaluation.model_blob = pickle.dumps(
+                    model, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                blob = pickle.dumps(
+                    evaluation, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                if prefetched is None:
+                    self._publish(task, trial_key(task))
+            except Exception as error:
+                self.jobs_failed += 1
+                try:
+                    self.call(
+                        "fail", job_id=job_id, worker=self.worker_name,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                except FleetError:
+                    pass  # lease expiry will requeue the job
+                return
+        from .wire import pack_bytes
+
+        try:
+            response = self.call(
+                "complete", job_id=job_id, worker=self.worker_name,
+                result=pack_bytes(blob),
+            )
+        except FleetError:
+            return  # result lost to the partition; the retry recomputes
+        if response.get("ok") and response.get("accepted"):
+            self.jobs_done += 1
+
+    # -- main loop -----------------------------------------------------------
+    def run_forever(
+        self,
+        stop_event: Optional[threading.Event] = None,
+        idle_timeout_s: Optional[float] = None,
+    ) -> int:
+        """Register, then lease-execute until stopped or idle too long."""
+        self.register()
+        idle_since = time.time()
+        while stop_event is None or not stop_event.is_set():
+            self._maybe_heartbeat()
+            try:
+                response = self.call("lease", worker=self.worker_name)
+            except FleetError:
+                response = {"ok": False, "error": "unreachable"}
+            job: Optional[Dict[str, Any]] = None
+            if response.get("ok"):
+                job = response.get("job")
+            elif response.get("reregister"):
+                try:
+                    self.register()
+                except FleetError:
+                    pass
+            if job is None:
+                if (
+                    idle_timeout_s is not None
+                    and time.time() - idle_since > idle_timeout_s
+                ):
+                    break
+                time.sleep(self.poll_interval_s)
+                continue
+            self._run_job(job)
+            idle_since = time.time()
+        return self.jobs_done
+
+    def close(self) -> None:
+        self.client.close()
+        self.database.close()
+
+
+def host_main(
+    machine_id: str,
+    server_host: str,
+    server_port: int,
+    db_path: str,
+    idle_timeout_s: Optional[float] = None,
+    poll_interval_s: float = IDLE_POLL_S,
+) -> int:
+    """Process entry point for fleet hosts (importable, hence spawn-safe)."""
+    host = RemoteHost(
+        machine_id,
+        server_host=server_host,
+        server_port=server_port,
+        db_path=db_path,
+        poll_interval_s=poll_interval_s,
+    )
+    try:
+        return host.run_forever(idle_timeout_s=idle_timeout_s)
+    except KeyboardInterrupt:
+        return host.jobs_done
+    finally:
+        host.close()
+
+
+class HostPool:
+    """Spawns and supervises N remote-host processes (tests, CI, demos).
+
+    Each host gets its own database file under ``base_dir`` — the
+    isolation is real, not simulated: a host process shares nothing with
+    the coordinator but its TCP connection.  A supervisor thread respawns
+    hosts that die (the ``fleet.dead_host`` chaos site kills them for
+    real), mirroring :class:`~repro.service.pool.WorkerPool`.
+    """
+
+    def __init__(
+        self,
+        server_host: str,
+        server_port: int,
+        base_dir: str,
+        hosts: int = 2,
+        name_prefix: str = "machine",
+        idle_timeout_s: Optional[float] = None,
+    ):
+        if hosts < 1:
+            raise ValueError(f"host pool needs >= 1 hosts, got {hosts}")
+        self.server_host = server_host
+        self.server_port = int(server_port)
+        self.base_dir = base_dir
+        self.hosts = hosts
+        self.name_prefix = name_prefix
+        self.idle_timeout_s = idle_timeout_s
+        self._spawned = 0
+        self._processes: List[multiprocessing.Process] = []
+        self._machine_ids: List[str] = []
+        self._stop = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+
+    def _spawn_one(self, machine_id: str) -> multiprocessing.Process:
+        self._spawned += 1
+        process = multiprocessing.Process(
+            target=host_main,
+            args=(
+                machine_id,
+                self.server_host,
+                self.server_port,
+                os.path.join(self.base_dir, f"{machine_id}.db"),
+            ),
+            kwargs={"idle_timeout_s": self.idle_timeout_s},
+            name=machine_id,
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def start(self) -> "HostPool":
+        while len(self._processes) < self.hosts:
+            machine_id = f"{self.name_prefix}-{len(self._processes) + 1}"
+            self._machine_ids.append(machine_id)
+            self._processes.append(self._spawn_one(machine_id))
+        self._supervisor = threading.Thread(
+            target=self._supervise, daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def _supervise(self) -> None:
+        """Respawn dead hosts — a machine that crashed (or was crashed by
+        ``fleet.dead_host``) comes back with the *same* machine id, so it
+        re-registers onto its old shard and resumes serving."""
+        while not self._stop.wait(0.1):
+            for index, process in enumerate(self._processes):
+                if not process.is_alive() and not self._stop.is_set():
+                    self._processes[index] = self._spawn_one(
+                        self._machine_ids[index]
+                    )
+
+    def alive(self) -> int:
+        return sum(1 for p in self._processes if p.is_alive())
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Idempotent shutdown (same discipline as ``WorkerPool.stop``)."""
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=1.0)
+            self._supervisor = None
+        processes, self._processes = self._processes, []
+        if not processes:
+            return
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=timeout_s)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=timeout_s)
+
+    def __enter__(self) -> "HostPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

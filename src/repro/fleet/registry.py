@@ -1,0 +1,260 @@
+"""The machine registry: who is in the fleet and are they alive.
+
+One row per worker host (``machines`` table, migration v7).  A machine
+registers once with its capability tags — hostname, core count, kernel
+backend fingerprint, supported workloads — and then proves liveness by
+heartbeating.  The fleet janitor calls :meth:`MachineRegistry.expire`
+periodically; a machine whose heartbeat is older than the TTL flips to
+``dead`` and every lease it (or any of its ``machine/<worker>`` workers)
+held is drained back into the queue immediately instead of waiting for
+per-job lease expiry.
+
+Registration is idempotent: a host process that restarts with the same
+machine id re-registers in place, keeps its shard assignment, and simply
+comes back ``alive`` — duplicate ids are a reconnect, not an error.
+
+The module also owns ``fleet_stats``, a tiny crash-safe counter table
+(artifact-federation hits/misses, janitor reclaim counts).  Counters are
+single ``INSERT ... ON CONFLICT`` bumps, so any process — coordinator,
+worker, fleet server — can account events and ``service status`` reads
+one consistent view from the database rather than from per-process
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..storage import TrialDatabase
+
+#: Machine lifecycle states.
+ALIVE = "alive"
+DRAINING = "draining"
+DEAD = "dead"
+
+MACHINE_STATES = (ALIVE, DRAINING, DEAD)
+
+#: A machine whose newest heartbeat is older than this is declared dead.
+#: Deliberately larger than the job-lease TTL: a machine death is a much
+#: stronger (and more disruptive) verdict than one slow trial.
+DEFAULT_MACHINE_TTL_S = 30.0
+
+_MACHINE_COLUMNS = (
+    "id, hostname, shard, state, capabilities, jobs_done, "
+    "registered_at, last_heartbeat_at"
+)
+
+
+def local_capabilities() -> Dict[str, Any]:
+    """Capability tags describing *this* process's host.
+
+    The backend fingerprint is the load-bearing tag: two machines with
+    different fingerprints would produce different training bits, so the
+    coordinator can refuse to mix them inside one replay-mode session.
+    """
+    from ..artifacts import backend_fingerprint
+    from ..workloads.registry import WORKLOADS
+
+    return {
+        "hostname": socket.gethostname(),
+        "pid": os.getpid(),
+        "cores": os.cpu_count() or 1,
+        "fingerprint": backend_fingerprint(),
+        "workloads": sorted(WORKLOADS),
+    }
+
+
+@dataclass
+class Machine:
+    """One registered fleet member."""
+
+    id: str
+    hostname: str
+    shard: int
+    state: str
+    capabilities: Dict[str, Any] = field(default_factory=dict)
+    jobs_done: int = 0
+    registered_at: float = 0.0
+    last_heartbeat_at: float = 0.0
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "Machine":
+        return cls(
+            id=row[0],
+            hostname=row[1],
+            shard=int(row[2]),
+            state=row[3],
+            capabilities=json.loads(row[4] or "{}"),
+            jobs_done=int(row[5]),
+            registered_at=float(row[6]),
+            last_heartbeat_at=float(row[7]),
+        )
+
+    def heartbeat_age_s(self, now: Optional[float] = None) -> float:
+        return (time.time() if now is None else now) - self.last_heartbeat_at
+
+    def supports(self, workload: str) -> bool:
+        """Whether this machine advertises the workload; machines with no
+        ``workloads`` tag (older registrations) are assumed universal."""
+        workloads = self.capabilities.get("workloads")
+        return workloads is None or workload in workloads
+
+
+class MachineRegistry:
+    """CRUD over the ``machines`` table plus the fleet counters."""
+
+    def __init__(self, database: TrialDatabase):
+        self.database = database
+
+    # -- membership ----------------------------------------------------------
+    def register(
+        self,
+        machine_id: str,
+        capabilities: Optional[Dict[str, Any]] = None,
+        shard: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Machine:
+        """Add (or re-add) a machine; idempotent per id.
+
+        A duplicate registration is a host reconnecting: it refreshes the
+        capability tags and heartbeat and revives the row to ``alive``,
+        but keeps the original shard assignment (session affinity must
+        survive a host restart) unless the caller forces one.
+        """
+        now = time.time() if now is None else now
+        capabilities = dict(capabilities or {})
+        hostname = str(capabilities.get("hostname") or socket.gethostname())
+        tags = json.dumps(capabilities, sort_keys=True, default=repr)
+        with self.database.transaction() as connection:
+            row = connection.execute(
+                "SELECT shard FROM machines WHERE id = ?", (machine_id,)
+            ).fetchone()
+            if row is None:
+                connection.execute(
+                    "INSERT INTO machines (id, hostname, shard, state, "
+                    "capabilities, registered_at, last_heartbeat_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (machine_id, hostname, int(shard or 0), ALIVE, tags,
+                     now, now),
+                )
+            else:
+                kept_shard = int(row[0]) if shard is None else int(shard)
+                connection.execute(
+                    "UPDATE machines SET hostname = ?, shard = ?, "
+                    "state = ?, capabilities = ?, last_heartbeat_at = ? "
+                    "WHERE id = ?",
+                    (hostname, kept_shard, ALIVE, tags, now, machine_id),
+                )
+        machine = self.get(machine_id)
+        assert machine is not None
+        return machine
+
+    def heartbeat(
+        self, machine_id: str, now: Optional[float] = None
+    ) -> bool:
+        """Refresh liveness; revives a prematurely-declared-dead machine
+        (its leases were already drained — that is recoverable, a lost
+        heartbeat is not).  ``False`` when the machine is unregistered."""
+        now = time.time() if now is None else now
+        cursor = self.database.execute(
+            "UPDATE machines SET last_heartbeat_at = ?, "
+            "state = CASE WHEN state = ? THEN ? ELSE state END "
+            "WHERE id = ?",
+            (now, DEAD, ALIVE, machine_id),
+        )
+        return cursor.rowcount > 0
+
+    def record_done(self, machine_id: str, count: int = 1) -> None:
+        self.database.execute(
+            "UPDATE machines SET jobs_done = jobs_done + ? WHERE id = ?",
+            (int(count), machine_id),
+        )
+
+    def set_state(self, machine_id: str, state: str) -> bool:
+        if state not in MACHINE_STATES:
+            raise ValueError(f"unknown machine state {state!r}")
+        cursor = self.database.execute(
+            "UPDATE machines SET state = ? WHERE id = ?",
+            (state, machine_id),
+        )
+        return cursor.rowcount > 0
+
+    def forget(self, machine_id: str) -> bool:
+        """Drop a machine row entirely (operator cleanup)."""
+        cursor = self.database.execute(
+            "DELETE FROM machines WHERE id = ?", (machine_id,)
+        )
+        return cursor.rowcount > 0
+
+    # -- queries -------------------------------------------------------------
+    def get(self, machine_id: str) -> Optional[Machine]:
+        row = self.database.execute(
+            f"SELECT {_MACHINE_COLUMNS} FROM machines WHERE id = ?",
+            (machine_id,),
+        ).fetchone()
+        return None if row is None else Machine.from_row(row)
+
+    def list(self, state: Optional[str] = None) -> List[Machine]:
+        query = f"SELECT {_MACHINE_COLUMNS} FROM machines"
+        args: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            args = (state,)
+        query += " ORDER BY shard, id"
+        rows = self.database.execute(query, args).fetchall()
+        return [Machine.from_row(row) for row in rows]
+
+    def alive(self) -> List[Machine]:
+        return self.list(state=ALIVE)
+
+    # -- liveness sweep ------------------------------------------------------
+    def expire(
+        self,
+        ttl_s: float = DEFAULT_MACHINE_TTL_S,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Declare machines with stale heartbeats dead.
+
+        Returns the ids that flipped on *this* sweep (not ones already
+        dead) so the janitor drains each machine's orphaned leases
+        exactly once.
+        """
+        now = time.time() if now is None else now
+        cutoff = now - ttl_s
+        with self.database.transaction() as connection:
+            doomed = [
+                row[0]
+                for row in connection.execute(
+                    "SELECT id FROM machines "
+                    "WHERE state = ? AND last_heartbeat_at < ?",
+                    (ALIVE, cutoff),
+                ).fetchall()
+            ]
+            for machine_id in doomed:
+                connection.execute(
+                    "UPDATE machines SET state = ? WHERE id = ?",
+                    (DEAD, machine_id),
+                )
+        if doomed:
+            self.bump("machines.expired", len(doomed))
+        return doomed
+
+    # -- fleet counters ------------------------------------------------------
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Crash-safe counter increment (single upsert statement)."""
+        self.database.execute(
+            "INSERT INTO fleet_stats (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = value + excluded.value",
+            (key, float(amount)),
+        )
+
+    def stats(self) -> Dict[str, float]:
+        rows = self.database.execute(
+            "SELECT key, value FROM fleet_stats ORDER BY key"
+        ).fetchall()
+        return {key: float(value) for key, value in rows}

@@ -1,0 +1,82 @@
+"""Shard routing: which machines serve which queues, which queue serves
+which session.
+
+Two decisions, both deterministic:
+
+* **machine placement** — a newly registered machine joins the least
+  populated shard (ties broken by shard number), so shards stay balanced
+  as hosts come and go;
+* **session affinity** — every session hashes (blake2b, process-stable)
+  onto one shard among those that currently have at least one alive
+  machine supporting the session's workload.  All of a session's jobs
+  land on that shard, so its artifact locality is maximal: the rung-N
+  trials that rung N+1 wants to warm-resume from were run by the same
+  machines that will run rung N+1.
+
+The router is stateless — it reads the registry on every decision — so
+there is nothing to resynchronize after a partition heals; a machine that
+re-registers simply shows up in the next decision's candidate set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional
+
+from .registry import Machine, MachineRegistry
+
+#: Default shard count when the fleet server is not told otherwise.
+DEFAULT_SHARDS = 2
+
+
+def _stable_hash(token: str) -> int:
+    """Process-stable string hash (``hash()`` is salted per interpreter)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Deterministic shard decisions over a :class:`MachineRegistry`."""
+
+    def __init__(self, registry: MachineRegistry,
+                 num_shards: int = DEFAULT_SHARDS):
+        if num_shards < 1:
+            raise ValueError(f"need >= 1 shards, got {num_shards}")
+        self.registry = registry
+        self.num_shards = int(num_shards)
+
+    # -- machine placement ---------------------------------------------------
+    def place_machine(self) -> int:
+        """Shard for a joining machine: least alive members, lowest wins."""
+        population = {shard: 0 for shard in range(self.num_shards)}
+        for machine in self.registry.alive():
+            if machine.shard in population:
+                population[machine.shard] += 1
+        return min(population, key=lambda shard: (population[shard], shard))
+
+    # -- session affinity ----------------------------------------------------
+    def shard_for_session(
+        self,
+        session_id: str,
+        workload: Optional[str] = None,
+        machines: Optional[Iterable[Machine]] = None,
+    ) -> int:
+        """The shard a session's jobs are routed to.
+
+        Candidates are shards with at least one alive machine that
+        supports ``workload``; the session hashes onto one of them.  With
+        no eligible machine at all (fleet still booting, or every host
+        died) the hash falls back to the full shard range — jobs are
+        queued where machines will appear, not dropped.
+        """
+        if machines is None:
+            machines = self.registry.alive()
+        candidates: List[int] = sorted({
+            machine.shard
+            for machine in machines
+            if workload is None or machine.supports(workload)
+        })
+        if not candidates:
+            candidates = list(range(self.num_shards))
+        index = _stable_hash(session_id) % len(candidates)
+        return candidates[index]

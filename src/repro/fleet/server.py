@@ -1,0 +1,527 @@
+"""The fleet dispatch server: one coordinator hub, many worker hosts.
+
+A stdlib :class:`socketserver.ThreadingTCPServer` speaking the line-JSON
+frames of :mod:`repro.fleet.wire` — the same transport discipline as the
+advisor server (persistent connections, oversized-frame rejection,
+optional token-bucket limits, graceful drain), applied to work dispatch:
+
+* remote hosts **register** with capability tags and are placed on a
+  shard by the :class:`~repro.fleet.router.ShardRouter`;
+* they **lease** jobs from their shard's queue, **extend** leases while
+  trials run, and stream **complete**/**fail** verdicts back — all
+  against the coordinator's central database, under the exact ownership
+  protocol local pool workers use (owner ``machine/<worker>``);
+* the **artifact federation** ops let a host probe the hub's
+  content-addressed cache before cold-running a trial and publish what
+  it did have to run, so no two machines in the fleet ever train the
+  same (config, budget, seed) twice;
+* a **janitor** sweep declares silent machines dead and immediately
+  drains their orphaned leases back into the queue (containment measured
+  in one machine TTL, not one per-job lease expiry each).
+
+The server also *runs sessions*: :meth:`FleetServer.run_sessions` claims
+queued sessions and drives each with a remote-mode
+:class:`~repro.service.coordinator.SessionCoordinator` — same wave
+scheduling, same strict in-order merge, so a fleet run's result is
+bit-identical to the single-host run of the same spec.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import socketserver
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..artifacts import ArtifactStore
+from ..service.coordinator import COORDINATOR_POLL_S, SessionCoordinator
+from ..service.queue import DEFAULT_LEASE_TTL_S, JobQueue
+from ..service.sessions import SessionStore
+from ..errors import ServiceError
+from ..storage import TrialDatabase
+from ..telemetry import MeterRegistry
+from .registry import DEFAULT_MACHINE_TTL_S, MachineRegistry
+from .router import DEFAULT_SHARDS, ShardRouter
+from .wire import (
+    MAX_FRAME_BYTES, decode_frame, encode_frame, error_frame, ok_frame,
+    pack_bytes, unpack_bytes,
+)
+
+logger = logging.getLogger(__name__)
+
+#: How long a handler blocks on the next frame before re-checking the
+#: drain flag, seconds.
+READ_TIMEOUT_S = 0.2
+
+#: Janitor sweep period as a fraction of the machine TTL.
+JANITOR_FRACTION = 0.25
+
+
+class _FleetHandler(socketserver.StreamRequestHandler):
+    """One persistent host connection; loops until EOF or drain."""
+
+    def setup(self) -> None:
+        super().setup()
+        self.connection.settimeout(READ_TIMEOUT_S)
+
+    def handle(self) -> None:
+        server: "FleetServer" = self.server  # type: ignore[assignment]
+        client = self.client_address[0]
+        server.meters.counter("fleet.connections").inc()
+        while not server.draining:
+            try:
+                line = self.rfile.readline(MAX_FRAME_BYTES + 1)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not line:
+                break
+            if len(line) > MAX_FRAME_BYTES:
+                # Oversized frame: the stream cannot be trusted to
+                # re-align on newlines — answer and drop the connection.
+                server.meters.counter("fleet.errors").inc()
+                try:
+                    self.wfile.write(
+                        encode_frame(error_frame("frame too long"))
+                    )
+                except OSError:
+                    pass
+                break
+            line = line.strip()
+            if not line:
+                continue
+            with server.track_in_flight():
+                response = server.handle_line(line, client)
+            try:
+                self.wfile.write(encode_frame(response))
+            except OSError:
+                break
+
+
+class FleetServer(socketserver.ThreadingTCPServer):
+    """Threaded dispatch server over one central trial database."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        database: TrialDatabase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_shards: int = DEFAULT_SHARDS,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        machine_ttl_s: float = DEFAULT_MACHINE_TTL_S,
+        rate_limit: Optional[float] = None,
+        burst: Optional[int] = None,
+        meters: Optional[MeterRegistry] = None,
+    ):
+        super().__init__((host, port), _FleetHandler)
+        self.database = database
+        self.queue = JobQueue(database)
+        self.sessions = SessionStore(database)
+        self.registry = MachineRegistry(database)
+        self.router = ShardRouter(self.registry, num_shards=num_shards)
+        self.artifacts = ArtifactStore(database)
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.machine_ttl_s = float(machine_ttl_s)
+        self.meters = meters or MeterRegistry()
+        if rate_limit:
+            from ..advisor.server import TokenBucket
+
+            self.limiter: Optional[Any] = TokenBucket(rate_limit, burst)
+        else:
+            self.limiter = None
+        self.draining = False
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        self._janitor_stop = threading.Event()
+        self._janitor_thread: Optional[threading.Thread] = None
+
+    # -- addresses -----------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        return self.server_address[1]
+
+    # -- in-flight accounting ------------------------------------------------
+    def track_in_flight(self) -> "_InFlight":
+        return _InFlight(self)
+
+    @property
+    def in_flight(self) -> int:
+        with self._in_flight_lock:
+            return self._in_flight
+
+    # -- request dispatch ----------------------------------------------------
+    def handle_line(self, line: bytes, client: str = "") -> Dict[str, Any]:
+        """Decode and answer one frame (also the unit-test seam).
+
+        A garbage frame gets an error response but — unlike an oversized
+        one — keeps the connection: the newline that delimited it proves
+        the stream is still aligned.
+        """
+        started = time.perf_counter()
+        self.meters.counter("fleet.requests").inc()
+        try:
+            payload = decode_frame(line)
+        except ServiceError as error:
+            self.meters.counter("fleet.errors").inc()
+            return error_frame(f"bad frame: {error}")
+        try:
+            response = self.process(payload, client)
+        except Exception as error:  # noqa: BLE001 — one bad request must
+            # not take down the handler thread serving a whole machine.
+            self.meters.counter("fleet.errors").inc()
+            response = error_frame(
+                f"internal error: {type(error).__name__}: {error}"
+            )
+        self.meters.meter("fleet.latency_s").record(
+            time.perf_counter() - started
+        )
+        return response
+
+    def process(self, payload: Dict[str, Any], client: str) -> Dict[str, Any]:
+        op = payload.get("op")
+        if op == "ping":
+            return ok_frame(pong=True, draining=self.draining)
+        if self.limiter is not None and not self.limiter.allow(client):
+            self.meters.counter("fleet.rate_limited").inc()
+            return error_frame("rate_limited")
+        if op == "register":
+            return self._register(payload)
+        if op == "heartbeat":
+            return self._heartbeat(payload)
+        if op == "lease":
+            return self._lease(payload)
+        if op == "extend":
+            return self._extend(payload)
+        if op == "complete":
+            return self._complete(payload)
+        if op == "fail":
+            return self._fail(payload)
+        if op == "artifact_get":
+            return self._artifact_get(payload)
+        if op == "artifact_put":
+            return self._artifact_put(payload)
+        if op == "status":
+            return ok_frame(**self.status())
+        if op == "drain":
+            self.initiate_drain()
+            return ok_frame(draining=True)
+        self.meters.counter("fleet.errors").inc()
+        return error_frame(f"unknown op {op!r}")
+
+    # -- membership ops ------------------------------------------------------
+    def _register(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        machine_id = str(payload.get("machine_id") or "")
+        if not machine_id:
+            return error_frame("register needs a machine_id")
+        capabilities = payload.get("capabilities") or {}
+        if not isinstance(capabilities, dict):
+            return error_frame("capabilities must be an object")
+        known = self.registry.get(machine_id)
+        # A duplicate id is a host reconnecting: keep its shard so the
+        # sessions routed there still find their machine.  Fresh ids go
+        # to the least-populated shard.
+        shard = known.shard if known is not None else (
+            self.router.place_machine()
+        )
+        machine = self.registry.register(
+            machine_id, capabilities=capabilities, shard=shard
+        )
+        self.meters.counter("fleet.registrations").inc()
+        return ok_frame(
+            shard=machine.shard,
+            rejoined=known is not None,
+            lease_ttl_s=self.lease_ttl_s,
+            machine_ttl_s=self.machine_ttl_s,
+        )
+
+    def _heartbeat(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        machine_id = str(payload.get("machine_id") or "")
+        if not self.registry.heartbeat(machine_id):
+            return error_frame(
+                f"unknown machine {machine_id!r}", reregister=True
+            )
+        return ok_frame(draining=self.draining)
+
+    def _machine_ok(self, machine_id: str) -> Optional[Dict[str, Any]]:
+        """``None`` when the machine may take work, else the error frame
+        (unregistered or declared dead → the host must re-register)."""
+        machine = self.registry.get(machine_id)
+        if machine is None:
+            return error_frame(
+                f"unknown machine {machine_id!r}", reregister=True
+            )
+        if machine.state != "alive":
+            return error_frame(
+                f"machine {machine_id!r} is {machine.state}",
+                reregister=True,
+            )
+        return None
+
+    # -- dispatch ops --------------------------------------------------------
+    @staticmethod
+    def _owner(payload: Dict[str, Any]) -> str:
+        """Lease owner string ``machine/<worker>`` — prefix-matchable by
+        :meth:`~repro.service.queue.JobQueue.reclaim_owner`."""
+        machine_id = str(payload.get("machine_id") or "")
+        worker = str(payload.get("worker") or "w0")
+        return f"{machine_id}/{worker}"
+
+    def _lease(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        machine_id = str(payload.get("machine_id") or "")
+        rejected = self._machine_ok(machine_id)
+        if rejected is not None:
+            return rejected
+        if self.draining:
+            return ok_frame(job=None, draining=True)
+        machine = self.registry.get(machine_id)
+        assert machine is not None
+        job = self.queue.lease(
+            self._owner(payload),
+            ttl_s=self.lease_ttl_s,
+            shard=machine.shard,
+        )
+        self.registry.heartbeat(machine_id)
+        if job is None:
+            return ok_frame(job=None)
+        self.meters.counter("fleet.leases").inc()
+        return ok_frame(job={
+            "id": job.id,
+            "session_id": job.session_id,
+            "trial_id": job.trial_id,
+            "payload": job.payload,
+            "attempts": job.attempts,
+            "max_attempts": job.max_attempts,
+            "shard": job.shard,
+        })
+
+    def _extend(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        renewed = self.queue.heartbeat(
+            int(payload.get("job_id", -1)),
+            self._owner(payload),
+            ttl_s=self.lease_ttl_s,
+        )
+        # A host deep in a long trial talks to us only through extends;
+        # count them as machine liveness too or the janitor would declare
+        # a hard-working machine dead.
+        self.registry.heartbeat(str(payload.get("machine_id") or ""))
+        return ok_frame(renewed=renewed)
+
+    def _complete(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        machine_id = str(payload.get("machine_id") or "")
+        result = unpack_bytes(payload.get("result"))
+        if result is None:
+            return error_frame("complete needs a result blob")
+        accepted = self.queue.complete(
+            int(payload.get("job_id", -1)), self._owner(payload), result
+        )
+        if accepted:
+            self.registry.record_done(machine_id)
+            self.registry.heartbeat(machine_id)
+            self.meters.counter("fleet.completions").inc()
+        return ok_frame(accepted=accepted)
+
+    def _fail(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        accepted = self.queue.fail(
+            int(payload.get("job_id", -1)),
+            self._owner(payload),
+            str(payload.get("error") or "remote failure"),
+        )
+        self.meters.counter("fleet.failures").inc()
+        return ok_frame(accepted=accepted)
+
+    # -- artifact federation -------------------------------------------------
+    def _artifact_get(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        key = str(payload.get("key") or "")
+        if payload.get("probe"):
+            row = self.database.execute(
+                "SELECT 1 FROM artifacts WHERE key = ?", (key,)
+            ).fetchone()
+            return ok_frame(present=row is not None)
+        blob = self.artifacts.get(key)
+        if blob is None:
+            self.registry.bump("federation.misses")
+            return ok_frame(payload=None)
+        self.registry.bump("federation.hits")
+        self.meters.counter("fleet.federation_hits").inc()
+        return ok_frame(payload=pack_bytes(blob))
+
+    def _artifact_put(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        key = str(payload.get("key") or "")
+        blob = unpack_bytes(payload.get("payload"))
+        if not key or blob is None:
+            return error_frame("artifact_put needs a key and a payload")
+        self.artifacts.put(
+            key,
+            blob,
+            workload=str(payload.get("workload") or ""),
+            trial_id=int(payload.get("trial_id", -1)),
+            epochs=int(payload.get("epochs", 0)),
+            data_fraction=float(payload.get("data_fraction", 0.0)),
+        )
+        self.registry.bump("federation.uploads")
+        return ok_frame(stored=True)
+
+    # -- overview ------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        now = time.time()
+        machines = [
+            {
+                "id": machine.id,
+                "hostname": machine.hostname,
+                "shard": machine.shard,
+                "state": machine.state,
+                "jobs_done": machine.jobs_done,
+                "heartbeat_age_s": round(machine.heartbeat_age_s(now), 3),
+                "fingerprint": machine.capabilities.get("fingerprint"),
+            }
+            for machine in self.registry.list()
+        ]
+        return {
+            "machines": machines,
+            "num_shards": self.router.num_shards,
+            "queue": self.queue.depths(),
+            "fleet_stats": self.registry.stats(),
+            "draining": self.draining,
+        }
+
+    # -- janitor -------------------------------------------------------------
+    def janitor_sweep(self, now: Optional[float] = None) -> Dict[str, int]:
+        """One containment pass: expire silent machines, drain their
+        leases, reclaim individually-expired leases."""
+        now = time.time() if now is None else now
+        dead = self.registry.expire(self.machine_ttl_s, now=now)
+        drained = 0
+        for machine_id in dead:
+            drained += self.queue.reclaim_owner(machine_id, now=now)
+            logger.warning(
+                "fleet janitor: machine %s declared dead, %d leases drained",
+                machine_id, drained,
+            )
+        expired = self.queue.reclaim_expired(now=now)
+        if drained:
+            self.registry.bump("leases.drained", drained)
+        if expired:
+            self.registry.bump("leases.expired", expired)
+        self.meters.counter("fleet.machines_expired").inc(len(dead))
+        return {
+            "machines_expired": len(dead),
+            "leases_drained": drained,
+            "leases_expired": expired,
+        }
+
+    def start_janitor(self, interval_s: Optional[float] = None) -> None:
+        if self._janitor_thread is not None:
+            return
+        interval = interval_s or max(
+            0.05, self.machine_ttl_s * JANITOR_FRACTION
+        )
+
+        def run() -> None:
+            while not self._janitor_stop.wait(interval):
+                try:
+                    self.janitor_sweep()
+                except Exception:  # pragma: no cover — sweep must survive
+                    logger.exception("fleet janitor sweep failed")
+
+        self._janitor_thread = threading.Thread(target=run, daemon=True)
+        self._janitor_thread.start()
+
+    # -- session driving -----------------------------------------------------
+    def run_sessions(
+        self,
+        drain: bool = False,
+        idle_timeout_s: Optional[float] = None,
+        poll_interval_s: float = COORDINATOR_POLL_S,
+    ) -> List[Any]:
+        """Claim queued sessions and drive each with a remote coordinator.
+
+        Each session is routed to one shard (affinity: all its jobs, and
+        therefore its artifact locality, stay with the machines of that
+        shard) and merged in strict wave order — the fleet-scale result
+        is bit-identical to the single-host run.
+        """
+        results: List[Any] = []
+        idle_since = time.time()
+        while not self.draining:
+            record = self.sessions.claim_next_queued()
+            if record is None:
+                if drain:
+                    break
+                if (
+                    idle_timeout_s is not None
+                    and time.time() - idle_since > idle_timeout_s
+                ):
+                    break
+                time.sleep(poll_interval_s)
+                continue
+            shard = self.router.shard_for_session(
+                record.id, workload=record.spec.workload
+            )
+            self.meters.counter(f"fleet.sessions_shard_{shard}").inc()
+            coordinator = SessionCoordinator(
+                self.database,
+                record.id,
+                workers=0,
+                lease_ttl_s=self.lease_ttl_s,
+                poll_interval_s=poll_interval_s,
+                shard=shard,
+                remote=True,
+            )
+            try:
+                results.append(coordinator.run())
+            except ServiceError:
+                pass  # recorded on the session row by the coordinator
+            idle_since = time.time()
+        return results
+
+    # -- lifecycle -----------------------------------------------------------
+    def initiate_drain(self) -> None:
+        """Stop handing out work and unblock :meth:`serve_until_drained`.
+
+        Safe to call from a signal handler: the blocking ``shutdown`` is
+        moved onto a helper thread.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        self._janitor_stop.set()
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_until_drained(
+        self, poll_interval: float = 0.1, drain_timeout_s: float = 5.0
+    ) -> None:
+        """``serve_forever`` plus an orderly exit (mirrors the advisor)."""
+        try:
+            self.serve_forever(poll_interval=poll_interval)
+        finally:
+            deadline = time.monotonic() + drain_timeout_s
+            while self.in_flight > 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            self.server_close()
+
+
+class _InFlight:
+    """Context manager counting frames currently being answered."""
+
+    def __init__(self, server: FleetServer):
+        self._server = server
+
+    def __enter__(self) -> "_InFlight":
+        with self._server._in_flight_lock:
+            self._server._in_flight += 1
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        with self._server._in_flight_lock:
+            self._server._in_flight -= 1

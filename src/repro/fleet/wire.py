@@ -1,0 +1,98 @@
+"""Fleet dispatch wire format: newline-delimited JSON frames.
+
+Deliberately the same transport the advisor speaks — one JSON object per
+line over a persistent TCP connection — so every hardening lesson from
+that server (oversized-frame rejection, garbage tolerance, graceful
+drain) carries over unchanged.  Binary payloads (pickled evaluations,
+artifact blobs) travel base64-inside-JSON; the frame cap is sized for
+them.
+
+Request frames are ``{"op": <name>, ...}``; response frames are
+``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``.  Ops:
+
+==================  =======================================================
+``register``        join the fleet (capability tags) → shard + lease terms
+``heartbeat``       machine liveness ping
+``lease``           claim one job from the machine's shard queue
+``extend``          renew a held job lease
+``complete``        upload a finished job's evaluation blob
+``fail``            report a job failure (traceback travels as text)
+``artifact_get``    federation: fetch an artifact payload by trial key
+``artifact_put``    federation: publish a cold-run artifact to the hub
+``status``          fleet overview (machines, shards, counters)
+``drain``           ask the server to stop handing out work
+``ping``            connection liveness probe
+==================  =======================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, Optional
+
+from ..errors import FleetError
+
+#: Frame size cap.  Artifact payloads (pickled model + evaluation) are a
+#: few hundred KB; 32 MiB leaves a wide margin while still rejecting a
+#: runaway (or hostile) frame before it exhausts memory.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Every op the server understands (unknown ops get a clean error frame).
+OPS = (
+    "register", "heartbeat", "lease", "extend", "complete", "fail",
+    "artifact_get", "artifact_put", "status", "drain", "ping",
+)
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One message → one ``\\n``-terminated JSON line."""
+    line = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise FleetError(
+            f"frame of {len(data)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return data
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """One received line → message dict (raises :class:`FleetError` on
+    garbage — the caller decides whether the connection survives)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FleetError(f"undecodable frame: {error}")
+    if not isinstance(message, dict):
+        raise FleetError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def pack_bytes(payload: Optional[bytes]) -> Optional[str]:
+    """Binary → base64 text for JSON transport (``None`` passes through)."""
+    if payload is None:
+        return None
+    return base64.b64encode(payload).decode("ascii")
+
+
+def unpack_bytes(text: Optional[str]) -> Optional[bytes]:
+    if text is None:
+        return None
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as error:
+        raise FleetError(f"undecodable binary field: {error}")
+
+
+def error_frame(message: str, **extra: Any) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"ok": False, "error": str(message)}
+    frame.update(extra)
+    return frame
+
+
+def ok_frame(**fields: Any) -> Dict[str, Any]:
+    frame: Dict[str, Any] = {"ok": True}
+    frame.update(fields)
+    return frame

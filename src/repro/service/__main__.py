@@ -59,7 +59,54 @@ def _cmd_submit(args) -> int:
     return 0
 
 
-def _session_status(record, queue, artifacts=None) -> dict:
+def _machines_info(database) -> dict:
+    """Per-machine registry view plus the fleet counters.
+
+    Machines are what ``status``/``workers`` report instead of bare
+    worker PIDs: hostname, backend fingerprint, shard, heartbeat age.
+    """
+    import time as _time
+
+    from ..fleet.registry import MachineRegistry
+
+    registry = MachineRegistry(database)
+    now = _time.time()
+    return {
+        "machines": [
+            {
+                "id": machine.id,
+                "hostname": machine.hostname,
+                "shard": machine.shard,
+                "state": machine.state,
+                "jobs_done": machine.jobs_done,
+                "heartbeat_age_s": round(machine.heartbeat_age_s(now), 3),
+                "fingerprint": machine.capabilities.get("fingerprint"),
+                "cores": machine.capabilities.get("cores"),
+            }
+            for machine in registry.list()
+        ],
+        "fleet": registry.stats(),
+    }
+
+
+def _print_machines(info: dict) -> None:
+    for machine in info["machines"]:
+        fingerprint = machine["fingerprint"] or "?"
+        if len(fingerprint) > 48:
+            fingerprint = fingerprint[:45] + "..."
+        print(f"machine:   {machine['id']} on {machine['hostname']} "
+              f"shard {machine['shard']} [{machine['state']}] "
+              f"{machine['jobs_done']} jobs, "
+              f"hb {machine['heartbeat_age_s']:.1f}s ago, "
+              f"backend {fingerprint}")
+    if info["fleet"]:
+        print("fleet:     " + " ".join(
+            f"{key}={value:g}"
+            for key, value in sorted(info["fleet"].items())
+        ))
+
+
+def _session_status(record, queue, artifacts=None, machines=None) -> dict:
     """Machine-readable status for one session (the ``--json`` shape)."""
     return {
         "session": record.id,
@@ -73,6 +120,8 @@ def _session_status(record, queue, artifacts=None) -> dict:
         "result": record.result,
         "workers": queue.worker_stats(record.id),
         "artifact_cache": artifacts.stats() if artifacts else None,
+        "machines": machines["machines"] if machines else [],
+        "fleet": machines["fleet"] if machines else {},
     }
 
 
@@ -81,11 +130,12 @@ def _cmd_status(args) -> int:
         store = SessionStore(database)
         queue = JobQueue(database)
         artifacts = ArtifactStore(database)
+        machines = _machines_info(database)
         if args.session:
             record = store.get(args.session)
             if args.json:
                 print(json.dumps(
-                    _session_status(record, queue, artifacts),
+                    _session_status(record, queue, artifacts, machines),
                     sort_keys=True, indent=2))
                 return 0
             depths = queue.depths(record.id)
@@ -116,11 +166,12 @@ def _cmd_status(args) -> int:
                 print(f"worker:    {stats['worker']}: "
                       f"{stats['jobs_done']} jobs, "
                       f"{stats['busy_s']:.1f}s busy")
+            _print_machines(machines)
         else:
             records = store.list()
             if args.json:
                 print(json.dumps(
-                    [_session_status(record, queue, artifacts)
+                    [_session_status(record, queue, artifacts, machines)
                      for record in records],
                     sort_keys=True, indent=2,
                 ))
@@ -134,6 +185,7 @@ def _cmd_status(args) -> int:
                 print(f"{record.id}  {record.state:8s} "
                       f"{record.spec.system}:{record.spec.workload}  "
                       f"jobs {done}/{total}")
+            _print_machines(machines)
     return 0
 
 
@@ -153,11 +205,14 @@ def _cmd_workers(args) -> int:
             drain=args.drain,
             idle_timeout_s=args.idle_timeout,
             trial_timeout_s=args.trial_timeout,
+            heartbeat_interval_s=args.heartbeat_interval,
         )
+        machines = _machines_info(database)
     for result in results:
         print(f"done: {result.system}:{result.workload_id} "
               f"{len(result.trials)} trials, "
               f"best accuracy {result.best_accuracy:.3f}")
+    _print_machines(machines)
     return 0
 
 
@@ -285,7 +340,12 @@ def main(argv=None) -> int:
                          help="exit after this many idle seconds")
     workers.add_argument("--lease-ttl", type=float,
                          default=DEFAULT_LEASE_TTL_S,
-                         help="job lease duration in seconds")
+                         help="job lease duration in seconds (also "
+                              "honoured from $REPRO_LEASE_TTL_S)")
+    workers.add_argument("--heartbeat-interval", type=float, default=None,
+                         help="lease renewal period in seconds (default: "
+                              "a quarter of the lease TTL; also honoured "
+                              "from $REPRO_HEARTBEAT_INTERVAL_S)")
     workers.add_argument("--trial-timeout", type=float, default=None,
                          help="wall-clock deadline per trial in seconds "
                               "(overruns fail the job instead of hanging "

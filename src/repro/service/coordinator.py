@@ -61,6 +61,9 @@ class SessionCoordinator:
         pool: Optional[WorkerPool] = None,
         meters: Optional[MeterRegistry] = None,
         trial_timeout_s: Optional[float] = None,
+        heartbeat_interval_s: Optional[float] = None,
+        shard: int = 0,
+        remote: bool = False,
     ):
         if workers > 0 and pool is None and database.path == ":memory:":
             raise ServiceError(
@@ -76,8 +79,16 @@ class SessionCoordinator:
         self.sessions = SessionStore(database)
         self.meters = meters or MeterRegistry()
         self.trial_timeout_s = trial_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        #: Fleet shard the session's jobs are routed to (0 = local).
+        self.shard = int(shard)
+        #: Remote mode: the fleet's machines execute the jobs, so this
+        #: coordinator spawns no workers of its own — it only enqueues,
+        #: polls, and merges (the wave-ordered integration is identical,
+        #: which is what keeps fleet runs bit-identical to local ones).
+        self.remote = remote
         self._pool = pool
-        self._owns_pool = pool is None and workers > 0
+        self._owns_pool = pool is None and workers > 0 and not remote
         self._inline: Optional[TrialWorker] = None
 
     # -- main entry ---------------------------------------------------------
@@ -96,8 +107,9 @@ class SessionCoordinator:
                     self.workers,
                     lease_ttl_s=self.lease_ttl_s,
                     trial_timeout_s=self.trial_timeout_s,
+                    heartbeat_interval_s=self.heartbeat_interval_s,
                 ).start()
-            elif self.workers == 0:
+            elif self.workers == 0 and not self.remote:
                 self._inline = TrialWorker(
                     database=self.database,
                     worker_id="inline",
@@ -141,6 +153,7 @@ class SessionCoordinator:
                         self.session_id,
                         trial.trial_id,
                         server.make_task(trial, state).to_json(),
+                        shard=self.shard,
                     )
                 self._checkpoint(server, state, wave)
             wave_started = time.time()
@@ -201,9 +214,17 @@ class SessionCoordinator:
             while wave and wave[0].trial_id in results:
                 trial = wave.pop(0)
                 evaluation = pickle.loads(results[trial.trial_id])
-                server.integrate(state, trial, evaluation)
+                # One transaction per integration: the trial/inference
+                # rows and the checkpoint that says "this trial is
+                # merged" must land together, or a crash between them
+                # would leave a warm inference cache the restored
+                # checkpoint has never seen — and the resumed run's
+                # stall accounting would diverge from an uninterrupted
+                # one.
+                with self.database.transaction():
+                    server.integrate(state, trial, evaluation)
+                    self._checkpoint(server, state, wave)
                 self.meters.counter("trials.integrated").inc()
-                self._checkpoint(server, state, wave)
                 progressed = True
                 if state.stopped:
                     # Target reached mid-wave: the serial driver would
@@ -236,12 +257,13 @@ class SessionCoordinator:
         if job is None or job.state != FAILED:
             return False
         trial = wave.pop(0)
-        server.integrate(
-            state, trial, failure_evaluation(trial.trial_id, job.error)
-        )
+        with self.database.transaction():
+            server.integrate(
+                state, trial, failure_evaluation(trial.trial_id, job.error)
+            )
+            self._checkpoint(server, state, wave)
         self.meters.counter(FAILURES_SUBSTITUTED).inc()
         self.meters.counter("trials.integrated").inc()
-        self._checkpoint(server, state, wave)
         if state.stopped:
             del wave[:]
         return True
@@ -359,6 +381,7 @@ def serve(
     drain: bool = False,
     idle_timeout_s: Optional[float] = None,
     trial_timeout_s: Optional[float] = None,
+    heartbeat_interval_s: Optional[float] = None,
 ) -> List[TuningRunResult]:
     """Claim and run queued sessions until stopped.
 
@@ -374,6 +397,7 @@ def serve(
         pool = WorkerPool(
             database.path, workers, lease_ttl_s=lease_ttl_s,
             trial_timeout_s=trial_timeout_s,
+            heartbeat_interval_s=heartbeat_interval_s,
         ).start()
     results: List[TuningRunResult] = []
     idle_since = time.time()
@@ -398,6 +422,7 @@ def serve(
                 poll_interval_s=poll_interval_s,
                 pool=pool,
                 trial_timeout_s=trial_timeout_s,
+                heartbeat_interval_s=heartbeat_interval_s,
             )
             try:
                 results.append(coordinator.run())

@@ -31,6 +31,7 @@ class WorkerPool:
         poll_interval_s: float = IDLE_POLL_S,
         name_prefix: str = "worker",
         trial_timeout_s: Optional[float] = None,
+        heartbeat_interval_s: Optional[float] = None,
     ):
         if workers < 1:
             raise ValueError(f"worker pool needs >= 1 workers, got {workers}")
@@ -40,6 +41,7 @@ class WorkerPool:
         self.poll_interval_s = poll_interval_s
         self.name_prefix = name_prefix
         self.trial_timeout_s = trial_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
         self._spawned = 0
         self._processes: List[multiprocessing.Process] = []
 
@@ -54,6 +56,7 @@ class WorkerPool:
                 "lease_ttl_s": self.lease_ttl_s,
                 "poll_interval_s": self.poll_interval_s,
                 "trial_timeout_s": self.trial_timeout_s,
+                "heartbeat_interval_s": self.heartbeat_interval_s,
             },
             name=worker_id,
             daemon=True,
@@ -81,15 +84,23 @@ class WorkerPool:
     def stop(self, timeout_s: float = 5.0) -> None:
         """Terminate all workers (leases they held will be reclaimed).
 
+        Idempotent: the process list is detached up front, so a second
+        ``stop`` (coordinator teardown racing ``__exit__``, for example)
+        is a no-op — and an exception mid-shutdown can never terminate
+        the same process twice.
+
         Escalates SIGTERM -> SIGKILL; a process that survives even the
         kill (unkillable D-state) is logged and abandoned rather than
         blocking shutdown forever — its lease expires and the job is
         retried elsewhere.
         """
-        for process in self._processes:
+        processes, self._processes = self._processes, []
+        if not processes:
+            return
+        for process in processes:
             if process.is_alive():
                 process.terminate()
-        for process in self._processes:
+        for process in processes:
             process.join(timeout=timeout_s)
             if process.is_alive():
                 process.kill()
@@ -99,7 +110,6 @@ class WorkerPool:
                     "worker %s (pid %s) survived SIGKILL; abandoning it",
                     process.name, process.pid,
                 )
-        self._processes = []
 
     def __enter__(self) -> "WorkerPool":
         return self.start()

@@ -20,6 +20,7 @@ All timestamps are wall-clock seconds (``time.time()``); determinism of
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
@@ -34,8 +35,24 @@ FAILED = "failed"
 
 JOB_STATES = (QUEUED, LEASED, DONE, FAILED)
 
+
+def _env_float(name: str, default: float) -> float:
+    """A float from the environment, falling back on garbage values (a
+    misconfigured deployment should degrade to defaults, not crash)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
 #: Default lease duration; heartbeats renew it well before expiry.
-DEFAULT_LEASE_TTL_S = 10.0
+#: Overridable per deployment via ``$REPRO_LEASE_TTL_S`` (and per run via
+#: the ``--lease-ttl`` CLI flags).
+DEFAULT_LEASE_TTL_S = _env_float("REPRO_LEASE_TTL_S", 10.0)
 
 #: Retry backoff: ``base * 2**(attempt-1)`` capped at ``cap`` seconds.
 BACKOFF_BASE_S = 0.25
@@ -50,7 +67,7 @@ _HISTORY_ERROR_CHARS = 2000
 _JOB_COLUMNS = (
     "id, session_id, trial_id, payload, state, attempts, max_attempts, "
     "lease_owner, lease_expires_at, next_retry_at, result, error, "
-    "created_at, started_at, finished_at, error_history"
+    "created_at, started_at, finished_at, error_history, shard"
 )
 
 
@@ -76,6 +93,8 @@ class Job:
     #: JSON list of ``{"attempt", "error", "at"}`` — one entry per failed
     #: attempt, in order.
     error_history: str = "[]"
+    #: Fleet shard the job is routed to (0 for single-host sessions).
+    shard: int = 0
 
     @classmethod
     def from_row(cls, row: tuple) -> "Job":
@@ -131,16 +150,20 @@ class JobQueue:
         payload: str,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         now: Optional[float] = None,
+        shard: int = 0,
     ) -> bool:
         """Queue one trial-evaluation job.
 
         Idempotent per ``(session_id, trial_id)``: re-enqueueing after a
         coordinator crash leaves finished jobs (and their results) alone.
-        Returns ``True`` when a new row was inserted.
+        Returns ``True`` when a new row was inserted.  ``shard`` routes
+        the job to one of the fleet's per-shard queues (0, the default,
+        is also where single-host sessions live).
         """
         cursor = self.database.execute(
             "INSERT OR IGNORE INTO jobs (session_id, trial_id, payload, "
-            "state, max_attempts, created_at) VALUES (?, ?, ?, ?, ?, ?)",
+            "state, max_attempts, created_at, shard) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
             (
                 session_id,
                 int(trial_id),
@@ -148,6 +171,7 @@ class JobQueue:
                 QUEUED,
                 int(max_attempts),
                 time.time() if now is None else now,
+                int(shard),
             ),
         )
         return cursor.rowcount > 0
@@ -159,8 +183,14 @@ class JobQueue:
         ttl_s: float = DEFAULT_LEASE_TTL_S,
         session_id: Optional[str] = None,
         now: Optional[float] = None,
+        shard: Optional[int] = None,
     ) -> Optional[Job]:
-        """Atomically claim the oldest runnable queued job, if any."""
+        """Atomically claim the oldest runnable queued job, if any.
+
+        ``shard`` restricts the claim to one per-shard queue (fleet
+        machines only serve their own shard); ``None`` leases across all
+        shards (local pool workers).
+        """
         now = time.time() if now is None else now
         with self.database.transaction() as connection:
             query = (
@@ -171,6 +201,9 @@ class JobQueue:
             if session_id is not None:
                 query += " AND session_id = ?"
                 args.append(session_id)
+            if shard is not None:
+                query += " AND shard = ?"
+                args.append(int(shard))
             query += " ORDER BY id LIMIT 1"
             row = connection.execute(query, tuple(args)).fetchone()
             if row is None:
@@ -297,7 +330,6 @@ class JobQueue:
         them here.
         """
         now = time.time() if now is None else now
-        reclaimed = 0
         with self.database.transaction() as connection:
             rows = connection.execute(
                 "SELECT id, attempts, max_attempts, lease_owner, "
@@ -305,28 +337,62 @@ class JobQueue:
                 "WHERE state = ? AND lease_expires_at < ?",
                 (LEASED, now),
             ).fetchall()
-            for job_id, attempts, max_attempts, owner, raw_history in rows:
-                error = f"lease expired (owner {owner!r}, attempt {attempts})"
-                history = _appended_history(raw_history, attempts, error, now)
-                if attempts >= max_attempts:
-                    connection.execute(
-                        "UPDATE jobs SET state = ?, error = ?, "
-                        "finished_at = ?, lease_owner = NULL, "
-                        "lease_expires_at = NULL, error_history = ? "
-                        "WHERE id = ?",
-                        (FAILED, error, now, history, job_id),
-                    )
-                    self._quarantine(connection, int(job_id), now)
-                else:
-                    connection.execute(
-                        "UPDATE jobs SET state = ?, error = ?, "
-                        "lease_owner = NULL, lease_expires_at = NULL, "
-                        "next_retry_at = ?, error_history = ? WHERE id = ?",
-                        (QUEUED, error, now + backoff_delay(attempts),
-                         history, job_id),
-                    )
-                reclaimed += 1
-        return reclaimed
+            return self._release_rows(
+                connection, rows, now,
+                lambda owner, attempts:
+                    f"lease expired (owner {owner!r}, attempt {attempts})",
+            )
+
+    def reclaim_owner(
+        self, owner: str, now: Optional[float] = None
+    ) -> int:
+        """Immediately release every lease held by ``owner`` (or by one
+        of its workers, ``owner/<name>``).
+
+        The fleet janitor's dead-host drain: when a machine stops
+        heartbeating, its orphaned jobs go back to the queue right away
+        instead of idling until each lease times out on its own.
+        """
+        now = time.time() if now is None else now
+        with self.database.transaction() as connection:
+            rows = connection.execute(
+                "SELECT id, attempts, max_attempts, lease_owner, "
+                "error_history FROM jobs "
+                "WHERE state = ? AND (lease_owner = ? "
+                "OR lease_owner LIKE ? || '/%')",
+                (LEASED, owner, owner),
+            ).fetchall()
+            return self._release_rows(
+                connection, rows, now,
+                lambda who, attempts:
+                    f"host declared dead (owner {who!r}, "
+                    f"attempt {attempts})",
+            )
+
+    def _release_rows(self, connection, rows, now, describe) -> int:
+        """Requeue-or-quarantine the given leased rows (shared by the
+        expiry and dead-host reclaim paths)."""
+        for job_id, attempts, max_attempts, owner, raw_history in rows:
+            error = describe(owner, attempts)
+            history = _appended_history(raw_history, attempts, error, now)
+            if attempts >= max_attempts:
+                connection.execute(
+                    "UPDATE jobs SET state = ?, error = ?, "
+                    "finished_at = ?, lease_owner = NULL, "
+                    "lease_expires_at = NULL, error_history = ? "
+                    "WHERE id = ?",
+                    (FAILED, error, now, history, job_id),
+                )
+                self._quarantine(connection, int(job_id), now)
+            else:
+                connection.execute(
+                    "UPDATE jobs SET state = ?, error = ?, "
+                    "lease_owner = NULL, lease_expires_at = NULL, "
+                    "next_retry_at = ?, error_history = ? WHERE id = ?",
+                    (QUEUED, error, now + backoff_delay(attempts),
+                     history, job_id),
+                )
+        return len(rows)
 
     def delete_for_sessions(self, session_ids: Iterable[str]) -> int:
         """Drop all jobs belonging to the given sessions (``service gc``)."""

@@ -32,7 +32,7 @@ from ..core.model_server import TrialTask, evaluate_trial, load_task_datasets
 from ..faults import fault_point
 from ..storage import TrialDatabase
 from .failures import run_with_deadline
-from .queue import DEFAULT_LEASE_TTL_S, Job, JobQueue
+from .queue import DEFAULT_LEASE_TTL_S, Job, JobQueue, _env_float
 
 #: How long an idle worker sleeps between queue polls, seconds.
 IDLE_POLL_S = 0.05
@@ -40,16 +40,37 @@ IDLE_POLL_S = 0.05
 #: Lease renewal period as a fraction of the TTL.
 HEARTBEAT_FRACTION = 0.25
 
+#: Explicit lease-renewal period; ``None`` derives it from the TTL via
+#: :data:`HEARTBEAT_FRACTION`.  Overridable per deployment through
+#: ``$REPRO_HEARTBEAT_INTERVAL_S`` (and per run via ``--heartbeat-interval``).
+DEFAULT_HEARTBEAT_INTERVAL_S: Optional[float] = (
+    _env_float("REPRO_HEARTBEAT_INTERVAL_S", 0.0) or None
+)
+
+
+def heartbeat_interval(
+    ttl_s: float, interval_s: Optional[float] = None
+) -> float:
+    """Resolve the effective lease-renewal period for a TTL."""
+    if interval_s is None:
+        interval_s = DEFAULT_HEARTBEAT_INTERVAL_S
+    if interval_s is not None and interval_s > 0:
+        return float(interval_s)
+    return max(0.05, ttl_s * HEARTBEAT_FRACTION)
+
 
 class _Heartbeat:
     """Daemon thread renewing one job lease until stopped."""
 
     def __init__(self, queue: JobQueue, job_id: int, worker_id: str,
-                 ttl_s: float):
+                 ttl_s: float, interval_s: Optional[float] = None,
+                 on_beat=None):
         self._queue = queue
         self._job_id = job_id
         self._worker_id = worker_id
         self._ttl_s = ttl_s
+        self._interval_s = heartbeat_interval(ttl_s, interval_s)
+        self._on_beat = on_beat
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
@@ -66,12 +87,13 @@ class _Heartbeat:
         self._thread.join(timeout=min(self._ttl_s, 1.0))
 
     def _run(self) -> None:
-        interval = max(0.05, self._ttl_s * HEARTBEAT_FRACTION)
-        while not self._stop.wait(interval):
+        while not self._stop.wait(self._interval_s):
             if not self._queue.heartbeat(
                 self._job_id, self._worker_id, ttl_s=self._ttl_s
             ):
                 return  # lease lost; the retry owns the job now
+            if self._on_beat is not None:
+                self._on_beat()
 
 
 class TrialWorker:
@@ -85,6 +107,7 @@ class TrialWorker:
         poll_interval_s: float = IDLE_POLL_S,
         database: Optional[TrialDatabase] = None,
         trial_timeout_s: Optional[float] = None,
+        heartbeat_interval_s: Optional[float] = None,
     ):
         if database is None and db_path is None:
             raise ValueError("TrialWorker needs a db_path or a database")
@@ -94,6 +117,7 @@ class TrialWorker:
         self.queue = JobQueue(self.database)
         self.lease_ttl_s = lease_ttl_s
         self.poll_interval_s = poll_interval_s
+        self.heartbeat_interval_s = heartbeat_interval_s
         #: Wall-clock budget per trial; ``None`` disables the deadline.
         self.trial_timeout_s = trial_timeout_s
         self.jobs_done = 0
@@ -102,12 +126,34 @@ class TrialWorker:
         #: memoization is always on (bit-safe); warm-resume activates
         #: only for tasks that carry lineage (``--reuse-checkpoints``).
         self.artifacts = ArtifactStore(self.database)
+        #: Machine-registry presence: every worker registers itself with
+        #: its host's capability tags so ``service status`` can report
+        #: per-machine liveness instead of bare worker PIDs.
+        from ..fleet.registry import MachineRegistry, local_capabilities
+
+        self.registry = MachineRegistry(self.database)
+        self.registry.register(
+            self.worker_id, capabilities=local_capabilities()
+        )
+        self._machine_touched_at = time.time()
+
+    def _touch_machine(self) -> None:
+        """Throttled machine-liveness heartbeat (cheap: one UPDATE at
+        most every quarter-TTL, piggybacking on existing loops)."""
+        now = time.time()
+        if now - self._machine_touched_at >= max(
+            0.25, self.lease_ttl_s * HEARTBEAT_FRACTION
+        ):
+            self.registry.heartbeat(self.worker_id, now=now)
+            self._machine_touched_at = now
 
     # -- execution ----------------------------------------------------------
     def run_job(self, job: Job) -> None:
         """Execute one leased job to completion (or record its failure)."""
         with _Heartbeat(self.queue, job.id, self.worker_id,
-                        self.lease_ttl_s):
+                        self.lease_ttl_s,
+                        interval_s=self.heartbeat_interval_s,
+                        on_beat=self._touch_machine):
             try:
                 # Chaos sites: keyed by trial id and gated on the lease
                 # attempt, so (by default) the retry of an injected
@@ -132,6 +178,7 @@ class TrialWorker:
                 return
         if self.queue.complete(job.id, self.worker_id, blob):
             self.jobs_done += 1
+            self.registry.record_done(self.worker_id)
 
     def _evaluate(self, task: TrialTask, attempt: int) -> Tuple:
         """Run one trial, under the wall-clock deadline when configured."""
@@ -163,6 +210,7 @@ class TrialWorker:
         """
         idle_since = time.time()
         while stop_event is None or not stop_event.is_set():
+            self._touch_machine()
             job = self.queue.lease(
                 self.worker_id, ttl_s=self.lease_ttl_s
             )
@@ -191,6 +239,7 @@ def worker_main(
     poll_interval_s: float = IDLE_POLL_S,
     idle_timeout_s: Optional[float] = None,
     trial_timeout_s: Optional[float] = None,
+    heartbeat_interval_s: Optional[float] = None,
 ) -> int:
     """Process entry point for pool workers (importable, hence spawn-safe)."""
     worker = TrialWorker(
@@ -199,6 +248,7 @@ def worker_main(
         lease_ttl_s=lease_ttl_s,
         poll_interval_s=poll_interval_s,
         trial_timeout_s=trial_timeout_s,
+        heartbeat_interval_s=heartbeat_interval_s,
     )
     try:
         return worker.run_forever(idle_timeout_s=idle_timeout_s)

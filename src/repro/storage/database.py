@@ -10,7 +10,12 @@ for tests.  Four tables:
 * ``sessions`` — long-lived tuning sessions owned by :mod:`repro.service`
   (spec, lifecycle state, checkpoint blob for crash-safe resume);
 * ``jobs`` — the persistent trial-evaluation job queue consumed by the
-  service's parallel worker pool (lease-with-heartbeat ownership).
+  service's parallel worker pool (lease-with-heartbeat ownership), with
+  a ``shard`` column for the fleet's per-shard queues;
+* ``machines`` — the :mod:`repro.fleet` machine registry: worker hosts
+  with capability tags and liveness heartbeats;
+* ``fleet_stats`` — crash-safe fleet counters (artifact federation hits,
+  janitor reclaims) readable from any process.
 
 The schema is evolved through numbered migrations tracked in sqlite's
 ``PRAGMA user_version``, so databases written by older releases are
@@ -201,6 +206,35 @@ CREATE TABLE IF NOT EXISTS artifacts (
 CREATE INDEX IF NOT EXISTS idx_artifacts_created ON artifacts (created_at);
 """
 
+#: v7 — the multi-host tuning fleet (:mod:`repro.fleet`): the ``machines``
+#: registry (worker hosts with capability tags and liveness heartbeats),
+#: the ``fleet_stats`` counter table (crash-safe federation/janitor
+#: accounting readable by ``service status`` from any process), and a
+#: ``shard`` column on ``jobs`` so per-shard queues can be leased
+#: independently (``idx_jobs_claim_shard``).  The column itself is added
+#: by ``_ensure_column`` during migration (older files lack it).
+_SCHEMA_V7 = """
+CREATE TABLE IF NOT EXISTS machines (
+    id TEXT PRIMARY KEY,
+    hostname TEXT NOT NULL,
+    shard INTEGER NOT NULL DEFAULT 0,
+    state TEXT NOT NULL DEFAULT 'alive',
+    capabilities TEXT NOT NULL DEFAULT '{}',
+    jobs_done INTEGER NOT NULL DEFAULT 0,
+    registered_at REAL NOT NULL,
+    last_heartbeat_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_machines_state ON machines (state, shard);
+
+CREATE TABLE IF NOT EXISTS fleet_stats (
+    key TEXT PRIMARY KEY,
+    value REAL NOT NULL DEFAULT 0
+);
+
+CREATE INDEX IF NOT EXISTS idx_jobs_claim_shard
+    ON jobs (shard, state, next_retry_at, id);
+"""
+
 #: Ordered (version, script) migration ladder; each script must be safe to
 #: run on a database that already contains the objects it creates (older
 #: releases wrote the v1 tables without stamping ``user_version``).
@@ -211,6 +245,7 @@ MIGRATIONS: Tuple[Tuple[int, str], ...] = (
     (4, _SCHEMA_V4),
     (5, _SCHEMA_V5),
     (6, _SCHEMA_V6),
+    (7, _SCHEMA_V7),
 )
 
 SCHEMA_VERSION = MIGRATIONS[-1][0]
@@ -315,6 +350,10 @@ class TrialDatabase:
                 self._ensure_column(
                     "jobs", "error_history", "TEXT NOT NULL DEFAULT '[]'"
                 )
+            if target == 7:
+                self._ensure_column(
+                    "jobs", "shard", "INTEGER NOT NULL DEFAULT 0"
+                )
             self._connection.executescript(script)
             self._connection.execute(f"PRAGMA user_version = {target}")
             version = target
@@ -360,6 +399,18 @@ class TrialDatabase:
                 time.sleep(delay)
                 delay *= 2.0
         raise StorageError("unreachable")  # pragma: no cover
+
+    @contextmanager
+    def _write(self) -> Iterator[sqlite3.Connection]:
+        """A single logical write: autocommitted on its own, but *joining*
+        an enclosing :meth:`transaction` when one is open (committing
+        there would prematurely end the caller's atomic section)."""
+        with self._lock:
+            if self._connection.in_transaction:
+                yield self._connection
+            else:
+                with self._connection:
+                    yield self._connection
 
     @contextmanager
     def transaction(self, immediate: bool = True) -> Iterator[sqlite3.Connection]:
@@ -409,7 +460,7 @@ class TrialDatabase:
         train_energy_j: float,
         created_at: Optional[float] = None,
     ) -> None:
-        with self._lock, self._connection:
+        with self._write():
             self._connection.execute(
                 "INSERT INTO trials (experiment, trial_id, configuration, "
                 "fidelity, epochs, data_fraction, accuracy, score, "
@@ -492,7 +543,7 @@ class TrialDatabase:
 
     # -- inference cache ------------------------------------------------------
     def store_inference(self, result: StoredInferenceResult) -> None:
-        with self._lock, self._connection:
+        with self._write():
             self._connection.execute(
                 "INSERT OR REPLACE INTO inference_results VALUES "
                 "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -556,7 +607,7 @@ class TrialDatabase:
     def store_recommendation(self, rec: StoredRecommendation) -> None:
         """Insert or replace the recommendation for the row's key."""
         created = rec.created_at or time.time()
-        with self._lock, self._connection:
+        with self._write():
             self._connection.execute(
                 "INSERT OR REPLACE INTO recommendations "
                 f"({self._RECOMMENDATION_COLUMNS}) "

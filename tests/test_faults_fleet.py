@@ -1,0 +1,221 @@
+"""Fleet chaos suite: whole-machine faults under ``$REPRO_FAULTS``.
+
+The containment contract, at host granularity: a machine that dies
+mid-lease, a dispatch connection that partitions, or a lease that quietly
+goes stale must all drain back into the queue and re-run elsewhere — and
+the session's final result must stay bit-identical to a fault-free
+single-host run, because every containment path re-executes pure,
+seed-driven work and the coordinator merges in strict wave order."""
+
+import threading
+import time
+
+import pytest
+
+import repro.fleet.host as host_module
+from repro import faults
+from repro.errors import FleetError
+from repro.fleet.client import FleetClient
+from repro.fleet.host import HostPool, RemoteHost
+from repro.fleet.server import FleetServer
+from repro.service import JobQueue, SessionSpec, SessionStore
+from repro.service.sessions import S_DONE
+from repro.storage import TrialDatabase
+
+from tests.test_fleet import SPEC, fingerprint, single_host_reference
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def run_fleet_session(tmp_path, name, hosts=2, lease_ttl_s=1.0,
+                      machine_ttl_s=5.0, in_process=False,
+                      **spec_overrides):
+    """One session through a real fleet; returns (result, session_id,
+    database) with the database left open for assertions."""
+    fleet_dir = tmp_path / name
+    fleet_dir.mkdir()
+    database = TrialDatabase(str(fleet_dir / "hub.sqlite"))
+    spec = dict(SPEC, **spec_overrides)
+    session_id = SessionStore(database).create(SessionSpec(**spec))
+    server = FleetServer(
+        database, port=0, lease_ttl_s=lease_ttl_s,
+        machine_ttl_s=machine_ttl_s,
+    )
+    serve_thread = threading.Thread(
+        target=server.serve_until_drained, daemon=True
+    )
+    serve_thread.start()
+    server.start_janitor(interval_s=0.2)
+    if in_process:
+        # In-process hosts: same protocol over real sockets, but the
+        # test can monkeypatch their execution path.
+        members = [
+            RemoteHost(f"machine-{i + 1}", "127.0.0.1", server.port)
+            for i in range(hosts)
+        ]
+        stop = threading.Event()
+        threads = [
+            threading.Thread(
+                target=member.run_forever, kwargs={"stop_event": stop},
+                daemon=True,
+            )
+            for member in members
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            (result,) = server.run_sessions(
+                drain=True, poll_interval_s=0.02
+            )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            for member in members:
+                member.close()
+    else:
+        members = None
+        with HostPool("127.0.0.1", server.port, str(fleet_dir),
+                      hosts=hosts):
+            (result,) = server.run_sessions(
+                drain=True, poll_interval_s=0.02
+            )
+    server.initiate_drain()
+    serve_thread.join(timeout=5.0)
+    return result, session_id, database, members
+
+
+@pytest.mark.slow
+class TestDeadHostChaos:
+    def test_host_killed_mid_lease_session_completes_identically(
+        self, tmp_path
+    ):
+        reference = fingerprint(single_host_reference())
+        # Trial 2's first attempt hard-kills whichever machine leased it
+        # (``os._exit``: heartbeats, extender and all die with it).  The
+        # supervisor respawns the machine; the orphaned lease expires and
+        # the retry runs clean.
+        faults.configure("seed=11;fleet.dead_host=1.0@2")
+        result, session_id, database, _ = run_fleet_session(
+            tmp_path, "deadhost"
+        )
+        try:
+            assert fingerprint(result) == reference
+            assert SessionStore(database).get(session_id).state == S_DONE
+            queue = JobQueue(database)
+            victim = queue.get(session_id, 2)
+            assert victim.attempts >= 2
+            history = " ".join(
+                entry["error"] for entry in victim.history()
+            )
+            assert ("lease expired" in history
+                    or "host declared dead" in history)
+            assert queue.dead_letter_count(session_id) == 0
+        finally:
+            database.close()
+
+
+@pytest.mark.slow
+class TestPartitionChaos:
+    def test_partitioned_hosts_reconnect_and_finish_identically(
+        self, tmp_path
+    ):
+        reference = fingerprint(single_host_reference())
+        # ~15% of dispatch requests lose their connection mid-request
+        # (first attempt only); the client's reconnect-resync retry path
+        # must make the whole fleet run invisible to the result.
+        faults.configure("seed=11;fleet.partition=0.15")
+        result, session_id, database, _ = run_fleet_session(
+            tmp_path, "partition"
+        )
+        try:
+            assert fingerprint(result) == reference
+            assert SessionStore(database).get(session_id).state == S_DONE
+        finally:
+            database.close()
+
+    def test_client_reconnect_resync_after_severed_socket(self):
+        """Deterministic close-up of the retry path: every request's
+        first attempt is severed; the reconnect must serve attempt 2."""
+        faults.configure("seed=1;fleet.partition=1.0", propagate=False)
+        with TrialDatabase() as database:
+            server = FleetServer(database, port=0)
+            thread = threading.Thread(
+                target=server.serve_until_drained, daemon=True
+            )
+            thread.start()
+            try:
+                with FleetClient("127.0.0.1", server.port) as client:
+                    response = client.request("ping")
+                assert response["ok"] and response["pong"]
+                assert faults.get_plan().fired["fleet.partition"] >= 1
+            finally:
+                server.initiate_drain()
+                thread.join(timeout=5.0)
+
+    def test_partition_with_no_retries_surfaces_fleet_error(self):
+        faults.configure("seed=1;fleet.partition=1.0", propagate=False)
+        with TrialDatabase() as database:
+            server = FleetServer(database, port=0)
+            thread = threading.Thread(
+                target=server.serve_until_drained, daemon=True
+            )
+            thread.start()
+            try:
+                client = FleetClient(
+                    "127.0.0.1", server.port, retries=0
+                )
+                with pytest.raises(FleetError):
+                    client.request("ping")
+                client.close()
+            finally:
+                server.initiate_drain()
+                thread.join(timeout=5.0)
+
+
+@pytest.mark.slow
+class TestStaleLeaseChaos:
+    def test_stale_lease_expires_and_zombie_result_rejected(
+        self, tmp_path, monkeypatch
+    ):
+        """One trial's host silently stops extending its lease while the
+        trial (artificially slowed) still runs.  The lease ages out, the
+        job re-runs cleanly elsewhere, and the zombie's late ``complete``
+        is rejected by the ownership protocol."""
+        reference = fingerprint(single_host_reference())
+        faults.configure("seed=11;fleet.stale_lease=1.0@2",
+                         propagate=False)
+        real_evaluate = host_module.evaluate_trial
+        slowed = threading.Event()
+
+        def slow_evaluate(task, **kwargs):
+            # First execution of trial 2 outlives its (unextended) lease.
+            if task.trial_id == 2 and not slowed.is_set():
+                slowed.set()
+                time.sleep(2.5)
+            return real_evaluate(task, **kwargs)
+
+        monkeypatch.setattr(host_module, "evaluate_trial", slow_evaluate)
+        result, session_id, database, members = run_fleet_session(
+            tmp_path, "stale", in_process=True, lease_ttl_s=0.8,
+        )
+        try:
+            assert slowed.is_set()
+            assert fingerprint(result) == reference
+            assert SessionStore(database).get(session_id).state == S_DONE
+            queue = JobQueue(database)
+            victim = queue.get(session_id, 2)
+            assert victim.attempts >= 2
+            assert "lease expired" in " ".join(
+                entry["error"] for entry in victim.history()
+            )
+            # The zombie's completion was rejected: exactly one accepted
+            # completion per trial across the whole fleet.
+            assert sum(m.jobs_done for m in members) == len(result.trials)
+        finally:
+            database.close()

@@ -1,0 +1,345 @@
+"""Dispatch-protocol edge cases: frame hygiene, registration, the lease
+ownership protocol over the wire, and artifact federation.
+
+Most tests drive :meth:`FleetServer.handle_line` directly (the documented
+unit-test seam); the socket-level class at the bottom exercises the parts
+only a real connection can (oversized-frame drop, garbage tolerance,
+reconnect)."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+import repro.fleet.server as fleet_server_module
+from repro.errors import FleetError
+from repro.fleet.client import FleetClient
+from repro.fleet.server import FleetServer
+from repro.fleet.wire import (
+    decode_frame,
+    encode_frame,
+    pack_bytes,
+    unpack_bytes,
+)
+from repro.service.queue import QUEUED
+from repro.storage import TrialDatabase
+
+
+def frame(op, **params):
+    return json.dumps(dict(params, op=op)).encode()
+
+
+@pytest.fixture()
+def server():
+    with TrialDatabase() as database:
+        instance = FleetServer(
+            database, port=0, num_shards=2, lease_ttl_s=5.0,
+            machine_ttl_s=30.0,
+        )
+        try:
+            yield instance
+        finally:
+            instance.server_close()
+
+
+def register(server, machine_id, **extra):
+    return server.handle_line(
+        frame("register", machine_id=machine_id, **extra)
+    )
+
+
+class TestFrames:
+    def test_wire_roundtrip(self):
+        message = {"op": "ping", "n": 1}
+        assert decode_frame(encode_frame(message).strip()) == message
+
+    def test_pack_unpack_bytes(self):
+        assert unpack_bytes(pack_bytes(b"\x00\xffblob")) == b"\x00\xffblob"
+        assert pack_bytes(None) is None and unpack_bytes(None) is None
+        with pytest.raises(FleetError):
+            unpack_bytes("not base64!!")
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(FleetError):
+            encode_frame({"blob": "x" * fleet_server_module.MAX_FRAME_BYTES})
+
+    def test_garbage_frame_answers_error(self, server):
+        response = server.handle_line(b"{not json")
+        assert not response["ok"]
+        assert "bad frame" in response["error"]
+        # The connection (and handler) survives: the next frame works.
+        assert server.handle_line(frame("ping"))["ok"]
+
+    def test_non_object_frame_answers_error(self, server):
+        assert not server.handle_line(b"[1, 2, 3]")["ok"]
+
+    def test_unknown_op(self, server):
+        response = server.handle_line(frame("frobnicate"))
+        assert not response["ok"]
+        assert "unknown op" in response["error"]
+
+    def test_internal_errors_become_frames(self, server):
+        # complete with an unparseable base64 result: answered, not raised.
+        response = server.handle_line(
+            frame("complete", machine_id="m", job_id=1, result="!!!")
+        )
+        assert not response["ok"]
+
+
+class TestRegistration:
+    def test_fresh_machines_balance_across_shards(self, server):
+        first = register(server, "m1")
+        second = register(server, "m2")
+        assert first["ok"] and second["ok"]
+        assert {first["shard"], second["shard"]} == {0, 1}
+        assert not first["rejoined"]
+        assert first["lease_ttl_s"] == 5.0
+
+    def test_duplicate_machine_id_keeps_shard(self, server):
+        """Re-registering the same id is a host reconnect, not a new
+        machine: it must come back on the shard its sessions live on."""
+        shard = register(server, "m1")["shard"]
+        register(server, "m2")
+        again = register(server, "m1")
+        assert again["rejoined"]
+        assert again["shard"] == shard
+
+    def test_register_requires_machine_id(self, server):
+        assert not server.handle_line(frame("register"))["ok"]
+
+    def test_heartbeat_unknown_machine_hints_reregister(self, server):
+        response = server.handle_line(frame("heartbeat", machine_id="ghost"))
+        assert not response["ok"]
+        assert response["reregister"]
+
+
+class TestLeaseProtocol:
+    def _setup_job(self, server, machine_id="m1", trial_id=1):
+        shard = register(server, machine_id)["shard"]
+        server.queue.enqueue("sess", trial_id, "{}", shard=shard)
+        return shard
+
+    def test_lease_from_unregistered_machine_rejected(self, server):
+        response = server.handle_line(frame("lease", machine_id="ghost"))
+        assert not response["ok"]
+        assert response["reregister"]
+
+    def test_lease_respects_machine_shard(self, server):
+        self._setup_job(server, "m1")
+        register(server, "m2")  # other shard: must not see m1's job
+        assert server.handle_line(
+            frame("lease", machine_id="m2")
+        )["job"] is None
+        job = server.handle_line(frame("lease", machine_id="m1"))["job"]
+        assert job is not None and job["trial_id"] == 1
+
+    def test_lease_complete_roundtrip(self, server):
+        self._setup_job(server, "m1")
+        job = server.handle_line(
+            frame("lease", machine_id="m1", worker="w3")
+        )["job"]
+        blob = b"pickled-evaluation"
+        response = server.handle_line(frame(
+            "complete", machine_id="m1", worker="w3",
+            job_id=job["id"], result=pack_bytes(blob),
+        ))
+        assert response["ok"] and response["accepted"]
+        stored = server.queue.get("sess", 1)
+        assert stored.result == blob
+        assert stored.lease_owner == "m1/w3"  # prefix-drainable owner
+        assert server.registry.get("m1").jobs_done == 1
+        # A second completion of the same job is rejected.
+        assert not server.handle_line(frame(
+            "complete", machine_id="m1", worker="w3",
+            job_id=job["id"], result=pack_bytes(blob),
+        ))["accepted"]
+
+    def test_mid_lease_disconnect_then_reacquisition(self, server):
+        """A host that vanishes mid-lease stops extending; after expiry
+        the job is re-leased (attempt 2) by another machine."""
+        self._setup_job(server, "m1")
+        register(server, "m2")
+        job = server.handle_line(frame("lease", machine_id="m1"))["job"]
+        assert job["attempts"] == 1
+        # m1 disconnects: no extends.  The janitor reclaims after TTL.
+        import time as _time
+        sweep = server.janitor_sweep(now=_time.time() + 6.0)
+        assert sweep["leases_expired"] == 1
+        requeued = server.queue.get("sess", 1)
+        assert requeued.state == QUEUED
+        # Backoff has passed by `now`; m1's shard still owns the job, so
+        # the re-lease comes from m1 (here: the respawned process).
+        retry = server.handle_line(frame("lease", machine_id="m1"))
+        assert retry["job"] is None  # backoff still pending at real now
+        leased = server.queue.lease(
+            "m1/w0", now=_time.time() + 7.0, shard=job["shard"]
+        )
+        assert leased is not None and leased.attempts == 2
+
+    def test_zombie_complete_after_expiry_rejected(self, server):
+        self._setup_job(server, "m1")
+        job = server.handle_line(frame("lease", machine_id="m1"))["job"]
+        import time as _time
+        server.janitor_sweep(now=_time.time() + 6.0)
+        response = server.handle_line(frame(
+            "complete", machine_id="m1", worker="w0",
+            job_id=job["id"], result=pack_bytes(b"stale"),
+        ))
+        assert response["ok"] and not response["accepted"]
+        assert server.registry.get("m1").jobs_done == 0
+
+    def test_extend_renews_job_and_machine(self, server):
+        self._setup_job(server, "m1")
+        job = server.handle_line(frame("lease", machine_id="m1"))["job"]
+        before = server.registry.get("m1").last_heartbeat_at
+        response = server.handle_line(frame(
+            "extend", machine_id="m1", worker="w0", job_id=job["id"]
+        ))
+        assert response["ok"] and response["renewed"]
+        assert server.registry.get("m1").last_heartbeat_at >= before
+
+    def test_dead_host_drain_releases_leases_immediately(self, server):
+        """Machine-level containment: when heartbeats stop, the janitor
+        drains every lease the machine held without waiting for each
+        job's own (much longer) lease to expire."""
+        shard = register(server, "m1")["shard"]
+        for trial in (1, 2):
+            server.queue.enqueue("sess", trial, "{}", shard=shard)
+        for worker in ("w0", "w1"):
+            job = server.handle_line(
+                frame("lease", machine_id="m1", worker=worker)
+            )["job"]
+            assert job is not None
+            # Long manual lease: only the dead-host drain can free it soon.
+            server.queue.heartbeat(job["id"], f"m1/{worker}", ttl_s=900.0)
+        import time as _time
+        sweep = server.janitor_sweep(now=_time.time() + 31.0)
+        assert sweep["machines_expired"] == 1
+        assert sweep["leases_drained"] == 2
+        assert server.registry.stats()["leases.drained"] == 2.0
+        # The dead machine must re-register before taking work again.
+        refused = server.handle_line(frame("lease", machine_id="m1"))
+        assert not refused["ok"] and refused["reregister"]
+        rejoin = register(server, "m1")
+        assert rejoin["rejoined"] and rejoin["shard"] == shard
+
+    def test_drain_stops_handing_out_work(self, server):
+        self._setup_job(server, "m1")
+        assert server.handle_line(frame("drain"))["draining"]
+        response = server.handle_line(frame("lease", machine_id="m1"))
+        assert response["ok"]
+        assert response["job"] is None and response["draining"]
+
+
+class TestArtifactFederation:
+    def test_put_probe_get_roundtrip(self, server):
+        blob = b"\x80checkpoint-bytes"
+        put = server.handle_line(frame(
+            "artifact_put", key="k1", payload=pack_bytes(blob),
+            workload="IC", trial_id=3, epochs=2, data_fraction=0.5,
+        ))
+        assert put["ok"] and put["stored"]
+        probe = server.handle_line(
+            frame("artifact_get", key="k1", probe=True)
+        )
+        assert probe["present"]
+        got = server.handle_line(frame("artifact_get", key="k1"))
+        assert unpack_bytes(got["payload"]) == blob
+        miss = server.handle_line(frame("artifact_get", key="nope"))
+        assert miss["ok"] and miss["payload"] is None
+        stats = server.registry.stats()
+        assert stats["federation.uploads"] == 1.0
+        assert stats["federation.hits"] == 1.0
+        assert stats["federation.misses"] == 1.0
+
+    def test_put_requires_key_and_payload(self, server):
+        assert not server.handle_line(frame("artifact_put", key="k"))["ok"]
+        assert not server.handle_line(
+            frame("artifact_put", payload=pack_bytes(b"x"))
+        )["ok"]
+
+    def test_status_reports_machines_and_counters(self, server):
+        register(server, "m1", capabilities={"fingerprint": "fp-a"})
+        status = server.handle_line(frame("status"))
+        assert status["ok"]
+        (machine,) = status["machines"]
+        assert machine["id"] == "m1"
+        assert machine["fingerprint"] == "fp-a"
+        assert machine["heartbeat_age_s"] >= 0
+        assert status["num_shards"] == 2
+        assert set(status["queue"]) == {
+            "queued", "leased", "done", "failed"
+        }
+
+
+class TestOverTheWire:
+    """Edge cases only a real socket can exercise."""
+
+    @pytest.fixture()
+    def live_server(self):
+        with TrialDatabase() as database:
+            server = FleetServer(database, port=0, lease_ttl_s=5.0)
+            thread = threading.Thread(
+                target=server.serve_until_drained, daemon=True
+            )
+            thread.start()
+            try:
+                yield server
+            finally:
+                server.initiate_drain()
+                thread.join(timeout=5.0)
+
+    def test_client_roundtrip(self, live_server):
+        with FleetClient("127.0.0.1", live_server.port) as client:
+            assert client.request("ping")["pong"]
+            response = client.request("register", machine_id="m1")
+            assert response["ok"] and response["shard"] in (0, 1)
+
+    def test_garbage_frame_keeps_connection(self, live_server):
+        with socket.create_connection(
+            ("127.0.0.1", live_server.port), timeout=5.0
+        ) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"complete garbage\n")
+            response = decode_frame(reader.readline())
+            assert not response["ok"]
+            # Same connection still serves well-formed frames.
+            sock.sendall(frame("ping") + b"\n")
+            assert decode_frame(reader.readline())["pong"]
+
+    def test_oversized_frame_drops_connection(self, live_server,
+                                              monkeypatch):
+        monkeypatch.setattr(
+            fleet_server_module, "MAX_FRAME_BYTES", 4096
+        )
+        with socket.create_connection(
+            ("127.0.0.1", live_server.port), timeout=5.0
+        ) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"x" * 10000 + b"\n")
+            response = decode_frame(reader.readline())
+            assert not response["ok"]
+            assert "frame too long" in response["error"]
+            # The stream is unrecoverable: the server hangs up (a reset
+            # is possible when it closes with bytes still unread).
+            try:
+                rest = reader.readline()
+            except OSError:
+                rest = b""
+            assert rest == b""
+
+    def test_mid_lease_disconnect_over_socket(self, live_server):
+        """The wire version of vanish-mid-lease: the TCP connection dies
+        with the lease held; nothing is completed; reclaim frees it."""
+        live_server.queue.enqueue("sess", 1, "{}", shard=0)
+        client = FleetClient("127.0.0.1", live_server.port)
+        client.request("register", machine_id="m1")
+        job = client.request("lease", machine_id="m1")["job"]
+        assert job is not None
+        client.close()  # host gone, lease still held
+        import time as _time
+        assert live_server.queue.reclaim_expired(
+            now=_time.time() + 6.0
+        ) == 1
+        assert live_server.queue.get("sess", 1).state == QUEUED

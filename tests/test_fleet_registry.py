@@ -1,0 +1,201 @@
+"""Tests for the fleet's storage-facing pieces: machine registry, shard
+router, per-shard queues, dead-host lease draining, and fleet counters."""
+
+import pytest
+
+from repro.fleet.registry import (
+    ALIVE,
+    DEAD,
+    Machine,
+    MachineRegistry,
+    local_capabilities,
+)
+from repro.fleet.router import ShardRouter
+from repro.service.queue import JobQueue, LEASED, QUEUED
+from repro.storage import TrialDatabase
+
+
+@pytest.fixture()
+def db():
+    with TrialDatabase() as database:
+        yield database
+
+
+class TestMachineRegistry:
+    def test_register_and_get(self, db):
+        registry = MachineRegistry(db)
+        machine = registry.register(
+            "m1", capabilities={"hostname": "edge-a", "cores": 4},
+            shard=1, now=100.0,
+        )
+        assert machine.id == "m1"
+        assert machine.hostname == "edge-a"
+        assert machine.shard == 1
+        assert machine.state == ALIVE
+        assert machine.capabilities["cores"] == 4
+        assert machine.registered_at == 100.0
+
+    def test_duplicate_registration_keeps_shard(self, db):
+        """A host restarting with the same machine id is a reconnect:
+        capabilities refresh, the shard assignment survives."""
+        registry = MachineRegistry(db)
+        registry.register("m1", capabilities={"cores": 2}, shard=3,
+                          now=100.0)
+        again = registry.register(
+            "m1", capabilities={"cores": 8}, now=200.0
+        )
+        assert again.shard == 3
+        assert again.capabilities["cores"] == 8
+        assert again.last_heartbeat_at == 200.0
+        assert len(registry.list()) == 1
+
+    def test_heartbeat_refreshes_and_revives(self, db):
+        registry = MachineRegistry(db)
+        registry.register("m1", shard=0, now=100.0)
+        registry.set_state("m1", DEAD)
+        assert registry.heartbeat("m1", now=150.0)
+        machine = registry.get("m1")
+        assert machine.state == ALIVE
+        assert machine.last_heartbeat_at == 150.0
+
+    def test_heartbeat_unknown_machine(self, db):
+        assert not MachineRegistry(db).heartbeat("ghost")
+
+    def test_expire_flips_only_stale_machines_once(self, db):
+        registry = MachineRegistry(db)
+        registry.register("fresh", now=100.0)
+        registry.register("stale", now=10.0)
+        doomed = registry.expire(ttl_s=30.0, now=100.0)
+        assert doomed == ["stale"]
+        assert registry.get("stale").state == DEAD
+        assert registry.get("fresh").state == ALIVE
+        # The second sweep reports nothing new — the janitor drains each
+        # dead machine's leases exactly once.
+        assert registry.expire(ttl_s=30.0, now=101.0) == []
+        assert registry.stats()["machines.expired"] == 1.0
+
+    def test_record_done_and_forget(self, db):
+        registry = MachineRegistry(db)
+        registry.register("m1", now=1.0)
+        registry.record_done("m1")
+        registry.record_done("m1", count=2)
+        assert registry.get("m1").jobs_done == 3
+        assert registry.forget("m1")
+        assert registry.get("m1") is None
+
+    def test_fleet_counters_crash_safe_upserts(self, db):
+        registry = MachineRegistry(db)
+        registry.bump("federation.hits")
+        registry.bump("federation.hits", 2)
+        registry.bump("federation.uploads", 5)
+        # A second registry instance (another process in production)
+        # reads the same counters from the table.
+        assert MachineRegistry(db).stats() == {
+            "federation.hits": 3.0,
+            "federation.uploads": 5.0,
+        }
+
+    def test_local_capabilities_shape(self):
+        tags = local_capabilities()
+        assert tags["hostname"]
+        assert tags["cores"] >= 1
+        assert "backend" in tags["fingerprint"]
+        assert "IC" in tags["workloads"]
+
+
+class TestShardRouter:
+    def _registry(self, db, placements):
+        registry = MachineRegistry(db)
+        for machine_id, shard in placements:
+            registry.register(machine_id, shard=shard, now=100.0)
+        return registry
+
+    def test_place_machine_balances(self, db):
+        registry = self._registry(db, [("a", 0)])
+        router = ShardRouter(registry, num_shards=2)
+        assert router.place_machine() == 1
+        registry.register("b", shard=1, now=100.0)
+        assert router.place_machine() == 0  # tie → lowest shard
+
+    def test_session_affinity_is_deterministic(self, db):
+        registry = self._registry(db, [("a", 0), ("b", 1)])
+        router = ShardRouter(registry, num_shards=2)
+        first = router.shard_for_session("session-x", workload="IC")
+        assert all(
+            router.shard_for_session("session-x", workload="IC") == first
+            for _ in range(10)
+        )
+        # Different sessions spread across both shards eventually.
+        shards = {
+            router.shard_for_session(f"s{i}", workload="IC")
+            for i in range(32)
+        }
+        assert shards == {0, 1}
+
+    def test_routing_skips_shards_without_capable_machines(self, db):
+        registry = MachineRegistry(db)
+        registry.register(
+            "a", capabilities={"workloads": ["IC"]}, shard=0, now=100.0
+        )
+        registry.register(
+            "b", capabilities={"workloads": ["SR"]}, shard=1, now=100.0
+        )
+        router = ShardRouter(registry, num_shards=2)
+        for i in range(8):
+            assert router.shard_for_session(f"s{i}", workload="IC") == 0
+            assert router.shard_for_session(f"s{i}", workload="SR") == 1
+
+    def test_empty_fleet_falls_back_to_full_range(self, db):
+        router = ShardRouter(MachineRegistry(db), num_shards=3)
+        assert router.shard_for_session("s", workload="IC") in (0, 1, 2)
+
+    def test_dead_machines_are_not_candidates(self, db):
+        registry = self._registry(db, [("a", 0), ("b", 1)])
+        registry.set_state("b", DEAD)
+        router = ShardRouter(registry, num_shards=2)
+        for i in range(8):
+            assert router.shard_for_session(f"s{i}") == 0
+
+    def test_supports_defaults_to_universal(self):
+        machine = Machine(id="m", hostname="h", shard=0, state=ALIVE)
+        assert machine.supports("IC")
+
+
+class TestShardedQueue:
+    def test_lease_respects_shard_filter(self, db):
+        queue = JobQueue(db)
+        queue.enqueue("s", 1, "{}", shard=0)
+        queue.enqueue("s", 2, "{}", shard=1)
+        job = queue.lease("w", shard=1)
+        assert job.trial_id == 2 and job.shard == 1
+        assert queue.lease("w2", shard=1) is None
+        # Unsharded lease (local pool workers) still sees everything.
+        assert queue.lease("w3").trial_id == 1
+
+    def test_reclaim_owner_drains_machine_prefix(self, db):
+        """Dead-host drain: every lease held by ``machine/<worker>`` is
+        released at once, without waiting for per-job expiry."""
+        queue = JobQueue(db)
+        for trial in (1, 2, 3):
+            queue.enqueue("s", trial, "{}")
+        queue.lease("m1/w0", ttl_s=1000.0, now=10.0)
+        queue.lease("m1/w1", ttl_s=1000.0, now=10.0)
+        queue.lease("m2/w0", ttl_s=1000.0, now=10.0)
+        assert queue.reclaim_owner("m1", now=20.0) == 2
+        jobs = {j.trial_id: j for j in queue.jobs_for("s")}
+        assert jobs[1].state == QUEUED
+        assert "host declared dead" in jobs[1].error
+        assert jobs[3].state == LEASED  # m2 untouched
+
+    def test_reclaim_owner_exact_match_without_worker_suffix(self, db):
+        queue = JobQueue(db)
+        queue.enqueue("s", 1, "{}")
+        queue.lease("m1", ttl_s=1000.0, now=10.0)
+        assert queue.reclaim_owner("m1", now=20.0) == 1
+
+    def test_reclaim_owner_exhausted_attempts_quarantines(self, db):
+        queue = JobQueue(db)
+        queue.enqueue("s", 1, "{}", max_attempts=1)
+        queue.lease("m1/w0", ttl_s=1000.0, now=10.0)
+        assert queue.reclaim_owner("m1", now=20.0) == 1
+        assert queue.dead_letter_count("s") == 1

@@ -127,6 +127,11 @@ class TestCrashResume:
         crashed = store.get(session_id)
         assert crashed.state == S_FAILED
         assert crashed.has_checkpoint
+        # Integration and checkpoint commit atomically: the 10th trial's
+        # rows (its inference-cache entry above all) rolled back with the
+        # crash, so the resumed run re-merges it against a cold cache and
+        # its stall accounting cannot diverge from the reference.
+        assert db.trial_count() == 9
         queue = JobQueue(db)
         done_before = {
             job.trial_id: (job.attempts, job.finished_at)
