@@ -51,6 +51,15 @@ SPEEDUP_FLOORS = {
     "artifact.IC_memo": 2.0,
 }
 
+#: Minimum absolute throughput per metric (machine dependent only in the
+#: extreme: the floors sit an order of magnitude below a laptop-class
+#: measurement).  The traffic replay engine must stay a tight numpy loop
+#: — 50k simulated requests/sec keeps per-candidate trace replays
+#: cheaper than the steady-state evaluation they replace.
+ABSOLUTE_FLOORS = {
+    "traffic.replay": ("requests_per_sec", 50_000.0),
+}
+
 
 def _metrics(report: dict):
     for name, entry in report.get("micro", {}).items():
@@ -59,6 +68,8 @@ def _metrics(report: dict):
         yield f"e2e.{name}", entry
     for name, entry in report.get("artifact", {}).items():
         yield f"artifact.{name}", entry
+    for name, entry in report.get("traffic", {}).items():
+        yield f"traffic.{name}", entry
 
 
 #: Floors are calibrated at full scale; smoke runs use smaller batches
@@ -83,6 +94,17 @@ def check(current: dict, baseline: dict, max_slowdown: float) -> list:
             failures.append(
                 f"{name}: fast/reference speedup {entry['speedup']:.2f}x "
                 f"below floor {floor:.2f}x"
+            )
+
+    for name, (key, floor) in ABSOLUTE_FLOORS.items():
+        floor = floor * relax
+        entry = current_metrics.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        if entry[key] < floor:
+            failures.append(
+                f"{name}: {key} {entry[key]:,.0f} below floor {floor:,.0f}"
             )
 
     # Absolute medians are only comparable like-for-like: a smoke run

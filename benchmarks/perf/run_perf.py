@@ -321,6 +321,47 @@ def run_artifact(scale: str) -> Dict[str, dict]:
     return results
 
 
+# ---------------------------------------------------------------------------
+# Traffic replay: simulated requests/sec through the discrete-event engine
+# ---------------------------------------------------------------------------
+
+def run_traffic(scale: str, repeats: int) -> Dict[str, dict]:
+    """Replay throughput of :func:`repro.traffic.replay.replay_trace`.
+
+    The SLO-aware objectives replay a full trace per candidate
+    configuration, so replay speed bounds how much load-aware tuning
+    costs on top of steady-state scoring; ``check_regression`` holds the
+    floor at 50k simulated requests/sec.
+    """
+    from repro.traffic import build_trace, replay_trace
+
+    duration = 60 if scale == "full" else 12
+    trace = build_trace(f"poisson:rate=5000,duration={duration},seed=1")
+
+    def latency_fn(batch: int) -> float:
+        return 0.0005 + 0.0001 * batch
+
+    def replay() -> None:
+        replay_trace(trace, latency_fn, max_batch=64)
+
+    replay()  # warm the latency tables / allocator
+    best_ms = _best_ms(replay, max(repeats, 3))
+    stats = replay_trace(trace, latency_fn, max_batch=64)
+    results = {
+        "replay": {
+            "requests": stats.requests,
+            "mean_batch": stats.mean_batch,
+            "replay_ms": best_ms,
+            "requests_per_sec": stats.requests / (best_ms / 1000.0),
+        }
+    }
+    print(
+        f"traffic replay    {stats.requests} requests in {best_ms:8.2f}ms  "
+        f"({results['replay']['requests_per_sec']:,.0f} req/s)"
+    )
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -346,6 +387,7 @@ def main() -> None:
         "micro": run_micro(args.scale, args.repeats),
         "e2e": run_e2e(args.scale, e2e_repeats),
         "artifact": run_artifact(args.scale),
+        "traffic": run_traffic(args.scale, args.repeats),
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -72,6 +72,10 @@ def _tune_service(args) -> int:
             target_accuracy=args.target,
             warm_start=args.warm_start,
             reuse_checkpoints=args.reuse_checkpoints,
+            traffic=args.traffic,
+            traffic_metric=args.traffic_metric,
+            slo_p99_s=args.slo_p99,
+            slo_deadline_s=args.slo_deadline,
         )
         session_id = SessionStore(database).create(spec)
         result = SessionCoordinator(
@@ -89,6 +93,15 @@ def _tune_service(args) -> int:
     return 0
 
 
+def _slo_from_args(args):
+    """SLOSpec from the ``--slo-*`` flags (None when none are set)."""
+    if args.slo_p99 is None and args.slo_deadline is None:
+        return None
+    from .traffic import SLOSpec
+
+    return SLOSpec(p99_target_s=args.slo_p99, deadline_s=args.slo_deadline)
+
+
 def _cmd_tune(args) -> int:
     from . import EdgeTune
     from .baselines import HierarchicalTuner, HyperPowerBaseline, TuneBaseline
@@ -96,6 +109,15 @@ def _cmd_tune(args) -> int:
     from .storage import TrialDatabase
 
     warnings.filterwarnings("ignore", category=RuntimeWarning)
+    if args.traffic is None and args.system == "edgetune" \
+            and _slo_from_args(args) is not None:
+        print("--slo-p99/--slo-deadline need --traffic (a trace to replay)",
+              file=sys.stderr)
+        return 2
+    if args.traffic is not None and args.system != "edgetune":
+        print("--traffic is only supported by --system edgetune",
+              file=sys.stderr)
+        return 2
     if args.workers:
         return _tune_service(args)
     if args.warm_start and args.db is None:
@@ -124,6 +146,9 @@ def _cmd_tune(args) -> int:
                              tuning_metric=args.metric,
                              warm_start=args.warm_start,
                              reuse_checkpoints=args.reuse_checkpoints,
+                             traffic=args.traffic,
+                             traffic_metric=args.traffic_metric,
+                             slo=_slo_from_args(args),
                              **common)
         elif args.system == "tune":
             tuner = TuneBaseline(budget=build_budget(args.budget), **common)
@@ -208,6 +233,19 @@ def main(argv=None) -> int:
                       help="warm-resume promoted trials from their parent "
                            "rung's checkpoint via the artifact cache "
                            "(changes scores vs. retrain-from-scratch)")
+    tune.add_argument("--traffic", default=None,
+                      help="serving-load scenario to tune under, e.g. "
+                           "'diurnal:rate=40,peak=4,duration=120,seed=7' "
+                           "(edgetune only; see `python -m repro traffic`)")
+    tune.add_argument("--traffic-metric", default="p99",
+                      choices=["p99", "deadline", "energy"],
+                      help="SLO metric scored against the replayed trace")
+    tune.add_argument("--slo-p99", type=float, default=None,
+                      help="p99 latency target in seconds (reported as an "
+                           "SLO violation when exceeded)")
+    tune.add_argument("--slo-deadline", type=float, default=None,
+                      help="per-request deadline in seconds (missed "
+                           "requests count against the deadline metric)")
     tune.set_defaults(func=_cmd_tune)
 
     devices = subparsers.add_parser("devices", help="list emulated devices")
@@ -231,6 +269,13 @@ def main(argv=None) -> int:
         add_help=False,
     )
 
+    subparsers.add_parser(
+        "traffic",
+        help="serving-load traces (generate/replay/compare); "
+             "see `python -m repro traffic --help`",
+        add_help=False,
+    )
+
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "advisor":
         # The advisor owns its whole sub-CLI (including --help).
@@ -241,6 +286,10 @@ def main(argv=None) -> int:
         from .fleet.cli import main as fleet_main
 
         return fleet_main(argv[1:])
+    if argv and argv[0] == "traffic":
+        from .traffic.cli import main as traffic_main
+
+        return traffic_main(argv[1:])
     args = parser.parse_args(argv)
     return args.func(args)
 

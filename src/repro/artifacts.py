@@ -90,20 +90,27 @@ def trial_key(task: Any, fingerprint: Optional[str] = None) -> str:
     """
     if fingerprint is None:
         fingerprint = backend_fingerprint()
+    fields = {
+        "workload_id": task.workload_id,
+        "seed": task.seed,
+        "samples": task.samples,
+        "values": task.values,
+        "epochs": task.epochs,
+        "data_fraction": task.data_fraction,
+        "trial_id": task.trial_id,
+        "reuse": bool(getattr(task, "reuse", False)),
+        "parent_key": getattr(task, "parent_key", None),
+        "start_epoch": int(getattr(task, "start_epoch", 0)),
+        "fingerprint": fingerprint,
+    }
+    # Traffic-aware sessions key their trials separately; absent traffic
+    # is omitted (not None-valued) so every pre-traffic key digest is
+    # preserved bit-exactly.
+    traffic = getattr(task, "traffic", None)
+    if traffic is not None:
+        fields["traffic"] = str(traffic)
     payload = json.dumps(
-        {
-            "workload_id": task.workload_id,
-            "seed": task.seed,
-            "samples": task.samples,
-            "values": task.values,
-            "epochs": task.epochs,
-            "data_fraction": task.data_fraction,
-            "trial_id": task.trial_id,
-            "reuse": bool(getattr(task, "reuse", False)),
-            "parent_key": getattr(task, "parent_key", None),
-            "start_epoch": int(getattr(task, "start_epoch", 0)),
-            "fingerprint": fingerprint,
-        },
+        fields,
         sort_keys=True,
         default=repr,
     )

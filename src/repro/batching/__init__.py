@@ -1,6 +1,7 @@
 """Multi-sample inference batching: scenarios, queueing, optimizer (§3.4)."""
 
 from .queueing import (
+    DIVERGENCE_WAIT_FACTOR,
     BatchingResult,
     simulate_multistream_scenario,
     simulate_multistream_timeout,
@@ -24,4 +25,5 @@ __all__ = [
     "BatchingSweep",
     "optimize_batch_size",
     "DEFAULT_BATCH_CANDIDATES",
+    "DIVERGENCE_WAIT_FACTOR",
 ]

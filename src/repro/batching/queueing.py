@@ -26,6 +26,14 @@ from ..rng import SeedLike, make_rng
 
 LatencyFn = Callable[[int], float]
 
+#: A server-scenario queue is declared divergent once a query has waited
+#: longer than this many service times: by then the backlog has grown
+#: monotonically for many periods and can only keep growing (arrivals are
+#: strictly periodic), so simulating the remaining queries adds cost but
+#: no information.  Matches the replay engine's divergence guard
+#: (:data:`repro.traffic.replay.DIVERGENCE_WAIT_FACTOR`).
+DIVERGENCE_WAIT_FACTOR = 50.0
+
 
 @dataclass(frozen=True)
 class BatchingResult:
@@ -38,11 +46,15 @@ class BatchingResult:
     #: Fraction of simulated time the inference engine was busy.
     utilisation: float
     samples_processed: int
+    #: The simulation short-circuited because the queue diverged; the
+    #: statistics cover only the queries served before the cut-off (which
+    #: is deterministic — a pure function of the scenario parameters).
+    truncated: bool = False
 
     @property
     def stable(self) -> bool:
         """Heuristic stability flag: the engine keeps up with arrivals."""
-        return self.utilisation < 0.999
+        return self.utilisation < 0.999 and not self.truncated
 
 
 def _percentile(values: List[float], q: float) -> float:
@@ -63,6 +75,13 @@ def simulate_server_scenario(
     Each query is served as ``ceil(N/b)`` back-to-back inference calls of
     at most ``b`` samples; a query's response time is measured from its
     arrival to the completion of its last call.
+
+    When the service time exceeds the period the backlog grows without
+    bound; the simulation short-circuits deterministically once a query's
+    wait passes :data:`DIVERGENCE_WAIT_FACTOR` service times and returns a
+    ``truncated`` result over the queries served so far, instead of
+    grinding through all ``num_queries`` of a queue whose statistics are
+    already decided.
     """
     if samples_per_query < 1 or batch_size < 1:
         raise ConfigurationError("samples_per_query and batch_size must be >= 1")
@@ -72,23 +91,30 @@ def simulate_server_scenario(
     service = full_calls * latency_fn(batch_size)
     if remainder:
         service += latency_fn(remainder)
+    divergence_wait_s = DIVERGENCE_WAIT_FACTOR * service
     engine_free = 0.0
     busy = 0.0
+    truncated = False
     responses: List[float] = []
     for index in range(num_queries):
         arrival = index * period_s
         start = max(arrival, engine_free)
+        if start - arrival > divergence_wait_s:
+            truncated = True
+            break
         engine_free = start + service
         busy += service
         responses.append(engine_free - arrival)
-    horizon = max(engine_free, (num_queries - 1) * period_s + service)
+    completed = len(responses)
+    horizon = max(engine_free, (completed - 1) * period_s + service)
     return BatchingResult(
         batch_size=batch_size,
-        mean_response_s=sum(responses) / len(responses),
+        mean_response_s=sum(responses) / completed,
         p95_response_s=_percentile(responses, 0.95),
-        throughput_sps=num_queries * samples_per_query / horizon,
+        throughput_sps=completed * samples_per_query / horizon,
         utilisation=min(busy / horizon, 1.0),
-        samples_processed=num_queries * samples_per_query,
+        samples_processed=completed * samples_per_query,
+        truncated=truncated,
     )
 
 

@@ -20,9 +20,14 @@ from typing import Optional, Union
 
 from ..budgets import BudgetStrategy, MultiBudget, build_budget
 from ..hardware import Emulator
-from ..objectives import InferenceObjective, RatioObjective
+from ..objectives import (
+    InferenceObjective,
+    RatioObjective,
+    TrafficSLOObjective,
+)
 from ..rng import SeedLike
 from ..storage import TrialDatabase
+from ..traffic import SLOSpec, parse_scenario
 from ..workloads import Workload, get_workload
 from .inference_server import InferenceTuningServer
 from .model_server import ModelTuningServer
@@ -50,6 +55,9 @@ class EdgeTune:
         stop_on_target: bool = True,
         warm_start: bool = False,
         reuse_checkpoints: bool = False,
+        traffic: Optional[str] = None,
+        traffic_metric: str = "p99",
+        slo: Optional[SLOSpec] = None,
     ):
         self.workload = (
             get_workload(workload) if isinstance(workload, str) else workload
@@ -60,13 +68,29 @@ class EdgeTune:
         budget_strategy = (
             build_budget(budget) if isinstance(budget, str) else budget
         )
+        #: When a serving-load scenario is given, the inference server
+        #: replays it through every candidate and scores deployments with
+        #: the SLO-aware objective instead of one steady-state call.
+        self.traffic_spec = (
+            parse_scenario(traffic) if traffic is not None else None
+        )
+        if self.traffic_spec is not None:
+            inference_objective: InferenceObjective = TrafficSLOObjective(
+                traffic_metric,
+                scenario=self.traffic_spec.canonical(),
+                slo=slo,
+            )
+        else:
+            inference_objective = InferenceObjective(inference_metric)
         self.inference_server = InferenceTuningServer(
             device=device,
-            objective=InferenceObjective(inference_metric),
+            objective=inference_objective,
             algorithm=inference_algorithm,
             emulator=self.emulator,
             database=self.database,
             seed=seed,
+            traffic=self.traffic_spec,
+            slo=slo,
         )
         self.model_server = ModelTuningServer(
             workload=self.workload,
@@ -87,6 +111,10 @@ class EdgeTune:
             stop_on_target=stop_on_target,
             warm_start=warm_start,
             reuse_checkpoints=reuse_checkpoints,
+            traffic=(
+                self.traffic_spec.canonical()
+                if self.traffic_spec is not None else None
+            ),
         )
 
     def tune(self) -> TuningRunResult:

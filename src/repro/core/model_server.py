@@ -105,6 +105,10 @@ class TrialTask:
     reuse: bool = False
     parent_key: Optional[str] = None
     start_epoch: int = 0
+    #: Canonical traffic scenario the session tunes under (``None`` for
+    #: steady-state sessions).  Part of the artifact trial key so cached
+    #: evaluations never leak between load and steady-state semantics.
+    traffic: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps(
@@ -122,6 +126,7 @@ class TrialTask:
                 "reuse": self.reuse,
                 "parent_key": self.parent_key,
                 "start_epoch": self.start_epoch,
+                "traffic": self.traffic,
             },
             sort_keys=True,
         )
@@ -370,6 +375,7 @@ class ModelTuningServer:
         warm_start_records: Optional[List[Dict[str, Any]]] = None,
         reuse_checkpoints: bool = False,
         artifacts: Optional[ArtifactStore] = None,
+        traffic: Optional[str] = None,
     ):
         self.workload = workload
         self.algorithm = algorithm
@@ -401,6 +407,10 @@ class ModelTuningServer:
         #: from a parent's weights, which changes scores vs. the paper's
         #: retrain-from-scratch semantics.
         self.reuse_checkpoints = bool(reuse_checkpoints)
+        #: Canonical scenario string of the serving load this session
+        #: tunes under (stamped onto every :class:`TrialTask`); ``None``
+        #: preserves the historical steady-state trial keys bit-exactly.
+        self.traffic_spec = traffic
         if artifacts is not None:
             self.artifacts: Optional[ArtifactStore] = artifacts
         elif self.reuse_checkpoints or self.database.path != ":memory:":
@@ -546,6 +556,7 @@ class ModelTuningServer:
             workload_id=self.workload.workload_id,
             seed=self.seed,
             samples=self.samples,
+            traffic=self.traffic_spec,
         )
         if self.reuse_checkpoints and self.artifacts is not None:
             parent_key: Optional[str] = None

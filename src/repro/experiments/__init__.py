@@ -47,6 +47,7 @@ from .pipeline import figure_06_pipeline, figure_10_search_flow
 from .reporting import render_table, save_table
 from .runner import ACCURACY_TARGETS, ExperimentContext, ExperimentResult
 from .tables import edgetune_capabilities, table_01_workloads, table_02_features
+from .traffic_exp import traffic_slo_comparison
 
 ALL_EXPERIMENTS = {
     "table1": table_01_workloads,
@@ -69,6 +70,8 @@ ALL_EXPERIMENTS = {
     "ablation_cache": ablation_inference_cache,
     "ablation_eta": ablation_reduction_factor,
     "ablation_warmstart": ablation_warm_start,
+    # Serving-load extension (repro.traffic, DESIGN.md §7).
+    "traffic_slo": traffic_slo_comparison,
 }
 
 __all__ = [

@@ -40,6 +40,9 @@ Injection sites wired into the codebase:
 ``fleet.dead_host``       hard-kills a remote fleet host process mid-lease
 ``fleet.partition``       severs a fleet host's dispatch connection
 ``fleet.stale_lease``     suppresses one job's remote lease extensions
+``traffic.request_storm`` multiplies trace arrivals ``param``-fold
+                          mid-replay (decision-only; the replay engine
+                          sheds gracefully and reports)
 ========================  ====================================================
 """
 

@@ -35,6 +35,7 @@ KNOWN_SITES = (
     "fleet.dead_host",
     "fleet.partition",
     "fleet.stale_lease",
+    "traffic.request_storm",
 )
 
 #: Exit code of an injected worker crash (mirrors SIGKILL's 128+9).

@@ -1,4 +1,8 @@
-"""Tuning and inference objective functions (paper §4.4)."""
+"""Tuning and inference objective functions (paper §4.4).
+
+Steady-state objectives live in :mod:`.base`; the SLO-aware objectives
+scored under replayed :mod:`repro.traffic` load live in :mod:`.slo`.
+"""
 
 from .base import (
     ACCURACY_FLOOR,
@@ -11,6 +15,7 @@ from .base import (
     RatioObjective,
     TuningObjective,
 )
+from .slo import TRAFFIC_METRICS, TrafficSLOObjective
 
 __all__ = [
     "TuningObjective",
@@ -18,8 +23,10 @@ __all__ = [
     "AccuracyObjective",
     "PowerAwareObjective",
     "InferenceObjective",
+    "TrafficSLOObjective",
     "ACCURACY_FLOOR",
     "WORST_SCORE",
     "TRAINING_METRICS",
     "INFERENCE_METRICS",
+    "TRAFFIC_METRICS",
 ]

@@ -53,6 +53,10 @@ def _cmd_submit(args) -> int:
             target_accuracy=args.target,
             warm_start=args.warm_start,
             reuse_checkpoints=args.reuse_checkpoints,
+            traffic=args.traffic,
+            traffic_metric=args.traffic_metric,
+            slo_p99_s=args.slo_p99,
+            slo_deadline_s=args.slo_deadline,
         )
         session_id = SessionStore(database).create(spec)
     print(session_id)
@@ -85,7 +89,38 @@ def _machines_info(database) -> dict:
             }
             for machine in registry.list()
         ],
-        "fleet": registry.stats(),
+        # Traffic counters share the fleet_stats table but are reported
+        # in their own `traffic` section, not among the fleet meters.
+        "fleet": {
+            key: value
+            for key, value in registry.stats().items()
+            if not key.startswith("traffic.")
+        },
+    }
+
+
+def _traffic_info(database, spec) -> dict:
+    """The ``traffic`` status section: active scenario + replay counters."""
+    from ..traffic import traffic_stats
+
+    counters = traffic_stats(database)
+    violations = {
+        key[len("slo_violations."):]: value
+        for key, value in counters.items()
+        if key.startswith("slo_violations.")
+    }
+    scenario = getattr(spec, "traffic", None)
+    return {
+        "scenario": scenario,
+        "metric": (
+            getattr(spec, "traffic_metric", None) if scenario else None
+        ),
+        "replays": counters.get("replays", 0.0),
+        "requests_replayed": counters.get("requests_replayed", 0.0),
+        "requests_shed": counters.get("requests_shed", 0.0),
+        "replays_diverged": counters.get("replays_diverged", 0.0),
+        "storm_injected": counters.get("storm_injected", 0.0),
+        "slo_violations": violations,
     }
 
 
@@ -106,7 +141,9 @@ def _print_machines(info: dict) -> None:
         ))
 
 
-def _session_status(record, queue, artifacts=None, machines=None) -> dict:
+def _session_status(
+    record, queue, artifacts=None, machines=None, traffic=None
+) -> dict:
     """Machine-readable status for one session (the ``--json`` shape)."""
     return {
         "session": record.id,
@@ -122,6 +159,7 @@ def _session_status(record, queue, artifacts=None, machines=None) -> dict:
         "artifact_cache": artifacts.stats() if artifacts else None,
         "machines": machines["machines"] if machines else [],
         "fleet": machines["fleet"] if machines else {},
+        "traffic": traffic or {},
     }
 
 
@@ -133,9 +171,12 @@ def _cmd_status(args) -> int:
         machines = _machines_info(database)
         if args.session:
             record = store.get(args.session)
+            traffic = _traffic_info(database, record.spec)
             if args.json:
                 print(json.dumps(
-                    _session_status(record, queue, artifacts, machines),
+                    _session_status(
+                        record, queue, artifacts, machines, traffic
+                    ),
                     sort_keys=True, indent=2))
                 return 0
             depths = queue.depths(record.id)
@@ -166,13 +207,27 @@ def _cmd_status(args) -> int:
                 print(f"worker:    {stats['worker']}: "
                       f"{stats['jobs_done']} jobs, "
                       f"{stats['busy_s']:.1f}s busy")
+            if traffic["scenario"] or traffic["replays"]:
+                violations = " ".join(
+                    f"{name}={count:g}"
+                    for name, count in sorted(
+                        traffic["slo_violations"].items()
+                    )
+                ) or "none"
+                print(f"traffic:   scenario "
+                      f"{traffic['scenario'] or '(steady-state)'}, "
+                      f"{traffic['requests_replayed']:g} requests over "
+                      f"{traffic['replays']:g} replays, "
+                      f"slo violations: {violations}")
             _print_machines(machines)
         else:
             records = store.list()
             if args.json:
                 print(json.dumps(
-                    [_session_status(record, queue, artifacts, machines)
-                     for record in records],
+                    [_session_status(
+                        record, queue, artifacts, machines,
+                        _traffic_info(database, record.spec),
+                    ) for record in records],
                     sort_keys=True, indent=2,
                 ))
                 return 0
@@ -318,6 +373,17 @@ def main(argv=None) -> int:
                              "parent rung's checkpoint (changes scores vs. "
                              "retrain-from-scratch; exact memoization is "
                              "always on)")
+    submit.add_argument("--traffic", default=None,
+                        help="serving-load scenario to tune under, e.g. "
+                             "'flash:rate=30,mult=8,duration=60,seed=7' "
+                             "(edgetune only)")
+    submit.add_argument("--traffic-metric", default="p99",
+                        choices=["p99", "deadline", "energy"],
+                        help="SLO metric scored against the replayed trace")
+    submit.add_argument("--slo-p99", type=float, default=None,
+                        help="p99 latency target in seconds")
+    submit.add_argument("--slo-deadline", type=float, default=None,
+                        help="per-request deadline in seconds")
     submit.set_defaults(func=_cmd_submit)
 
     status = subparsers.add_parser("status",

@@ -42,12 +42,33 @@ class SessionSpec:
     #: train fewer epochs from inherited weights, so scores differ from
     #: the retrain-from-scratch default.
     reuse_checkpoints: bool = False
+    #: Serving-load scenario this session tunes under (``repro.traffic``
+    #: spec string), with the SLO metric/targets scored against it.
+    traffic: Optional[str] = None
+    traffic_metric: str = "p99"
+    slo_p99_s: Optional[float] = None
+    slo_deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.system not in SERVICE_SYSTEMS:
             raise ServiceError(
                 f"system {self.system!r} cannot run as a service session; "
                 f"expected one of {SERVICE_SYSTEMS}"
+            )
+        if self.traffic is not None:
+            if self.system != "edgetune":
+                raise ServiceError(
+                    "traffic-aware tuning is only supported by the "
+                    "edgetune system"
+                )
+            # Validate (and normalise implicitly) at submit time so a bad
+            # scenario fails in the submitting shell, not inside a worker.
+            from ..traffic import parse_scenario
+
+            parse_scenario(self.traffic)
+        elif self.slo_p99_s is not None or self.slo_deadline_s is not None:
+            raise ServiceError(
+                "SLO targets need a traffic scenario to replay"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -78,10 +99,21 @@ def build_server(spec: SessionSpec, database: TrialDatabase):
         database=database,
     )
     if spec.system == "edgetune":
+        slo = None
+        if spec.slo_p99_s is not None or spec.slo_deadline_s is not None:
+            from ..traffic import SLOSpec
+
+            slo = SLOSpec(
+                p99_target_s=spec.slo_p99_s,
+                deadline_s=spec.slo_deadline_s,
+            )
         server = EdgeTune(
             device=spec.device,
             budget=spec.budget,
             tuning_metric=spec.tuning_metric,
+            traffic=spec.traffic,
+            traffic_metric=spec.traffic_metric,
+            slo=slo,
             **common,
         ).model_server
     elif spec.system == "tune":

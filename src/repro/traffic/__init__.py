@@ -1,0 +1,57 @@
+"""repro.traffic: trace-driven serving load for deployment scoring.
+
+The subsystem has three layers (DESIGN.md §7):
+
+1. :mod:`~repro.traffic.traces` — deterministic, seed-driven trace
+   generators (poisson / diurnal / flash / pareto / multi / fleet) plus a
+   line-JSON loader for external traces;
+2. :mod:`~repro.traffic.replay` — a discrete-event replay engine that
+   drives a trace through a deployment's batching/latency curve and
+   records per-request latency, queue depth and energy;
+3. SLO scoring — :class:`SLOSpec` violations feed the traffic-aware
+   objectives in :mod:`repro.objectives.slo` and the persistent
+   ``traffic.*`` counters behind ``service status``.
+"""
+
+from .replay import (
+    DEFAULT_MAX_QUEUE,
+    DIVERGENCE_WAIT_FACTOR,
+    ReplayStats,
+    SLOSpec,
+    merge_stats,
+    replay_fleet,
+    replay_trace,
+)
+from .stats import record_replay, traffic_stats
+from .traces import (
+    MAX_TRACE_REQUESTS,
+    TRACE_FAMILIES,
+    Request,
+    Trace,
+    TraceSpec,
+    build_trace,
+    load_trace,
+    parse_scenario,
+    save_trace,
+)
+
+__all__ = [
+    "DEFAULT_MAX_QUEUE",
+    "DIVERGENCE_WAIT_FACTOR",
+    "MAX_TRACE_REQUESTS",
+    "TRACE_FAMILIES",
+    "ReplayStats",
+    "Request",
+    "SLOSpec",
+    "Trace",
+    "TraceSpec",
+    "build_trace",
+    "load_trace",
+    "merge_stats",
+    "parse_scenario",
+    "record_replay",
+    "replay_fleet",
+    "replay_trace",
+    "save_trace",
+    "traffic_stats",
+]

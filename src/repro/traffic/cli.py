@@ -1,0 +1,219 @@
+"""Traffic command-line interface.
+
+Generate, inspect and replay serving-load traces from the shell::
+
+    python -m repro traffic generate "diurnal:rate=40,peak=4,duration=120,seed=7" --out trace.jsonl
+    python -m repro traffic replay "flash:rate=30,mult=8,duration=90,seed=7" --device armv7 --batch 16
+    python -m repro traffic replay trace.jsonl --device i7nuc --batch 8 --json
+    python -m repro traffic compare "diurnal:rate=40,duration=120,seed=7" --device armv7
+
+``replay`` accepts either a scenario spec or a line-JSON trace file and
+prices the candidate deployment with the hardware emulator.  ``compare``
+sweeps the default batch candidates under the trace and prints the
+SLO picture per batch size — the quick way to see why tuned-under-load
+configurations diverge from steady-state picks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..batching import DEFAULT_BATCH_CANDIDATES
+from ..errors import ReproError
+from ..hardware import Emulator, get_device
+from .replay import SLOSpec, replay_trace
+from .traces import Trace, build_trace, load_trace, save_trace
+
+
+def _load(source: str) -> Trace:
+    """Scenario spec or line-JSON path -> trace."""
+    if os.path.exists(source):
+        with open(source) as handle:
+            return load_trace(
+                handle, name=os.path.basename(source)
+            )
+    return build_trace(source)
+
+
+def _latency_fn(args, emulator: Emulator):
+    """Latency curve of the candidate deployment on the emulated device."""
+    spec = get_device(args.device)
+    frequency = args.frequency if args.frequency else None
+
+    def latency(batch: int) -> float:
+        return emulator.measure_inference(
+            forward_flops_per_sample=args.flops,
+            parameter_count=args.params,
+            batch_size=batch,
+            device=spec,
+            cores=args.cores,
+            frequency_ghz=frequency,
+        ).batch_latency_s
+
+    return latency, spec
+
+
+def _slo(args) -> SLOSpec:
+    return SLOSpec(
+        p99_target_s=args.slo_p99,
+        deadline_s=args.slo_deadline,
+    )
+
+
+def _cmd_generate(args) -> int:
+    trace = build_trace(args.scenario)
+    if args.out:
+        with open(args.out, "w") as handle:
+            count = save_trace(trace, handle)
+        print(f"wrote {count} requests to {args.out} "
+              f"(digest {trace.digest()})")
+    else:
+        save_trace(trace, sys.stdout)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    trace = _load(args.scenario)
+    emulator = Emulator()
+    latency, spec = _latency_fn(args, emulator)
+    power = emulator.measure_inference(
+        forward_flops_per_sample=args.flops,
+        parameter_count=args.params,
+        batch_size=max(args.batch, 1),
+        device=spec,
+        cores=args.cores,
+        frequency_ghz=args.frequency if args.frequency else None,
+    ).power_w
+    stats = replay_trace(
+        trace,
+        latency,
+        max_batch=args.batch,
+        slo=_slo(args),
+        power_w=power,
+        idle_power_w=spec.idle_power_w,
+    )
+    if args.json:
+        payload = stats.to_dict()
+        payload["digest"] = trace.digest()
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(f"trace:      {trace.name} ({stats.requests} requests, "
+          f"digest {trace.digest()})")
+    print(f"deployment: {args.device} batch={args.batch} "
+          f"cores={args.cores}"
+          + (f" freq={args.frequency}GHz" if args.frequency else ""))
+    print(f"latency:    mean {stats.mean_latency_s * 1000:.1f}ms  "
+          f"p95 {stats.p95_latency_s * 1000:.1f}ms  "
+          f"p99 {stats.p99_latency_s * 1000:.1f}ms")
+    print(f"throughput: {stats.throughput_rps:.1f} req/s  "
+          f"utilisation {stats.utilisation:.2f}  "
+          f"mean batch {stats.mean_batch:.1f}")
+    print(f"energy:     {stats.energy_per_request_j:.4f} J/request")
+    print(f"queue:      mean {stats.mean_queue_depth:.1f}  "
+          f"max {stats.max_queue_depth}")
+    if args.slo_deadline is not None:
+        print(f"deadline:   {stats.deadline_misses} misses "
+              f"({stats.deadline_miss_rate:.1%})")
+    if stats.shed or stats.diverged:
+        print(f"overload:   DIVERGED — {stats.shed} requests shed")
+    if stats.storm_injected:
+        print(f"storm:      {stats.storm_injected} injected requests")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    trace = _load(args.scenario)
+    emulator = Emulator()
+    latency, spec = _latency_fn(args, emulator)
+    slo = _slo(args)
+    print(f"{'batch':>6} {'p99 ms':>10} {'mean ms':>10} {'miss %':>8} "
+          f"{'J/req':>8} {'util':>6}  state")
+    for batch in DEFAULT_BATCH_CANDIDATES:
+        power = emulator.measure_inference(
+            forward_flops_per_sample=args.flops,
+            parameter_count=args.params,
+            batch_size=batch,
+            device=spec,
+            cores=args.cores,
+            frequency_ghz=args.frequency if args.frequency else None,
+        ).power_w
+        stats = replay_trace(
+            trace, latency, max_batch=batch, slo=slo,
+            power_w=power, idle_power_w=spec.idle_power_w,
+        )
+        state = "diverged" if stats.diverged else "ok"
+        print(f"{batch:>6} {stats.p99_latency_s * 1000:>10.1f} "
+              f"{stats.mean_latency_s * 1000:>10.1f} "
+              f"{stats.deadline_miss_rate * 100:>8.2f} "
+              f"{stats.energy_per_request_j:>8.4f} "
+              f"{stats.utilisation:>6.2f}  {state}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro traffic",
+        description="Generate and replay serving-load traces.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def deployment_args(sub) -> None:
+        sub.add_argument("--device", default="armv7",
+                         help="emulated edge device serving the trace")
+        sub.add_argument("--batch", type=int, default=8,
+                         help="inference batch size (greedy aggregation cap)")
+        sub.add_argument("--cores", type=int, default=1)
+        sub.add_argument("--frequency", type=float, default=None,
+                         help="CPU frequency in GHz (default: device max)")
+        sub.add_argument("--flops", type=float, default=200.0,
+                         help="measured forward FLOPs per sample of the "
+                              "served (scaled-down) model — the emulator "
+                              "maps these onto realistic magnitudes")
+        sub.add_argument("--params", type=int, default=12_000,
+                         help="parameter count of the served model")
+        sub.add_argument("--slo-p99", type=float, default=None,
+                         help="p99 latency target in seconds")
+        sub.add_argument("--slo-deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+
+    generate = subparsers.add_parser(
+        "generate", help="materialise a scenario as line-JSON"
+    )
+    generate.add_argument("scenario",
+                          help="scenario spec, e.g. 'diurnal:rate=40,"
+                               "peak=4,duration=120,seed=7'")
+    generate.add_argument("--out", default=None,
+                          help="output path (default: stdout)")
+    generate.set_defaults(func=_cmd_generate)
+
+    replay = subparsers.add_parser(
+        "replay", help="replay a scenario/trace against one deployment"
+    )
+    replay.add_argument("scenario",
+                        help="scenario spec or line-JSON trace path")
+    replay.add_argument("--json", action="store_true",
+                        help="machine-readable stats output")
+    deployment_args(replay)
+    replay.set_defaults(func=_cmd_replay)
+
+    compare = subparsers.add_parser(
+        "compare", help="sweep batch candidates under one trace"
+    )
+    compare.add_argument("scenario",
+                         help="scenario spec or line-JSON trace path")
+    deployment_args(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

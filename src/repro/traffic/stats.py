@@ -1,0 +1,55 @@
+"""Persistent traffic counters for ``service status``.
+
+Replays executed while scoring deployment candidates (the SLO-aware
+inference objectives) record crash-safe aggregate counters into the
+``fleet_stats`` key-value table (migration v7) under a ``traffic.``
+prefix, so ``service status --json`` can report serving-load progress —
+requests replayed, SLO violations, shed/diverged replays — next to the
+fleet and cache meters, from any process, after any crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..storage import TrialDatabase
+from .replay import ReplayStats, SLOSpec
+
+#: Key prefix separating traffic counters from fleet counters inside the
+#: shared ``fleet_stats`` table.
+PREFIX = "traffic."
+
+
+def _bump(database: TrialDatabase, key: str, amount: float) -> None:
+    if not amount:
+        return
+    database.execute(
+        "INSERT INTO fleet_stats (key, value) VALUES (?, ?) "
+        "ON CONFLICT (key) DO UPDATE SET value = value + excluded.value",
+        (PREFIX + key, float(amount)),
+    )
+
+
+def record_replay(
+    database: TrialDatabase,
+    stats: ReplayStats,
+    slo: Optional[SLOSpec] = None,
+) -> None:
+    """Fold one replay's outcome into the persistent counters."""
+    _bump(database, "replays", 1)
+    _bump(database, "requests_replayed", stats.requests)
+    _bump(database, "requests_shed", stats.shed)
+    _bump(database, "replays_diverged", 1 if stats.diverged else 0)
+    _bump(database, "storm_injected", stats.storm_injected)
+    if slo is not None:
+        for name, count in slo.violations(stats).items():
+            _bump(database, f"slo_violations.{name}", count)
+
+
+def traffic_stats(database: TrialDatabase) -> Dict[str, float]:
+    """All ``traffic.*`` counters, with the prefix stripped."""
+    rows = database.execute(
+        "SELECT key, value FROM fleet_stats WHERE key LIKE ? ORDER BY key",
+        (PREFIX + "%",),
+    ).fetchall()
+    return {key[len(PREFIX):]: float(value) for key, value in rows}

@@ -1,0 +1,557 @@
+"""Trace generators: deterministic serving-load request streams.
+
+The traffic subsystem replays *traces* — timestamped request streams —
+through the discrete-event engine in :mod:`repro.traffic.replay` to score
+deployment configurations under realistic load instead of steady-state
+one-off inference.  Every generator here is seed-driven and bit-exactly
+reproducible: the same :class:`TraceSpec` produces the same
+:class:`Trace` in every process, on every run (the determinism contract
+the SLO objectives and the artifact cache rely on).
+
+Five trace families cover the ROADMAP's "millions of users" load shapes:
+
+``poisson``   homogeneous Poisson arrivals (the steady baseline)
+``diurnal``   smooth day/night cycle (raised-cosine rate modulation)
+``flash``     flash crowd: a rate spike of ``mult``x inside a window
+``pareto``    heavy-tailed/bursty Pareto inter-arrivals
+``multi``     several model streams multiplexed onto one device
+``fleet``     a device-mix: per-device sub-traces over heterogeneous
+              :mod:`repro.hardware` edge devices
+
+All families share one canonical request format — ``(arrival_s,
+model_id, device)`` — stored as numpy arrays for replay speed, with a
+line-JSON import/export path for external traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed, make_rng
+
+#: Trace families understood by :func:`parse_scenario`.
+TRACE_FAMILIES = ("poisson", "diurnal", "flash", "pareto", "multi", "fleet")
+
+#: Hard cap on generated requests per trace: a mis-parameterised scenario
+#: (rate x duration explosion) fails loudly instead of eating the host's
+#: memory.
+MAX_TRACE_REQUESTS = 5_000_000
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of a trace (the line-JSON record shape)."""
+
+    arrival_s: float
+    model: str = "default"
+    device: Optional[str] = None
+
+    def to_json(self) -> str:
+        record = {"arrival_s": round(self.arrival_s, 9), "model": self.model}
+        if self.device is not None:
+            record["device"] = self.device
+        return json.dumps(record, sort_keys=True)
+
+
+@dataclass
+class Trace:
+    """A timestamped request stream in replay-ready (array) form.
+
+    ``arrivals_s`` is sorted ascending; ``model_ids`` indexes ``models``
+    per request.  ``device_ids`` is only populated for fleet traces
+    (``None`` means every request targets the replay caller's device).
+    """
+
+    name: str
+    arrivals_s: np.ndarray
+    model_ids: np.ndarray
+    models: Tuple[str, ...] = ("default",)
+    device_ids: Optional[np.ndarray] = None
+    devices: Tuple[str, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.arrivals_s = np.asarray(self.arrivals_s, dtype=np.float64)
+        self.model_ids = np.asarray(self.model_ids, dtype=np.int64)
+        if self.arrivals_s.shape != self.model_ids.shape:
+            raise ConfigurationError(
+                "arrivals and model ids must be index-aligned"
+            )
+        if self.arrivals_s.size and np.any(np.diff(self.arrivals_s) < 0):
+            raise ConfigurationError("trace arrivals must be sorted")
+
+    def __len__(self) -> int:
+        return int(self.arrivals_s.size)
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.arrivals_s[-1]) if len(self) else 0.0
+
+    def digest(self) -> str:
+        """Bit-exact content address of the request stream."""
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(self.arrivals_s.tobytes())
+        hasher.update(self.model_ids.tobytes())
+        hasher.update("|".join(self.models).encode("utf-8"))
+        if self.device_ids is not None:
+            hasher.update(self.device_ids.tobytes())
+            hasher.update("|".join(self.devices).encode("utf-8"))
+        return hasher.hexdigest()
+
+    def requests(self) -> Iterator[Request]:
+        for index in range(len(self)):
+            device = None
+            if self.device_ids is not None:
+                device = self.devices[int(self.device_ids[index])]
+            yield Request(
+                arrival_s=float(self.arrivals_s[index]),
+                model=self.models[int(self.model_ids[index])],
+                device=device,
+            )
+
+    def split_by_device(self) -> Dict[str, "Trace"]:
+        """Per-device sub-traces of a fleet trace (identity otherwise)."""
+        if self.device_ids is None:
+            return {"": self}
+        out: Dict[str, Trace] = {}
+        for device_index, device in enumerate(self.devices):
+            mask = self.device_ids == device_index
+            out[device] = Trace(
+                name=f"{self.name}@{device}",
+                arrivals_s=self.arrivals_s[mask],
+                model_ids=self.model_ids[mask],
+                models=self.models,
+                meta=dict(self.meta),
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+def _homogeneous_arrivals(
+    rng: np.random.Generator, rate_rps: float, duration_s: float
+) -> np.ndarray:
+    """Poisson arrivals on [0, duration): exponential gaps, cumsum, clip.
+
+    Draws in fixed-size blocks so the number of RNG calls depends only on
+    (rate, duration, seed) — never on float accumulation order.
+    """
+    if rate_rps <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if duration_s <= 0:
+        raise ConfigurationError("trace duration must be positive")
+    expected = rate_rps * duration_s
+    if expected > MAX_TRACE_REQUESTS:
+        raise ConfigurationError(
+            f"scenario would generate ~{expected:.0f} requests "
+            f"(cap {MAX_TRACE_REQUESTS}); lower rate or duration"
+        )
+    chunks: List[np.ndarray] = []
+    total = 0.0
+    while True:
+        block = max(256, int(expected * 0.25) + 1)
+        gaps = rng.exponential(1.0 / rate_rps, size=block)
+        arrivals = total + np.cumsum(gaps)
+        chunks.append(arrivals)
+        total = float(arrivals[-1])
+        if total >= duration_s:
+            break
+    arrivals = np.concatenate(chunks)
+    return arrivals[arrivals < duration_s]
+
+
+def _thin(
+    rng: np.random.Generator,
+    arrivals: np.ndarray,
+    accept_probability: np.ndarray,
+) -> np.ndarray:
+    """Thinning step for non-homogeneous Poisson processes."""
+    return arrivals[rng.random(size=arrivals.size) < accept_probability]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parsed scenario description (the canonical, hashable identity).
+
+    ``family`` picks the generator; ``params`` are the family's knobs
+    (already validated/normalised).  ``canonical()`` is the string form
+    embedded in objective names, session specs and artifact trial keys —
+    two specs with the same canonical form build bit-identical traces.
+    """
+
+    family: str
+    rate_rps: float
+    duration_s: float
+    seed: int
+    params: Tuple[Tuple[str, float], ...] = ()
+    devices: Tuple[str, ...] = ()
+    models: int = 1
+
+    def canonical(self) -> str:
+        parts = [
+            f"rate={self.rate_rps:g}",
+            f"duration={self.duration_s:g}",
+            f"seed={self.seed}",
+        ]
+        if self.models != 1:
+            parts.append(f"models={self.models}")
+        parts.extend(f"{key}={value:g}" for key, value in self.params)
+        if self.devices:
+            parts.append("devices=" + "+".join(self.devices))
+        return f"{self.family}:" + ",".join(sorted(parts))
+
+    def param(self, key: str, default: float) -> float:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    # -- builders ----------------------------------------------------------
+    def build(self) -> Trace:
+        """Materialise the request stream (deterministic in the spec)."""
+        builder = {
+            "poisson": self._build_poisson,
+            "diurnal": self._build_diurnal,
+            "flash": self._build_flash,
+            "pareto": self._build_pareto,
+            "multi": self._build_multi,
+            "fleet": self._build_fleet,
+        }[self.family]
+        trace = builder()
+        trace.meta["scenario"] = self.canonical()
+        return trace
+
+    def _rng(self, *path: Union[str, int]) -> np.random.Generator:
+        return make_rng(derive_seed(self.seed, "traffic", self.family, *path))
+
+    def _single_model(self, arrivals: np.ndarray, name: str) -> Trace:
+        return Trace(
+            name=name,
+            arrivals_s=arrivals,
+            model_ids=np.zeros(arrivals.size, dtype=np.int64),
+        )
+
+    def _build_poisson(self) -> Trace:
+        arrivals = _homogeneous_arrivals(
+            self._rng("arrivals"), self.rate_rps, self.duration_s
+        )
+        return self._single_model(arrivals, "poisson")
+
+    def _build_diurnal(self) -> Trace:
+        """Raised-cosine diurnal cycle via Lewis-Shedler thinning.
+
+        rate(t) = base + (peak - base) * (1 - cos(2 pi t / period)) / 2,
+        so the trace starts in the trough and peaks mid-period.
+        """
+        peak_mult = self.param("peak", 4.0)
+        period = self.param("period", self.duration_s)
+        if peak_mult < 1.0:
+            raise ConfigurationError("diurnal peak multiplier must be >= 1")
+        if period <= 0:
+            raise ConfigurationError("diurnal period must be positive")
+        peak_rate = self.rate_rps * peak_mult
+        rng = self._rng("arrivals")
+        candidates = _homogeneous_arrivals(rng, peak_rate, self.duration_s)
+        rate = self.rate_rps + (peak_rate - self.rate_rps) * 0.5 * (
+            1.0 - np.cos(2.0 * math.pi * candidates / period)
+        )
+        arrivals = _thin(rng, candidates, rate / peak_rate)
+        return self._single_model(arrivals, "diurnal")
+
+    def _build_flash(self) -> Trace:
+        """Flash crowd: base Poisson with a ``mult``x window spike."""
+        mult = self.param("mult", 8.0)
+        start = self.param("start", self.duration_s / 3.0)
+        width = self.param("width", self.duration_s / 6.0)
+        if mult < 1.0:
+            raise ConfigurationError("flash multiplier must be >= 1")
+        if width <= 0 or start < 0:
+            raise ConfigurationError(
+                "flash window needs start >= 0 and width > 0"
+            )
+        peak_rate = self.rate_rps * mult
+        rng = self._rng("arrivals")
+        candidates = _homogeneous_arrivals(rng, peak_rate, self.duration_s)
+        in_spike = (candidates >= start) & (candidates < start + width)
+        accept = np.where(in_spike, 1.0, 1.0 / mult)
+        arrivals = _thin(rng, candidates, accept)
+        return self._single_model(arrivals, "flash")
+
+    def _build_pareto(self) -> Trace:
+        """Heavy-tailed (bursty) arrivals: Lomax/Pareto-II gaps.
+
+        Gap = scale * Pareto(alpha) draws with mean scale/(alpha-1);
+        the scale is solved so the long-run rate matches ``rate_rps``,
+        which keeps the family comparable to the Poisson baseline while
+        clustering arrivals into bursts separated by long silences.
+        """
+        alpha = self.param("alpha", 1.5)
+        if alpha <= 1.0:
+            raise ConfigurationError(
+                "pareto alpha must be > 1 (finite mean inter-arrival)"
+            )
+        mean_gap = 1.0 / self.rate_rps
+        scale = mean_gap * (alpha - 1.0)
+        expected = self.rate_rps * self.duration_s
+        if expected > MAX_TRACE_REQUESTS:
+            raise ConfigurationError(
+                f"scenario would generate ~{expected:.0f} requests "
+                f"(cap {MAX_TRACE_REQUESTS}); lower rate or duration"
+            )
+        rng = self._rng("arrivals")
+        chunks: List[np.ndarray] = []
+        total = 0.0
+        while True:
+            gaps = scale * rng.pareto(alpha, size=max(256, int(expected) + 1))
+            arrivals = total + np.cumsum(gaps)
+            chunks.append(arrivals)
+            total = float(arrivals[-1])
+            if total >= self.duration_s:
+                break
+        arrivals = np.concatenate(chunks)
+        return self._single_model(
+            arrivals[arrivals < self.duration_s], "pareto"
+        )
+
+    def _build_multi(self) -> Trace:
+        """Several model pipelines sharing one device.
+
+        Stream ``k`` carries ``2^-k``-proportional weight (the classic
+        skewed multi-model mix); streams are merged with a stable sort so
+        equal timestamps order by stream index deterministically.
+        """
+        if self.models < 2:
+            raise ConfigurationError("multi traces need models >= 2")
+        weights = np.array(
+            [2.0 ** -k for k in range(self.models)], dtype=np.float64
+        )
+        weights /= weights.sum()
+        arrivals_parts: List[np.ndarray] = []
+        id_parts: List[np.ndarray] = []
+        for stream, weight in enumerate(weights):
+            part = _homogeneous_arrivals(
+                self._rng("stream", stream),
+                self.rate_rps * float(weight),
+                self.duration_s,
+            )
+            arrivals_parts.append(part)
+            id_parts.append(np.full(part.size, stream, dtype=np.int64))
+        arrivals = np.concatenate(arrivals_parts)
+        model_ids = np.concatenate(id_parts)
+        order = np.argsort(arrivals, kind="stable")
+        return Trace(
+            name="multi",
+            arrivals_s=arrivals[order],
+            model_ids=model_ids[order],
+            models=tuple(f"model-{k}" for k in range(self.models)),
+        )
+
+    def _build_fleet(self) -> Trace:
+        """A fleet mix: independent sub-streams per heterogeneous device."""
+        if len(self.devices) < 2:
+            raise ConfigurationError(
+                "fleet traces need devices=a+b (two or more device names)"
+            )
+        from ..hardware import get_device
+
+        for device in self.devices:
+            get_device(device)  # validate early, before generating anything
+        arrivals_parts: List[np.ndarray] = []
+        device_parts: List[np.ndarray] = []
+        for device_index, device in enumerate(self.devices):
+            part = _homogeneous_arrivals(
+                self._rng("device", device),
+                self.rate_rps / len(self.devices),
+                self.duration_s,
+            )
+            arrivals_parts.append(part)
+            device_parts.append(
+                np.full(part.size, device_index, dtype=np.int64)
+            )
+        arrivals = np.concatenate(arrivals_parts)
+        device_ids = np.concatenate(device_parts)
+        order = np.argsort(arrivals, kind="stable")
+        arrivals = arrivals[order]
+        return Trace(
+            name="fleet",
+            arrivals_s=arrivals,
+            model_ids=np.zeros(arrivals.size, dtype=np.int64),
+            device_ids=device_ids[order],
+            devices=tuple(self.devices),
+        )
+
+
+def parse_scenario(spec: str) -> TraceSpec:
+    """Parse ``family:key=value,...`` into a validated :class:`TraceSpec`.
+
+    Examples::
+
+        diurnal:rate=40,peak=4,period=120,duration=240,seed=7
+        flash:rate=30,mult=8,start=60,width=20,duration=180,seed=7
+        pareto:rate=50,alpha=1.5,duration=120,seed=7
+        multi:rate=40,models=3,duration=120,seed=7
+        fleet:rate=40,devices=armv7+i7nuc,duration=120,seed=7
+    """
+    spec = str(spec).strip()
+    family, _, rest = spec.partition(":")
+    family = family.strip().lower()
+    if family not in TRACE_FAMILIES:
+        raise ConfigurationError(
+            f"unknown trace family {family!r}; expected one of "
+            f"{TRACE_FAMILIES}"
+        )
+    values: Dict[str, str] = {}
+    for entry in rest.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ConfigurationError(f"malformed scenario entry {entry!r}")
+        key, _, value = entry.partition("=")
+        values[key.strip().lower()] = value.strip()
+    try:
+        rate = float(values.pop("rate", 50.0))
+        duration = float(values.pop("duration", 60.0))
+        seed = int(values.pop("seed", 0))
+        models = int(values.pop("models", 2 if family == "multi" else 1))
+    except ValueError as error:
+        raise ConfigurationError(f"malformed scenario {spec!r}: {error}")
+    devices: Tuple[str, ...] = ()
+    if "devices" in values:
+        devices = tuple(
+            name.strip().lower()
+            for name in values.pop("devices").split("+")
+            if name.strip()
+        )
+    known_params = {
+        "poisson": (),
+        "diurnal": ("peak", "period"),
+        "flash": ("mult", "start", "width"),
+        "pareto": ("alpha",),
+        "multi": (),
+        "fleet": (),
+    }[family]
+    params: List[Tuple[str, float]] = []
+    for key in sorted(values):
+        if key not in known_params:
+            raise ConfigurationError(
+                f"scenario key {key!r} is not valid for family {family!r} "
+                f"(valid: rate, duration, seed"
+                + (", models" if family == "multi" else "")
+                + (", devices" if family == "fleet" else "")
+                + (", " + ", ".join(known_params) if known_params else "")
+                + ")"
+            )
+        try:
+            params.append((key, float(values[key])))
+        except ValueError as error:
+            raise ConfigurationError(
+                f"malformed scenario {spec!r}: {error}"
+            )
+    trace_spec = TraceSpec(
+        family=family,
+        rate_rps=rate,
+        duration_s=duration,
+        seed=seed,
+        params=tuple(params),
+        devices=devices,
+        models=models,
+    )
+    # Validate eagerly: a bad spec should fail at parse/submit time, not
+    # mid-session inside a worker.  Building is cheap relative to tuning,
+    # but skip it for huge traces — the range checks below cover those.
+    if rate * duration <= 100_000:
+        trace_spec.build()
+    return trace_spec
+
+
+def build_trace(spec: Union[str, TraceSpec]) -> Trace:
+    """One-call convenience: parse (if needed) and build."""
+    parsed = parse_scenario(spec) if isinstance(spec, str) else spec
+    return parsed.build()
+
+
+# ---------------------------------------------------------------------------
+# Line-JSON import/export (external traces)
+# ---------------------------------------------------------------------------
+
+def save_trace(trace: Trace, handle: IO[str]) -> int:
+    """Write a trace as line-JSON; returns the number of records."""
+    count = 0
+    for request in trace.requests():
+        handle.write(request.to_json() + "\n")
+        count += 1
+    return count
+
+
+def load_trace(handle: IO[str], name: str = "external") -> Trace:
+    """Load a line-JSON trace (one ``{"arrival_s": ...}`` object per line).
+
+    Records may carry ``model`` and ``device`` fields; arrivals are
+    sorted if the file is not already ordered (stable, so equal
+    timestamps keep file order).
+    """
+    arrivals: List[float] = []
+    model_names: List[str] = []
+    device_names: List[Optional[str]] = []
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            arrival = float(record["arrival_s"])
+        except (ValueError, KeyError, TypeError) as error:
+            raise ConfigurationError(
+                f"bad trace record on line {line_number}: {error}"
+            )
+        if arrival < 0:
+            raise ConfigurationError(
+                f"negative arrival on line {line_number}: {arrival}"
+            )
+        arrivals.append(arrival)
+        model_names.append(str(record.get("model", "default")))
+        device_names.append(record.get("device"))
+    if not arrivals:
+        raise ConfigurationError("trace file contains no requests")
+    if len(arrivals) > MAX_TRACE_REQUESTS:
+        raise ConfigurationError(
+            f"trace file holds {len(arrivals)} requests "
+            f"(cap {MAX_TRACE_REQUESTS})"
+        )
+    models = tuple(sorted(set(model_names)))
+    model_index = {model: index for index, model in enumerate(models)}
+    arrivals_array = np.asarray(arrivals, dtype=np.float64)
+    model_ids = np.asarray(
+        [model_index[model] for model in model_names], dtype=np.int64
+    )
+    device_ids: Optional[np.ndarray] = None
+    devices: Tuple[str, ...] = ()
+    if any(device is not None for device in device_names):
+        devices = tuple(
+            sorted({device for device in device_names if device is not None})
+        )
+        device_index = {device: idx for idx, device in enumerate(devices)}
+        device_ids = np.asarray(
+            [device_index.get(device or devices[0], 0)
+             for device in device_names],
+            dtype=np.int64,
+        )
+    order = np.argsort(arrivals_array, kind="stable")
+    return Trace(
+        name=name,
+        arrivals_s=arrivals_array[order],
+        model_ids=model_ids[order],
+        models=models,
+        device_ids=None if device_ids is None else device_ids[order],
+        devices=devices,
+    )

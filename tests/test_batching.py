@@ -1,5 +1,7 @@
 """Tests for the queueing simulations and the batch-size optimizer (§3.4)."""
 
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -65,6 +67,48 @@ class TestServerScenario:
             simulate_server_scenario(amortised_latency, 0, 1.0, 1)
         with pytest.raises(ConfigurationError):
             simulate_server_scenario(amortised_latency, 1, 0.0, 1)
+
+    def test_divergent_queue_short_circuits(self):
+        """An overloaded sweep candidate must not grind through every
+        query: the simulation truncates deterministically once the queue
+        has provably diverged, even for an absurd ``num_queries``."""
+        start = time.perf_counter()
+        result = simulate_server_scenario(
+            amortised_latency, samples_per_query=100, period_s=0.5,
+            batch_size=1, num_queries=10_000_000,
+        )
+        assert time.perf_counter() - start < 1.0
+        assert result.truncated
+        assert not result.stable
+        # Statistics cover only the queries served before the cut-off.
+        assert result.samples_processed < 10_000_000 * 100
+        assert result.samples_processed % 100 == 0
+
+    def test_truncation_is_deterministic(self):
+        results = [
+            simulate_server_scenario(
+                amortised_latency, samples_per_query=100, period_s=0.5,
+                batch_size=1, num_queries=5_000,
+            )
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+        # The cut-off is a pure function of the scenario: the same
+        # truncated stats regardless of how many more queries were asked.
+        longer = simulate_server_scenario(
+            amortised_latency, samples_per_query=100, period_s=0.5,
+            batch_size=1, num_queries=50_000,
+        )
+        assert longer == results[0]
+
+    def test_stable_scenario_never_truncates(self):
+        result = simulate_server_scenario(
+            amortised_latency, samples_per_query=10, period_s=1.0,
+            batch_size=10, num_queries=500,
+        )
+        assert not result.truncated
+        assert result.stable
+        assert result.samples_processed == 500 * 10
 
 
 class TestMultiStreamScenario:

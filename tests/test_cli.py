@@ -41,6 +41,50 @@ class TestReproCli:
         with pytest.raises(SystemExit):
             repro_main(["tune", "MNIST"])
 
+    def test_traffic_replay_json_deterministic(self, capsys):
+        import json
+
+        scenario = "diurnal:rate=20,duration=10,seed=3"
+        outputs = []
+        for _ in range(2):
+            code = repro_main(["traffic", "replay", scenario, "--json"])
+            assert code == 0
+            outputs.append(json.loads(capsys.readouterr().out))
+        assert outputs[0] == outputs[1]
+        report = outputs[0]
+        assert report["requests"] > 0
+        assert "p99_latency_s" in report and "digest" in report
+
+    def test_traffic_compare_sweeps_candidates(self, capsys):
+        code = repro_main([
+            "traffic", "compare", "flash:rate=20,duration=10,seed=3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "batch" in out
+
+    def test_traffic_bad_scenario_rejected(self, capsys):
+        assert repro_main(["traffic", "replay", "tsunami:rate=1"]) == 1
+        assert "unknown trace family" in capsys.readouterr().err
+
+    def test_tune_slo_requires_traffic(self, capsys):
+        code = repro_main([
+            "tune", "IC", "--samples", "200", "--slo-p99", "0.5",
+        ])
+        assert code == 2
+        assert "need --traffic" in capsys.readouterr().err
+
+    def test_tune_under_traffic(self, capsys):
+        code = repro_main([
+            "tune", "IC", "--samples", "200", "--seed", "3",
+            "--traffic", "flash:rate=20,duration=10,seed=3",
+            "--traffic-metric", "deadline", "--slo-deadline", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deployment" in out
+
 
 class TestExperimentsCli:
     def test_list(self, capsys):

@@ -35,7 +35,8 @@ class TestRegistry:
         }
         ablations = {"ablation_onefold", "ablation_cache", "ablation_eta",
                      "ablation_warmstart"}
-        assert set(ALL_EXPERIMENTS) == paper_targets | ablations
+        extensions = {"traffic_slo"}
+        assert set(ALL_EXPERIMENTS) == paper_targets | ablations | extensions
 
     def test_context_targets(self):
         full = ExperimentContext(fast=False)

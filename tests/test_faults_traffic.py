@@ -1,0 +1,98 @@
+"""Chaos: the ``traffic.request_storm`` fault and graceful degradation.
+
+The storm site is decision-only — the replay engine multiplies mid-trace
+arrivals itself and *must* degrade gracefully: never raise, never spin,
+just shed the excess into the miss counters and report."""
+
+import pytest
+
+from repro import faults
+from repro.faults.plan import KNOWN_SITES, FaultPlan
+from repro.storage import TrialDatabase
+from repro.traffic import (
+    SLOSpec,
+    build_trace,
+    record_replay,
+    replay_trace,
+    traffic_stats,
+)
+
+STORM_SPEC = "seed=7;traffic.request_storm=1.0:1:3"
+TRACE = "diurnal:rate=40,duration=20,seed=5"
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def test_site_is_registered():
+    assert "traffic.request_storm" in KNOWN_SITES
+    plan = FaultPlan.parse(STORM_SPEC)
+    assert plan.rules["traffic.request_storm"].param == 3.0
+    assert plan.to_spec() == FaultPlan.parse(plan.to_spec()).to_spec()
+
+
+def test_storm_multiplies_midtrace_arrivals():
+    trace = build_trace(TRACE)
+    faults.configure(STORM_SPEC, propagate=False)
+    stats = replay_trace(trace, lambda b: 0.004 + 0.0008 * b, max_batch=8)
+    # Middle-third requests are tripled: two extra copies each.
+    in_window = sum(
+        1 for arrival in trace.arrivals_s
+        if trace.duration_s / 3.0 <= arrival < 2.0 * trace.duration_s / 3.0
+    )
+    assert stats.storm_injected == 2 * in_window
+    assert stats.requests == len(trace) + stats.storm_injected
+
+
+def test_storm_is_deterministic():
+    trace = build_trace(TRACE)
+    faults.configure(STORM_SPEC, propagate=False)
+    first = replay_trace(trace, lambda b: 0.004 + 0.0008 * b, max_batch=8)
+    second = replay_trace(trace, lambda b: 0.004 + 0.0008 * b, max_batch=8)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_no_storm_without_plan():
+    trace = build_trace(TRACE)
+    stats = replay_trace(trace, lambda b: 0.004 + 0.0008 * b, max_batch=8)
+    assert stats.storm_injected == 0
+    assert stats.requests == len(trace)
+
+
+def test_graceful_degradation_under_storm_overload():
+    """A storm against an already-tight deployment must shed and report,
+    not raise or simulate an unbounded queue."""
+    trace = build_trace(TRACE)
+    slo = SLOSpec(deadline_s=0.25)
+    faults.configure("seed=7;traffic.request_storm=1.0:1:8",
+                     propagate=False)
+    # ~24 req/s capacity at batch 1 against 40 req/s stormed to 320.
+    stats = replay_trace(
+        trace, lambda b: 0.04 + 0.001 * b, max_batch=1, slo=slo
+    )
+    assert stats.diverged
+    assert stats.shed > 0
+    assert stats.completed + stats.shed == stats.requests
+    assert stats.deadline_misses >= stats.shed
+    assert 0.0 < stats.deadline_miss_rate <= 1.0
+    # Degradation is *reported*: counters land in the status tables.
+    database = TrialDatabase()
+    record_replay(database, stats, slo)
+    counters = traffic_stats(database)
+    assert counters["requests_shed"] == float(stats.shed)
+    assert counters["replays_diverged"] == 1.0
+    assert counters["storm_injected"] == float(stats.storm_injected)
+
+
+def test_storm_respects_only_key():
+    """A rule keyed to another trace name leaves this replay untouched."""
+    trace = build_trace(TRACE)  # name is "diurnal"
+    faults.configure(
+        "seed=7;traffic.request_storm=1.0:1:3@flash", propagate=False
+    )
+    stats = replay_trace(trace, lambda b: 0.004 + 0.0008 * b, max_batch=8)
+    assert stats.storm_injected == 0
