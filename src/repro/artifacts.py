@@ -29,6 +29,18 @@ payload bytes in a ``<db>.artifacts/`` sidecar directory — written to a
 temp file and published with an atomic :func:`os.replace`, so a crash
 mid-write never leaves a half-artifact visible — while ``:memory:``
 databases inline the payload in the ``blob`` column.
+
+**End-to-end integrity** (migration v8): every ``put`` records a blake2b
+checksum of the payload, and every ``get`` verifies it before handing
+bytes back.  A mismatch — bit rot, a truncated sidecar file, or the
+``artifact.corrupt_blob`` chaos site — **quarantines** the blob (the
+sidecar file moves to ``<blob_dir>/quarantine/``, the row is dropped, a
+crash-safe ``artifacts.quarantined`` counter is bumped) and the read
+reports a miss, so the trial falls back to a deterministic cold run
+instead of silently resuming from corrupted state.  ``scrub`` sweeps the
+whole store offline: verifying every blob, quarantining mismatches,
+dropping rows whose sidecar file is gone, backfilling checksums on
+pre-v8 rows, and removing orphaned files.
 """
 
 from __future__ import annotations
@@ -36,6 +48,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -44,7 +57,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from . import faults
 from .storage import TrialDatabase
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the payload layout changes; part of every trial key so stale
 #: entries from an older release can never be returned for a new key.
@@ -52,6 +68,15 @@ PAYLOAD_VERSION = 1
 
 #: Suffix of published payload files in the sidecar directory.
 BLOB_SUFFIX = ".bin"
+
+#: Subdirectory of the sidecar dir holding quarantined (corrupt) blobs.
+QUARANTINE_DIR = "quarantine"
+
+
+def artifact_checksum(payload: bytes) -> str:
+    """Blake2b digest of an artifact payload (the integrity checksum
+    stored with every row and carried on federation transfers)."""
+    return hashlib.blake2b(payload, digest_size=20).hexdigest()
 
 
 def backend_fingerprint() -> str:
@@ -211,8 +236,8 @@ class ArtifactStore:
             inline = None
         self.database.execute(
             "INSERT OR IGNORE INTO artifacts (key, workload, trial_id, "
-            "epochs, data_fraction, size_bytes, hits, blob, created_at) "
-            "VALUES (?, ?, ?, ?, ?, ?, 0, ?, ?)",
+            "epochs, data_fraction, size_bytes, hits, blob, created_at, "
+            "checksum) VALUES (?, ?, ?, ?, ?, ?, 0, ?, ?, ?)",
             (
                 key,
                 workload,
@@ -222,18 +247,26 @@ class ArtifactStore:
                 len(payload),
                 inline,
                 time.time(),
+                artifact_checksum(payload),
             ),
         )
 
     def get(self, key: str, count_miss: bool = True) -> Optional[bytes]:
         """Payload bytes for ``key``, bumping hit accounting; ``None`` on
         miss (including a row whose sidecar file was pruned underneath —
-        the stale row is dropped so the trial is simply recomputed)."""
+        the stale row is dropped so the trial is simply recomputed).
+
+        Every read is verified against the row's stored checksum; a
+        mismatch quarantines the blob and reports a miss, so corruption
+        degrades to a deterministic cold re-run, never a wrong result.
+        """
         row = self.database.execute(
-            "SELECT blob FROM artifacts WHERE key = ?", (key,)
+            "SELECT blob, checksum FROM artifacts WHERE key = ?", (key,)
         ).fetchone()
         payload: Optional[bytes] = None
+        checksum: Optional[str] = None
         if row is not None:
+            checksum = row[1]
             if row[0] is not None:
                 payload = row[0]
             elif self.blob_dir is not None:
@@ -244,6 +277,19 @@ class ArtifactStore:
                     self.database.execute(
                         "DELETE FROM artifacts WHERE key = ?", (key,)
                     )
+        if payload is not None and faults.should(
+            "artifact.corrupt_blob", key=key
+        ):
+            # Chaos: the bytes coming off the disk are not the bytes that
+            # were written.  Checksum verification below must catch it.
+            payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        if (
+            payload is not None
+            and checksum is not None
+            and artifact_checksum(payload) != checksum
+        ):
+            self.quarantine(key, payload, reason="checksum mismatch on get")
+            payload = None
         if payload is None:
             if count_miss:
                 self.session_misses += 1
@@ -255,6 +301,115 @@ class ArtifactStore:
             (time.time(), key),
         )
         return payload
+
+    # -- integrity ------------------------------------------------------------
+    def _bump_stat(self, stat: str, amount: int = 1) -> None:
+        """Crash-safe counter in ``fleet_stats`` (same upsert discipline
+        as the fleet registry — readable by ``service status`` from any
+        process)."""
+        self.database.execute(
+            "INSERT INTO fleet_stats (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = value + excluded.value",
+            (stat, float(amount)),
+        )
+
+    def _stat(self, stat: str) -> int:
+        row = self.database.execute(
+            "SELECT value FROM fleet_stats WHERE key = ?", (stat,)
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def quarantine(
+        self, key: str, payload: Optional[bytes] = None, reason: str = ""
+    ) -> None:
+        """Pull a corrupt blob out of circulation.
+
+        The row is dropped (so the key reads as a miss and the trial
+        cold-runs), the sidecar file — when there is one — moves into
+        ``<blob_dir>/quarantine/`` for forensics instead of being
+        destroyed, and the crash-safe ``artifacts.quarantined`` counter
+        is bumped.
+        """
+        logger.warning(
+            "artifact %s quarantined%s", key,
+            f": {reason}" if reason else "",
+        )
+        self.database.execute(
+            "DELETE FROM artifacts WHERE key = ?", (key,)
+        )
+        if self.blob_dir is not None:
+            hold = os.path.join(self.blob_dir, QUARANTINE_DIR)
+            try:
+                os.makedirs(hold, exist_ok=True)
+                os.replace(
+                    self._blob_path(key),
+                    os.path.join(hold, key + BLOB_SUFFIX),
+                )
+            except OSError:
+                pass  # file already gone; the dropped row is what matters
+        self._bump_stat("artifacts.quarantined")
+
+    def scrub(self, repair: bool = True) -> Dict[str, int]:
+        """Sweep the whole store: verify every blob end to end.
+
+        * payload present and checksum matches → ``verified``;
+        * checksum mismatch → blob quarantined (``quarantined``);
+        * row whose sidecar file is gone → row dropped (``missing``);
+        * pre-v8 row with no stored checksum → checksum computed and
+          backfilled (``repaired``);
+        * sidecar files with no row → removed (``orphans_removed``).
+
+        With ``repair=False`` the sweep is a dry run: damage is counted
+        and reported but nothing is quarantined, dropped, backfilled, or
+        pruned.  Counters are also persisted crash-safely
+        (``artifacts.scrubs``, ``artifacts.quarantined``) so ``service
+        status --json`` reports them across processes.
+        """
+        counts = {
+            "scanned": 0, "verified": 0, "quarantined": 0,
+            "missing": 0, "repaired": 0,
+        }
+        rows = self.database.execute(
+            "SELECT key, blob, checksum FROM artifacts ORDER BY key"
+        ).fetchall()
+        for key, inline, checksum in rows:
+            counts["scanned"] += 1
+            payload: Optional[bytes] = inline
+            if payload is None and self.blob_dir is not None:
+                try:
+                    with open(self._blob_path(key), "rb") as handle:
+                        payload = handle.read()
+                except OSError:
+                    payload = None
+            if payload is None:
+                if repair:
+                    self.database.execute(
+                        "DELETE FROM artifacts WHERE key = ?", (key,)
+                    )
+                counts["missing"] += 1
+                continue
+            digest = artifact_checksum(payload)
+            if checksum is None:
+                if repair:
+                    self.database.execute(
+                        "UPDATE artifacts SET checksum = ? WHERE key = ?",
+                        (digest, key),
+                    )
+                counts["repaired"] += 1
+                counts["verified"] += 1
+            elif digest != checksum:
+                if repair:
+                    self.quarantine(
+                        key, payload, reason="checksum mismatch on scrub"
+                    )
+                counts["quarantined"] += 1
+            else:
+                counts["verified"] += 1
+        counts["orphans_removed"] = (
+            self._prune_orphans() if repair else 0
+        )
+        self._bump_stat("artifacts.scrubs")
+        return counts
 
     # -- trial-level helpers --------------------------------------------------
     def store_trial(
@@ -350,6 +505,7 @@ class ArtifactStore:
             "bytes": int(row[1]),
             "hits": int(row[2]),
             "misses": int(row[0]),
+            "quarantined": self._stat("artifacts.quarantined"),
         }
 
     def gc(
@@ -428,6 +584,8 @@ class ArtifactStore:
         }
         removed = 0
         for name in os.listdir(self.blob_dir):
+            if os.path.isdir(os.path.join(self.blob_dir, name)):
+                continue  # the quarantine hold is not an orphan
             key: Optional[str] = None
             if name.endswith(BLOB_SUFFIX):
                 key = name[: -len(BLOB_SUFFIX)]

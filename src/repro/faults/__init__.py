@@ -40,6 +40,13 @@ Injection sites wired into the codebase:
 ``fleet.dead_host``       hard-kills a remote fleet host process mid-lease
 ``fleet.partition``       severs a fleet host's dispatch connection
 ``fleet.stale_lease``     suppresses one job's remote lease extensions
+``fleet.hub_crash``       hard-kills the fleet *hub* mid-frame (keyed on
+                          ``<epoch>:<job>`` so a restarted hub, running
+                          under a new incarnation epoch, is not re-killed)
+``fleet.reconnect_storm`` forces a fleet client onto a fresh TCP
+                          connection for every request (reconnect churn)
+``artifact.corrupt_blob`` flips bits in an artifact payload on read
+                          (exercises checksum verification + quarantine)
 ``traffic.request_storm`` multiplies trace arrivals ``param``-fold
                           mid-replay (decision-only; the replay engine
                           sheds gracefully and reports)

@@ -35,6 +35,9 @@ KNOWN_SITES = (
     "fleet.dead_host",
     "fleet.partition",
     "fleet.stale_lease",
+    "fleet.hub_crash",
+    "fleet.reconnect_storm",
+    "artifact.corrupt_blob",
     "traffic.request_storm",
 )
 
@@ -176,11 +179,15 @@ class FaultPlan:
         if not self.should(site, key, attempt):
             return
         rule = self.rules[site]
-        if site in ("worker.crash", "fleet.dead_host"):
+        if site in ("worker.crash", "fleet.dead_host", "fleet.hub_crash"):
             # A real crash: no cleanup, no exception handlers — the
             # heartbeat dies with us and the lease protocol takes over.
             # ``fleet.dead_host`` is the same death at host granularity:
             # the whole remote-host process disappears mid-lease.
+            # ``fleet.hub_crash`` kills the *coordinator hub* itself;
+            # keying its call sites on the hub's incarnation epoch makes
+            # the crash fire exactly once — the restarted hub draws on a
+            # new epoch and sails past the same frame.
             os._exit(CRASH_EXIT_CODE)
         if site == "worker.hang":
             time.sleep(rule.param if rule.param is not None

@@ -66,7 +66,10 @@ def _cmd_serve(args) -> int:
         for signum in (signal.SIGTERM, signal.SIGINT):
             signal.signal(signum, lambda *_: server.initiate_drain())
         print(f"fleet coordinator listening on "
-              f"{server.host}:{server.port} ({args.shards} shards)")
+              f"{server.host}:{server.port} ({args.shards} shards, "
+              f"epoch {server.epoch}, "
+              f"{server.recovery['sessions_requeued']} session(s) "
+              f"recovered)")
         sys.stdout.flush()
         server.start_janitor()
         serve_thread = threading.Thread(

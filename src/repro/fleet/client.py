@@ -6,10 +6,14 @@ retried a bounded number of times with jittered exponential backoff,
 reconnecting each time — a fresh connection is the only reliable way to
 resynchronise a line protocol after garbage.
 
-The ``fleet.partition`` chaos site lives here: when it fires, the client
-severs its own socket mid-request, exactly what a dropped switch port or
-a mid-request server restart looks like from the host's side.  The
-reconnect-resync retry path is then exercised for real.
+Two chaos sites live here.  ``fleet.partition`` severs the socket
+mid-request — exactly what a dropped switch port or a mid-request server
+restart looks like from the host's side — so the reconnect-resync retry
+path is exercised for real.  ``fleet.reconnect_storm`` is the gentler
+cousin: it forces the client onto a *fresh* connection before each
+request (clean close + reconnect, no bytes lost), modelling flappy
+NAT/keepalive churn and proving the protocol carries no per-connection
+state worth losing.
 """
 
 from __future__ import annotations
@@ -30,6 +34,10 @@ DEFAULT_TIMEOUT_S = 10.0
 #: Retries after the first attempt; 3 tries total by default.
 DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF_S = 0.05
+
+#: Ceiling on one backoff sleep — with the deep retry budgets hosts use
+#: to ride out a hub restart, uncapped doubling would sleep for minutes.
+MAX_BACKOFF_S = 2.0
 
 
 class FleetClient:
@@ -102,7 +110,8 @@ class FleetClient:
                 self.close()
                 if attempt <= self.retries:
                     time.sleep(
-                        self.backoff_s * (2.0 ** (attempt - 1))
+                        min(MAX_BACKOFF_S,
+                            self.backoff_s * (2.0 ** (attempt - 1)))
                         * random.uniform(0.5, 1.0)
                     )
                 continue
@@ -113,10 +122,16 @@ class FleetClient:
     def _request_once(
         self, payload: Dict[str, Any], attempt: int
     ) -> Dict[str, Any]:
-        self.connect()
-        assert self._sock is not None and self._rfile is not None
         self._request_seq += 1
         seq = self._request_seq
+        if self._sock is not None and should(
+            "fleet.reconnect_storm", key=seq, attempt=attempt
+        ):
+            # Chaos: connection churn — drop the healthy connection
+            # cleanly and dial again, as a flappy NAT would force.
+            self.close()
+        self.connect()
+        assert self._sock is not None and self._rfile is not None
         if should("fleet.partition", key=seq, attempt=attempt):
             # Chaos: the network between host and coordinator goes away
             # mid-request; the host's side sees a dead socket.

@@ -26,7 +26,16 @@ Chaos sites (all deterministic, via ``$REPRO_FAULTS``):
   .FleetClient`: the dispatch connection is severed and must
   reconnect-resync;
 * ``fleet.stale_lease`` — this host silently stops extending one job's
-  lease, exercising expiry and re-acquisition by someone else.
+  lease, exercising expiry and re-acquisition by someone else;
+* ``fleet.reconnect_storm`` — fires inside the client: every request
+  rides a fresh TCP connection (clean churn, no lost bytes).
+
+Hub restarts heal automatically: every mutation frame carries the epoch
+this host registered under, and a ``fenced`` rejection (the hub died and
+came back with a new incarnation) triggers :meth:`RemoteHost.recover` —
+re-register, ``resync`` the held leases under the new epoch, retry the
+frame.  Leases the new hub no longer recognises are dropped on the
+floor; the queue's retry owns those outcomes.
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ from ..errors import FleetError
 from ..faults import fault_point, should
 from ..storage import TrialDatabase
 from .client import FleetClient
-from .registry import local_capabilities
+from .registry import MachineRegistry, local_capabilities
 
 logger = logging.getLogger(__name__)
 
@@ -54,6 +63,17 @@ IDLE_POLL_S = 0.05
 
 #: Lease-extension period as a fraction of the granted TTL.
 EXTEND_FRACTION = 0.25
+
+#: Hosts retry deeper than the default client: with capped backoff this
+#: rides out a several-second hub restart instead of shedding work.
+HOST_RETRIES = 8
+HOST_BACKOFF_S = 0.1
+
+#: Ops that must carry the registration epoch so a restarted hub can
+#: fence writes granted by its previous incarnation.
+_EPOCH_OPS = frozenset(
+    {"lease", "extend", "complete", "fail", "artifact_put"}
+)
 
 
 class _LeaseExtender:
@@ -88,7 +108,10 @@ class _LeaseExtender:
             if self._suppressed:
                 continue
             try:
-                response = self._host.call(
+                # Healing variant: a hub restart mid-trial fences the
+                # extend; recover + resync keeps the lease alive under
+                # the new epoch without interrupting the computation.
+                response = self._host.call_healing(
                     "extend", job_id=self._job_id,
                     worker=self._host.worker_name,
                 )
@@ -112,30 +135,64 @@ class RemoteHost:
     ):
         self.machine_id = machine_id
         self.worker_name = worker_name
-        self.client = FleetClient(server_host, server_port)
+        self.client = FleetClient(
+            server_host, server_port,
+            retries=HOST_RETRIES, backoff_s=HOST_BACKOFF_S,
+        )
         #: Serializes dispatch-connection use between the main loop and
         #: the lease-extender thread (one socket, one line protocol).
         self._client_lock = threading.Lock()
         self.database = TrialDatabase(db_path)
         self.artifacts = ArtifactStore(self.database)
+        #: This host's *local* crash-safe counters (its database is
+        #: isolated from the hub's, so hub-unreachable events must be
+        #: accounted here to be visible at all).
+        self._local_stats = MachineRegistry(self.database)
         self.poll_interval_s = poll_interval_s
         self.shard: Optional[int] = None
         self.lease_ttl_s: float = 10.0
         self.machine_ttl_s: float = 30.0
+        #: The hub incarnation this host registered under; stamped on
+        #: every mutation frame so a restarted hub can fence us until we
+        #: :meth:`recover`.
+        self.epoch = 0
         self.jobs_done = 0
         self.jobs_failed = 0
         #: Federation accounting, host side.
         self.federation_hits = 0
         self.federation_uploads = 0
+        self.federation_upload_failures = 0
         self._heartbeat_at = 0.0
+        #: Leases currently held: job id → worker name (resynced against
+        #: the hub after a fenced rejection).
+        self._held: Dict[int, str] = {}
+        self._held_lock = threading.Lock()
 
     # -- protocol ------------------------------------------------------------
     def call(self, op: str, **params: Any) -> Dict[str, Any]:
         """One dispatch request with this machine's identity attached."""
+        if op in _EPOCH_OPS and "epoch" not in params:
+            params["epoch"] = self.epoch
         with self._client_lock:
             return self.client.request(
                 op, machine_id=self.machine_id, **params
             )
+
+    def call_healing(self, op: str, **params: Any) -> Dict[str, Any]:
+        """:meth:`call`, healing a fenced rejection in place.
+
+        ``fenced`` means the hub restarted since we registered: recover
+        (re-register + resync held leases under the new epoch) and retry
+        the frame once — it picks up the new epoch automatically.
+        """
+        response = self.call(op, **params)
+        if not response.get("ok") and response.get("fenced"):
+            try:
+                self.recover()
+            except FleetError:
+                return response
+            response = self.call(op, **params)
+        return response
 
     def register(self) -> Dict[str, Any]:
         response = self.call(
@@ -148,8 +205,41 @@ class RemoteHost:
         self.shard = int(response["shard"])
         self.lease_ttl_s = float(response["lease_ttl_s"])
         self.machine_ttl_s = float(response["machine_ttl_s"])
+        self.epoch = int(response.get("epoch", 0))
         self._heartbeat_at = time.time()
         return response
+
+    def recover(self) -> List[int]:
+        """Heal this host after a hub restart.
+
+        Re-registers (adopting the new incarnation epoch), then resyncs
+        every lease this host still believes it holds.  Leases the hub
+        reclaimed in the interim are dropped from the held set and
+        returned — their in-flight attempts are wasted work whose
+        ``complete`` the hub will reject, exactly as a zombie's would be.
+        """
+        self.register()
+        with self._held_lock:
+            held = {
+                str(job_id): worker
+                for job_id, worker in self._held.items()
+            }
+        if not held:
+            return []
+        response = self.call("resync", held=held)
+        if not response.get("ok"):
+            return []
+        dropped = [int(job_id) for job_id in response.get("dropped") or []]
+        with self._held_lock:
+            for job_id in dropped:
+                self._held.pop(job_id, None)
+        if dropped:
+            logger.warning(
+                "hub restart: %d lease(s) not renewed under epoch %d "
+                "(reclaimed while we were fenced): %s",
+                len(dropped), self.epoch, dropped,
+            )
+        return dropped
 
     def _maybe_heartbeat(self) -> None:
         interval = max(0.05, self.machine_ttl_s * EXTEND_FRACTION)
@@ -162,9 +252,10 @@ class RemoteHost:
             return  # partition: the run loop keeps retrying leases
         self._heartbeat_at = now
         if not response.get("ok") and response.get("reregister"):
-            # Declared dead during a partition that has now healed: our
-            # leases were already drained; rejoin and keep serving.
-            self.register()
+            # Declared dead during a partition that has now healed (our
+            # leases were drained), or the hub restarted: rejoin, resync
+            # whatever we still hold, and keep serving.
+            self.recover()
 
     # -- artifact federation -------------------------------------------------
     def _prefetch(self, task: TrialTask) -> Optional[str]:
@@ -185,11 +276,23 @@ class RemoteHost:
         blob = response.get("payload") if response.get("ok") else None
         if blob is None:
             return None
+        from ..artifacts import artifact_checksum
         from .wire import unpack_bytes
 
+        payload = unpack_bytes(blob)
+        claimed = response.get("checksum")
+        if claimed is not None and artifact_checksum(payload) != claimed:
+            # The transfer (or the hub's copy) is corrupt: a cold run is
+            # strictly safer than warm-starting from damaged state.
+            self._local_stats.bump("federation.checksum_rejects")
+            logger.warning(
+                "federated artifact %s failed checksum verification; "
+                "falling back to a cold run", key,
+            )
+            return None
         self.artifacts.put(
             key,
-            unpack_bytes(blob),
+            payload,
             workload=task.workload_id,
             trial_id=task.trial_id,
             epochs=task.epochs,
@@ -203,25 +306,53 @@ class RemoteHost:
         payload = self.artifacts.get(key, count_miss=False)
         if payload is None:
             return  # evaluation was not cached locally (no store row)
+        from ..artifacts import artifact_checksum
         from .wire import pack_bytes
 
         try:
-            response = self.call(
+            response = self.call_healing(
                 "artifact_put",
                 key=key,
                 payload=pack_bytes(payload),
+                checksum=artifact_checksum(payload),
                 workload=task.workload_id,
                 trial_id=task.trial_id,
                 epochs=task.epochs,
                 data_fraction=task.data_fraction,
             )
-        except FleetError:
-            return  # best-effort: the result blob still reaches the hub
+        except FleetError as error:
+            # Best-effort (the result blob still reaches the hub), but
+            # never silent: every lost upload costs the fleet a
+            # duplicated cold run on some other machine.
+            self.federation_upload_failures += 1
+            self._local_stats.bump("federation.upload_failures")
+            logger.warning(
+                "artifact upload for %s failed after retries: %s",
+                key, error,
+            )
+            return
         if response.get("ok"):
             self.federation_uploads += 1
+        else:
+            self.federation_upload_failures += 1
+            self._local_stats.bump("federation.upload_failures")
+            logger.warning(
+                "hub refused artifact upload for %s: %s",
+                key, response.get("error"),
+            )
 
     # -- job execution -------------------------------------------------------
     def _run_job(self, job: Dict[str, Any]) -> None:
+        job_id = int(job["id"])
+        with self._held_lock:
+            self._held[job_id] = self.worker_name
+        try:
+            self._execute_job(job)
+        finally:
+            with self._held_lock:
+                self._held.pop(job_id, None)
+
+    def _execute_job(self, job: Dict[str, Any]) -> None:
         job_id = int(job["id"])
         trial_id = job["trial_id"]
         attempt = int(job.get("attempts", 1))
@@ -249,7 +380,7 @@ class RemoteHost:
             except Exception as error:
                 self.jobs_failed += 1
                 try:
-                    self.call(
+                    self.call_healing(
                         "fail", job_id=job_id, worker=self.worker_name,
                         error=f"{type(error).__name__}: {error}",
                     )
@@ -259,7 +390,11 @@ class RemoteHost:
         from .wire import pack_bytes
 
         try:
-            response = self.call(
+            # Healing matters most here: this frame may be the replay of
+            # a result whose first send raced a hub crash.  The hub's
+            # idempotent-complete path acknowledges the duplicate
+            # without writing, so the result lands exactly once.
+            response = self.call_healing(
                 "complete", job_id=job_id, worker=self.worker_name,
                 result=pack_bytes(blob),
             )
@@ -287,8 +422,10 @@ class RemoteHost:
             if response.get("ok"):
                 job = response.get("job")
             elif response.get("reregister"):
+                # Covers both the dead-then-revived verdict and a fenced
+                # rejection from a restarted hub.
                 try:
-                    self.register()
+                    self.recover()
                 except FleetError:
                     pass
             if job is None:

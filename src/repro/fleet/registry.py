@@ -105,6 +105,53 @@ class Machine:
         return workloads is None or workload in workloads
 
 
+class HubState:
+    """The hub's persisted identity: a monotonically increasing
+    **incarnation epoch** (``hub_state`` table, migration v8).
+
+    Every hub start — first boot, clean restart, crash recovery —
+    advances the epoch by one inside a single write transaction, so two
+    hubs racing over one database cannot mint the same incarnation.  The
+    epoch is embedded in every lease the hub grants; ``extend`` /
+    ``complete`` / ``fail`` / ``artifact_put`` frames carrying an older
+    epoch are rejected as **fenced**, which is what makes a hub crash
+    indistinguishable (to correctness) from a slow network: stale
+    writers cannot smuggle pre-crash state into the new incarnation.
+    """
+
+    EPOCH_KEY = "epoch"
+
+    def __init__(self, database: TrialDatabase):
+        self.database = database
+
+    def current_epoch(self) -> int:
+        row = self.database.execute(
+            "SELECT value FROM hub_state WHERE key = ?", (self.EPOCH_KEY,)
+        ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def advance_epoch(self, now: Optional[float] = None) -> int:
+        """Atomically mint the next incarnation epoch and persist it."""
+        now = time.time() if now is None else now
+        with self.database.transaction() as connection:
+            row = connection.execute(
+                "SELECT value FROM hub_state WHERE key = ?",
+                (self.EPOCH_KEY,),
+            ).fetchone()
+            epoch = (int(row[0]) if row is not None else 0) + 1
+            connection.execute(
+                "INSERT INTO hub_state (key, value) VALUES (?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                (self.EPOCH_KEY, str(epoch)),
+            )
+            connection.execute(
+                "INSERT INTO hub_state (key, value) VALUES (?, ?) "
+                "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+                ("epoch_started_at", repr(now)),
+            )
+        return epoch
+
+
 class MachineRegistry:
     """CRUD over the ``machines`` table plus the fleet counters."""
 

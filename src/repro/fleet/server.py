@@ -17,7 +17,13 @@ optional token-bucket limits, graceful drain), applied to work dispatch:
   same (config, budget, seed) twice;
 * a **janitor** sweep declares silent machines dead and immediately
   drains their orphaned leases back into the queue (containment measured
-  in one machine TTL, not one per-job lease expiry each).
+  in one machine TTL, not one per-job lease expiry each);
+* the hub itself is **crash-restartable**: every start mints a new
+  incarnation epoch (:class:`~repro.fleet.registry.HubState`), recovers
+  orphaned running sessions back to ``queued`` (their checkpoints make
+  the resume bit-identical), and **fences** mutation frames that carry a
+  pre-crash epoch — with an idempotent-replay carve-out for ``complete``
+  so a result that raced the crash lands exactly once.
 
 The server also *runs sessions*: :meth:`FleetServer.run_sessions` claims
 queued sessions and drives each with a remote-mode
@@ -35,14 +41,15 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
-from ..artifacts import ArtifactStore
+from .. import faults
+from ..artifacts import ArtifactStore, artifact_checksum
 from ..service.coordinator import COORDINATOR_POLL_S, SessionCoordinator
 from ..service.queue import DEFAULT_LEASE_TTL_S, JobQueue
-from ..service.sessions import SessionStore
+from ..service.sessions import S_QUEUED, S_RUNNING, SessionStore
 from ..errors import ServiceError
 from ..storage import TrialDatabase
 from ..telemetry import MeterRegistry
-from .registry import DEFAULT_MACHINE_TTL_S, MachineRegistry
+from .registry import DEFAULT_MACHINE_TTL_S, HubState, MachineRegistry
 from .router import DEFAULT_SHARDS, ShardRouter
 from .wire import (
     MAX_FRAME_BYTES, decode_frame, encode_frame, error_frame, ok_frame,
@@ -140,6 +147,58 @@ class FleetServer(socketserver.ThreadingTCPServer):
         self._in_flight_lock = threading.Lock()
         self._janitor_stop = threading.Event()
         self._janitor_thread: Optional[threading.Thread] = None
+        # Fenced restart: mint this incarnation's epoch first, then
+        # recover whatever the previous incarnation left mid-flight.
+        self.hub_state = HubState(database)
+        self.epoch = self.hub_state.advance_epoch()
+        self.recovery = self._recover()
+
+    # -- crash recovery ------------------------------------------------------
+    def _recover(self) -> Dict[str, int]:
+        """Heal state orphaned by a previous hub incarnation.
+
+        Sessions stuck in ``running`` belonged to a coordinator that no
+        longer exists; flipping them back to ``queued`` lets
+        :meth:`run_sessions` re-claim them, and their persisted
+        checkpoints make the resume bit-identical to an uninterrupted
+        run.  Leases survive as-is — the janitor (or a fenced host's
+        ``resync``) settles each one individually.
+        """
+        orphaned = self.sessions.list(state=S_RUNNING)
+        for record in orphaned:
+            self.sessions.set_state(record.id, S_QUEUED)
+        if self.epoch > 1:
+            self.registry.bump("hub.restarts")
+            logger.warning(
+                "fleet hub restarted: epoch %d, %d orphaned running "
+                "session(s) requeued for checkpoint resume",
+                self.epoch, len(orphaned),
+            )
+        return {
+            "epoch": self.epoch,
+            "sessions_requeued": len(orphaned),
+        }
+
+    def _fence(self, payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """``None`` when the frame may mutate state, else the rejection.
+
+        Only frames that *carry* an epoch are fenced: pre-epoch clients
+        (and the in-process test seam) omit the field and are trusted as
+        current.  A stale epoch means the sender holds leases granted by
+        a dead incarnation — it must re-register and ``resync`` before
+        any of its writes count.
+        """
+        epoch = payload.get("epoch")
+        if epoch is None or int(epoch) == self.epoch:
+            return None
+        self.meters.counter("fleet.fenced").inc()
+        self.registry.bump("hub.fenced_frames")
+        return error_frame(
+            f"fenced: frame epoch {int(epoch)} != hub epoch {self.epoch}",
+            fenced=True,
+            reregister=True,
+            epoch=self.epoch,
+        )
 
     # -- addresses -----------------------------------------------------------
     @property
@@ -207,6 +266,8 @@ class FleetServer(socketserver.ThreadingTCPServer):
             return self._complete(payload)
         if op == "fail":
             return self._fail(payload)
+        if op == "resync":
+            return self._resync(payload)
         if op == "artifact_get":
             return self._artifact_get(payload)
         if op == "artifact_put":
@@ -243,6 +304,7 @@ class FleetServer(socketserver.ThreadingTCPServer):
             rejoined=known is not None,
             lease_ttl_s=self.lease_ttl_s,
             machine_ttl_s=self.machine_ttl_s,
+            epoch=self.epoch,
         )
 
     def _heartbeat(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -279,6 +341,9 @@ class FleetServer(socketserver.ThreadingTCPServer):
 
     def _lease(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         machine_id = str(payload.get("machine_id") or "")
+        fenced = self._fence(payload)
+        if fenced is not None:
+            return fenced
         rejected = self._machine_ok(machine_id)
         if rejected is not None:
             return rejected
@@ -290,12 +355,13 @@ class FleetServer(socketserver.ThreadingTCPServer):
             self._owner(payload),
             ttl_s=self.lease_ttl_s,
             shard=machine.shard,
+            epoch=self.epoch,
         )
         self.registry.heartbeat(machine_id)
         if job is None:
-            return ok_frame(job=None)
+            return ok_frame(job=None, epoch=self.epoch)
         self.meters.counter("fleet.leases").inc()
-        return ok_frame(job={
+        return ok_frame(epoch=self.epoch, job={
             "id": job.id,
             "session_id": job.session_id,
             "trial_id": job.trial_id,
@@ -306,6 +372,9 @@ class FleetServer(socketserver.ThreadingTCPServer):
         })
 
     def _extend(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        fenced = self._fence(payload)
+        if fenced is not None:
+            return fenced
         renewed = self.queue.heartbeat(
             int(payload.get("job_id", -1)),
             self._owner(payload),
@@ -319,19 +388,43 @@ class FleetServer(socketserver.ThreadingTCPServer):
 
     def _complete(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         machine_id = str(payload.get("machine_id") or "")
+        job_id = int(payload.get("job_id", -1))
+        owner = self._owner(payload)
         result = unpack_bytes(payload.get("result"))
         if result is None:
             return error_frame("complete needs a result blob")
-        accepted = self.queue.complete(
-            int(payload.get("job_id", -1)), self._owner(payload), result
+        # Idempotent replay *before* the fence: a worker that sent its
+        # result just as the old hub died resends after reconnecting.
+        # If that first write committed, this frame is a duplicate of an
+        # already-accepted result — acknowledge it (first write wins)
+        # instead of fencing, or the worker would re-run a finished
+        # trial for nothing.
+        if self.queue.is_done_by(job_id, owner):
+            self.registry.heartbeat(machine_id)
+            self.registry.bump("hub.replayed_completions")
+            self.meters.counter("fleet.duplicate_completions").inc()
+            return ok_frame(accepted=True, duplicate=True)
+        fenced = self._fence(payload)
+        if fenced is not None:
+            return fenced
+        # Chaos hooks: die right before / right after the result lands.
+        # Keyed on this incarnation's epoch so the restarted hub (new
+        # epoch, new draw) sails past the replayed frame.
+        faults.fault_point("fleet.hub_crash", key=f"{self.epoch}:{job_id}")
+        accepted = self.queue.complete(job_id, owner, result)
+        faults.fault_point(
+            "fleet.hub_crash", key=f"{self.epoch}:{job_id}:post"
         )
         if accepted:
             self.registry.record_done(machine_id)
             self.registry.heartbeat(machine_id)
             self.meters.counter("fleet.completions").inc()
-        return ok_frame(accepted=accepted)
+        return ok_frame(accepted=accepted, duplicate=False)
 
     def _fail(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        fenced = self._fence(payload)
+        if fenced is not None:
+            return fenced
         accepted = self.queue.fail(
             int(payload.get("job_id", -1)),
             self._owner(payload),
@@ -339,6 +432,35 @@ class FleetServer(socketserver.ThreadingTCPServer):
         )
         self.meters.counter("fleet.failures").inc()
         return ok_frame(accepted=accepted)
+
+    def _resync(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Re-adopt a reconnecting host's held leases under this epoch.
+
+        ``held`` maps job id → worker name; each lease still owned by
+        that worker is renewed and re-stamped, anything reclaimed in the
+        interim comes back in ``dropped`` and the host must abandon its
+        in-flight attempt (the queue's retry owns the outcome now).
+        """
+        machine_id = str(payload.get("machine_id") or "")
+        rejected = self._machine_ok(machine_id)
+        if rejected is not None:
+            return rejected
+        held = payload.get("held") or {}
+        if not isinstance(held, dict):
+            return error_frame("resync needs a held {job_id: worker} map")
+        claims = {
+            int(job_id): f"{machine_id}/{worker}"
+            for job_id, worker in held.items()
+        }
+        renewed = self.queue.resync_leases(
+            claims, epoch=self.epoch, ttl_s=self.lease_ttl_s
+        )
+        dropped = sorted(set(claims) - set(renewed))
+        self.registry.heartbeat(machine_id)
+        if renewed:
+            self.registry.bump("hub.leases_resynced", len(renewed))
+        self.meters.counter("fleet.resyncs").inc()
+        return ok_frame(renewed=renewed, dropped=dropped, epoch=self.epoch)
 
     # -- artifact federation -------------------------------------------------
     def _artifact_get(self, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -354,13 +476,28 @@ class FleetServer(socketserver.ThreadingTCPServer):
             return ok_frame(payload=None)
         self.registry.bump("federation.hits")
         self.meters.counter("fleet.federation_hits").inc()
-        return ok_frame(payload=pack_bytes(blob))
+        # The checksum rides along so the receiving host can verify the
+        # transfer end-to-end before trusting the warm-start state.
+        return ok_frame(
+            payload=pack_bytes(blob), checksum=artifact_checksum(blob)
+        )
 
     def _artifact_put(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        fenced = self._fence(payload)
+        if fenced is not None:
+            return fenced
         key = str(payload.get("key") or "")
         blob = unpack_bytes(payload.get("payload"))
         if not key or blob is None:
             return error_frame("artifact_put needs a key and a payload")
+        claimed = payload.get("checksum")
+        if claimed is not None and artifact_checksum(blob) != claimed:
+            self.registry.bump("federation.upload_rejects")
+            self.meters.counter("fleet.checksum_rejects").inc()
+            return error_frame(
+                f"artifact {key!r} failed checksum verification in "
+                "transfer", checksum_mismatch=True,
+            )
         self.artifacts.put(
             key,
             blob,
@@ -393,6 +530,8 @@ class FleetServer(socketserver.ThreadingTCPServer):
             "queue": self.queue.depths(),
             "fleet_stats": self.registry.stats(),
             "draining": self.draining,
+            "epoch": self.epoch,
+            "recovery": dict(self.recovery),
         }
 
     # -- janitor -------------------------------------------------------------

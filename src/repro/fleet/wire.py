@@ -12,17 +12,32 @@ Request frames are ``{"op": <name>, ...}``; response frames are
 
 ==================  =======================================================
 ``register``        join the fleet (capability tags) → shard + lease terms
+                    + the hub's current incarnation ``epoch``
 ``heartbeat``       machine liveness ping
 ``lease``           claim one job from the machine's shard queue
 ``extend``          renew a held job lease
 ``complete``        upload a finished job's evaluation blob
 ``fail``            report a job failure (traceback travels as text)
+``resync``          re-adopt held leases under a new hub epoch after a
+                    hub restart (``held`` maps job id → worker name)
 ``artifact_get``    federation: fetch an artifact payload by trial key
+                    (response carries a blake2b ``checksum``)
 ``artifact_put``    federation: publish a cold-run artifact to the hub
+                    (optional ``checksum`` is verified before storing)
 ``status``          fleet overview (machines, shards, counters)
 ``drain``           ask the server to stop handing out work
 ``ping``            connection liveness probe
 ==================  =======================================================
+
+Fencing: mutation frames (``lease``/``extend``/``complete``/``fail``/
+``artifact_put``) may carry the ``epoch`` the sender registered under.
+A hub that restarted since then rejects the frame with ``{"ok": false,
+"fenced": true, "reregister": true, "epoch": <current>}`` — the client
+re-registers, resyncs its leases, and retries.  Frames without an epoch
+field (older clients, in-process tests) are trusted as current.
+``complete`` is exempt when the job is already done by the same owner:
+the hub answers ``{"ok": true, "accepted": true, "duplicate": true}``
+so an in-flight result that raced a hub crash lands exactly once.
 """
 
 from __future__ import annotations
@@ -41,7 +56,7 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 #: Every op the server understands (unknown ops get a clean error frame).
 OPS = (
     "register", "heartbeat", "lease", "extend", "complete", "fail",
-    "artifact_get", "artifact_put", "status", "drain", "ping",
+    "resync", "artifact_get", "artifact_put", "status", "drain", "ping",
 )
 
 

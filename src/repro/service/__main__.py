@@ -7,6 +7,7 @@ Operate the persistent tuning service against a shared sqlite file::
     python -m repro.service status --db tuning.sqlite [SESSION]
     python -m repro.service resume --db tuning.sqlite SESSION
     python -m repro.service deadletter list --db tuning.sqlite
+    python -m repro.service scrub --db tuning.sqlite
     python -m repro.service gc --db tuning.sqlite
 
 ``submit`` only records the session; ``workers`` (long-running) or
@@ -71,11 +72,13 @@ def _machines_info(database) -> dict:
     """
     import time as _time
 
-    from ..fleet.registry import MachineRegistry
+    from ..fleet.registry import HubState, MachineRegistry
 
     registry = MachineRegistry(database)
     now = _time.time()
     return {
+        # Epoch 0 = no fleet hub has ever run against this database.
+        "hub": {"epoch": HubState(database).current_epoch()},
         "machines": [
             {
                 "id": machine.id,
@@ -125,6 +128,8 @@ def _traffic_info(database, spec) -> dict:
 
 
 def _print_machines(info: dict) -> None:
+    if info["hub"]["epoch"]:
+        print(f"hub:       epoch {info['hub']['epoch']}")
     for machine in info["machines"]:
         fingerprint = machine["fingerprint"] or "?"
         if len(fingerprint) > 48:
@@ -159,6 +164,7 @@ def _session_status(
         "artifact_cache": artifacts.stats() if artifacts else None,
         "machines": machines["machines"] if machines else [],
         "fleet": machines["fleet"] if machines else {},
+        "hub": machines["hub"] if machines else {},
         "traffic": traffic or {},
     }
 
@@ -329,6 +335,30 @@ def _cmd_deadletter(args) -> int:
         return 0
 
 
+def _cmd_scrub(args) -> int:
+    """Sweep the artifact store end to end, verifying every checksum.
+
+    Mismatched blobs are quarantined (the next trial that wants one
+    falls back to a cold run — strictly safer than training from
+    damaged state), rows whose sidecar file vanished are dropped,
+    pre-checksum rows are backfilled, and orphaned files are pruned.
+    """
+    with _database(args) as database:
+        report = ArtifactStore(database).scrub(repair=not args.no_repair)
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(f"scanned:         {report['scanned']}")
+        print(f"verified:        {report['verified']}")
+        print(f"quarantined:     {report['quarantined']}")
+        print(f"missing blobs:   {report['missing']}")
+        print(f"repaired:        {report['repaired']}")
+        print(f"orphans removed: {report['orphans_removed']}")
+    if not args.no_repair:
+        return 0  # damage found was also contained
+    return 1 if report["quarantined"] or report["missing"] else 0
+
+
 def _cmd_gc(args) -> int:
     with _database(args) as database:
         counts = SessionStore(database).gc(max_age_s=args.max_age)
@@ -444,6 +474,17 @@ def main(argv=None) -> int:
     deadletter.add_argument("--json", action="store_true",
                             help="machine-readable list output")
     deadletter.set_defaults(func=_cmd_deadletter)
+
+    scrub = subparsers.add_parser(
+        "scrub", help="verify every cached artifact's checksum; "
+                      "quarantine corrupt blobs, prune orphans"
+    )
+    scrub.add_argument("--db", required=True)
+    scrub.add_argument("--json", action="store_true",
+                       help="machine-readable report")
+    scrub.add_argument("--no-repair", action="store_true",
+                       help="report only; exit 1 if damage is found")
+    scrub.set_defaults(func=_cmd_scrub)
 
     gc = subparsers.add_parser(
         "gc", help="purge old finished sessions, reclaim expired leases"

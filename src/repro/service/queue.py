@@ -64,10 +64,16 @@ DEFAULT_MAX_ATTEMPTS = 3
 #: *last* error still lives in ``jobs.error``).
 _HISTORY_ERROR_CHARS = 2000
 
+#: ``error_history`` keeps only the most recent attempts: a hot-looping
+#: poison job (operator keeps ``deadletter retry``-ing it, or a huge
+#: ``max_attempts``) must not grow its row without bound.
+MAX_HISTORY_ENTRIES = 20
+
 _JOB_COLUMNS = (
     "id, session_id, trial_id, payload, state, attempts, max_attempts, "
     "lease_owner, lease_expires_at, next_retry_at, result, error, "
-    "created_at, started_at, finished_at, error_history, shard"
+    "created_at, started_at, finished_at, error_history, shard, "
+    "lease_epoch"
 )
 
 
@@ -91,10 +97,14 @@ class Job:
     started_at: Optional[float]
     finished_at: Optional[float]
     #: JSON list of ``{"attempt", "error", "at"}`` — one entry per failed
-    #: attempt, in order.
+    #: attempt, in order, capped to the most recent
+    #: :data:`MAX_HISTORY_ENTRIES`.
     error_history: str = "[]"
     #: Fleet shard the job is routed to (0 for single-host sessions).
     shard: int = 0
+    #: Hub incarnation epoch that granted the current lease (0 for local
+    #: pool leases — fencing applies only to fleet dispatch).
+    lease_epoch: int = 0
 
     @classmethod
     def from_row(cls, row: tuple) -> "Job":
@@ -127,7 +137,7 @@ def _appended_history(raw: Optional[str], attempt: int, error: str,
         "error": str(error)[:_HISTORY_ERROR_CHARS],
         "at": float(now),
     })
-    return json.dumps(history)
+    return json.dumps(history[-MAX_HISTORY_ENTRIES:])
 
 
 def backoff_delay(attempt: int, base: float = BACKOFF_BASE_S,
@@ -184,12 +194,14 @@ class JobQueue:
         session_id: Optional[str] = None,
         now: Optional[float] = None,
         shard: Optional[int] = None,
+        epoch: int = 0,
     ) -> Optional[Job]:
         """Atomically claim the oldest runnable queued job, if any.
 
         ``shard`` restricts the claim to one per-shard queue (fleet
         machines only serve their own shard); ``None`` leases across all
-        shards (local pool workers).
+        shards (local pool workers).  ``epoch`` stamps the lease with the
+        granting hub's incarnation (0 for local pool leases).
         """
         now = time.time() if now is None else now
         with self.database.transaction() as connection:
@@ -212,14 +224,17 @@ class JobQueue:
             connection.execute(
                 "UPDATE jobs SET state = ?, lease_owner = ?, "
                 "lease_expires_at = ?, attempts = attempts + 1, "
-                "started_at = ? WHERE id = ? AND state = ?",
-                (LEASED, worker_id, now + ttl_s, now, job.id, QUEUED),
+                "started_at = ?, lease_epoch = ? "
+                "WHERE id = ? AND state = ?",
+                (LEASED, worker_id, now + ttl_s, now, int(epoch),
+                 job.id, QUEUED),
             )
         job.state = LEASED
         job.lease_owner = worker_id
         job.lease_expires_at = now + ttl_s
         job.attempts += 1
         job.started_at = now
+        job.lease_epoch = int(epoch)
         return job
 
     def heartbeat(
@@ -260,6 +275,53 @@ class JobQueue:
             (DONE, result, now, int(job_id), worker_id, LEASED),
         )
         return cursor.rowcount > 0
+
+    def is_done_by(self, job_id: int, worker_id: str) -> bool:
+        """Whether ``worker_id``'s completion of this job already landed.
+
+        The idempotent-replay check: a worker that sent ``complete`` just
+        as the hub crashed cannot know whether the write committed, so it
+        resends after reconnecting.  If the job is already ``done`` with
+        this worker on record, the replay is a duplicate of its *own*
+        accepted result — safe to acknowledge without writing (first
+        write wins; result blobs are deterministic anyway).
+        """
+        row = self.database.execute(
+            "SELECT 1 FROM jobs WHERE id = ? AND lease_owner = ? "
+            "AND state = ?",
+            (int(job_id), worker_id, DONE),
+        ).fetchone()
+        return row is not None
+
+    def resync_leases(
+        self,
+        worker_ids: Dict[int, str],
+        epoch: int,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        now: Optional[float] = None,
+    ) -> List[int]:
+        """Re-adopt held leases under a new hub incarnation epoch.
+
+        ``worker_ids`` maps job id → the owner claiming it.  Each job
+        still leased to that owner gets its expiry renewed and its
+        ``lease_epoch`` bumped to the new incarnation; jobs that were
+        reclaimed in the meantime are simply absent from the returned
+        list and the host must drop them (their retry now owns the
+        outcome).
+        """
+        now = time.time() if now is None else now
+        renewed: List[int] = []
+        with self.database.transaction() as connection:
+            for job_id, owner in sorted(worker_ids.items()):
+                cursor = connection.execute(
+                    "UPDATE jobs SET lease_expires_at = ?, "
+                    "lease_epoch = ? "
+                    "WHERE id = ? AND lease_owner = ? AND state = ?",
+                    (now + ttl_s, int(epoch), int(job_id), owner, LEASED),
+                )
+                if cursor.rowcount > 0:
+                    renewed.append(int(job_id))
+        return renewed
 
     def fail(
         self,

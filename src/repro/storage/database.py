@@ -15,7 +15,9 @@ for tests.  Four tables:
 * ``machines`` — the :mod:`repro.fleet` machine registry: worker hosts
   with capability tags and liveness heartbeats;
 * ``fleet_stats`` — crash-safe fleet counters (artifact federation hits,
-  janitor reclaims) readable from any process.
+  janitor reclaims) readable from any process;
+* ``hub_state`` — the fleet hub's persisted incarnation epoch (bumped on
+  every hub start so stale pre-crash frames can be fenced).
 
 The schema is evolved through numbered migrations tracked in sqlite's
 ``PRAGMA user_version``, so databases written by older releases are
@@ -235,6 +237,20 @@ CREATE INDEX IF NOT EXISTS idx_jobs_claim_shard
     ON jobs (shard, state, next_retry_at, id);
 """
 
+#: v8 — crash-safe hub restarts and end-to-end artifact integrity:
+#: ``hub_state`` persists the fleet hub's monotonically increasing
+#: incarnation epoch (every lease embeds it; frames from a pre-crash
+#: epoch are rejected as fenced), ``jobs.lease_epoch`` records which
+#: incarnation granted each lease, and ``artifacts.checksum`` carries a
+#: blake2b digest of the payload verified on every read and federation
+#: transfer (both columns added by ``_ensure_column``).
+_SCHEMA_V8 = """
+CREATE TABLE IF NOT EXISTS hub_state (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
 #: Ordered (version, script) migration ladder; each script must be safe to
 #: run on a database that already contains the objects it creates (older
 #: releases wrote the v1 tables without stamping ``user_version``).
@@ -246,6 +262,7 @@ MIGRATIONS: Tuple[Tuple[int, str], ...] = (
     (5, _SCHEMA_V5),
     (6, _SCHEMA_V6),
     (7, _SCHEMA_V7),
+    (8, _SCHEMA_V8),
 )
 
 SCHEMA_VERSION = MIGRATIONS[-1][0]
@@ -354,6 +371,11 @@ class TrialDatabase:
                 self._ensure_column(
                     "jobs", "shard", "INTEGER NOT NULL DEFAULT 0"
                 )
+            if target == 8:
+                self._ensure_column(
+                    "jobs", "lease_epoch", "INTEGER NOT NULL DEFAULT 0"
+                )
+                self._ensure_column("artifacts", "checksum", "TEXT")
             self._connection.executescript(script)
             self._connection.execute(f"PRAGMA user_version = {target}")
             version = target

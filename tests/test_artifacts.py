@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 from repro import EdgeTune, faults
 from repro.artifacts import (
     ArtifactStore,
+    artifact_checksum,
     backend_fingerprint,
     pack_velocity,
     trial_key,
@@ -231,7 +232,8 @@ class TestArtifactStore:
         store.get("k1")
         store.get("k1")
         stats = store.stats()
-        assert stats == {"entries": 2, "bytes": 6, "hits": 2, "misses": 2}
+        assert stats == {"entries": 2, "bytes": 6, "hits": 2, "misses": 2,
+                         "quarantined": 0}
 
     def test_gc_age(self):
         store = ArtifactStore(TrialDatabase())
@@ -568,4 +570,136 @@ os.kill(os.getpid(), signal.SIGKILL)
             assert model_bytes(cached_model) == model_bytes(fresh_model)
         assert store.session_hits == 3
         assert store.session_misses == 0
+        database.close()
+
+
+class TestIntegrity:
+    """End-to-end artifact integrity: every blob is checksummed on
+    ``put`` and verified on every read; a mismatch quarantines the blob
+    and degrades to a deterministic cold re-run — never a wrong result.
+    ``scrub`` sweeps the whole store the same way."""
+
+    def _store(self, tmp_path):
+        database = TrialDatabase(str(tmp_path / "t.sqlite"))
+        return database, ArtifactStore(database)
+
+    def test_put_stores_checksum(self, tmp_path):
+        _, store = self._store(tmp_path)
+        store.put("k1", b"payload-bytes")
+        row = store.database.execute(
+            "SELECT checksum FROM artifacts WHERE key = 'k1'"
+        ).fetchone()
+        assert row[0] == artifact_checksum(b"payload-bytes")
+        assert store.get("k1") == b"payload-bytes"
+
+    def test_corrupt_sidecar_is_quarantined_on_get(self, tmp_path):
+        _, store = self._store(tmp_path)
+        store.put("k1", b"good-bytes")
+        path = os.path.join(store.blob_dir, "k1.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"bad-bytes!")
+        assert store.get("k1") is None  # a miss, never wrong bytes
+        assert store.database.execute(
+            "SELECT 1 FROM artifacts WHERE key = 'k1'"
+        ).fetchone() is None
+        # The evidence moves to quarantine/ instead of being destroyed.
+        assert not os.path.exists(path)
+        assert os.path.exists(
+            os.path.join(store.blob_dir, "quarantine", "k1.bin")
+        )
+        assert store.stats()["quarantined"] == 1
+
+    def test_corrupt_inline_blob_is_quarantined_on_get(self):
+        store = ArtifactStore(TrialDatabase())
+        store.put("k1", b"good-bytes")
+        store.database.execute(
+            "UPDATE artifacts SET blob = ? WHERE key = 'k1'",
+            (b"evil-bytes",),
+        )
+        assert store.get("k1") is None
+        assert store.stats()["quarantined"] == 1
+
+    def test_corrupt_blob_fault_site(self):
+        """``artifact.corrupt_blob`` flips bytes between the store and
+        the reader; checksum verification must catch the flip."""
+        store = ArtifactStore(TrialDatabase())
+        store.put("k1", b"payload")
+        store.put("k2", b"payload-2")
+        faults.configure(
+            "seed=1;artifact.corrupt_blob=1.0@k1", propagate=False
+        )
+        try:
+            assert store.get("k1") is None
+            assert store.get("k2") == b"payload-2"  # other keys untouched
+        finally:
+            faults.configure(None)
+        assert store.stats()["quarantined"] == 1
+
+    def test_scrub_repairs_the_store(self, tmp_path):
+        _, store = self._store(tmp_path)
+        for key in ("good", "gone", "hurt", "old"):
+            store.put(key, key.encode() * 3)
+        # "old": a pre-checksum row (migration backfill case).
+        store.database.execute(
+            "UPDATE artifacts SET checksum = NULL WHERE key = 'old'"
+        )
+        # "hurt": the bytes on disk are not the bytes that were written.
+        with open(os.path.join(store.blob_dir, "hurt.bin"), "wb") as handle:
+            handle.write(b"flipped")
+        # "gone": sidecar deleted underneath the row.
+        os.remove(os.path.join(store.blob_dir, "gone.bin"))
+        # A sidecar with no row at all.
+        with open(os.path.join(store.blob_dir, "orphan.bin"), "wb") as handle:
+            handle.write(b"stray")
+        assert store.scrub() == {
+            "scanned": 4, "verified": 2, "quarantined": 1,
+            "missing": 1, "repaired": 1, "orphans_removed": 1,
+        }
+        # The backfilled checksum is the real digest...
+        row = store.database.execute(
+            "SELECT checksum FROM artifacts WHERE key = 'old'"
+        ).fetchone()
+        assert row[0] == artifact_checksum(b"oldoldold")
+        # ...and a second sweep is clean (quarantine/ is not an orphan).
+        assert store.scrub() == {
+            "scanned": 2, "verified": 2, "quarantined": 0,
+            "missing": 0, "repaired": 0, "orphans_removed": 0,
+        }
+
+    def test_scrub_dry_run_reports_without_touching(self, tmp_path):
+        _, store = self._store(tmp_path)
+        store.put("hurt", b"payload")
+        with open(os.path.join(store.blob_dir, "hurt.bin"), "wb") as handle:
+            handle.write(b"flipped")
+        report = store.scrub(repair=False)
+        assert report["quarantined"] == 1 and report["orphans_removed"] == 0
+        # Dry run: the row survives and nothing moved to quarantine/.
+        assert store.database.execute(
+            "SELECT 1 FROM artifacts WHERE key = 'hurt'"
+        ).fetchone() is not None
+        assert not os.path.isdir(os.path.join(store.blob_dir, "quarantine"))
+        assert store.stats()["quarantined"] == 0
+
+    def test_corrupted_blob_session_stays_bit_identical(self, tmp_path):
+        """The headline guarantee: a flipped bit in the cache degrades to
+        a cold re-run of the affected trial, and the tuning outcome stays
+        bit-identical to the clean run.  (Runtime/energy meters honestly
+        reflect the extra cold compute — see
+        ``test_warm_session_cheaper_than_cold`` — so they are excluded.)"""
+        db_path = str(tmp_path / "t.sqlite")
+        # Outcome = everything but the runtime/energy meters.
+        clean = result_signature(tune_result(True, db=db_path))[:4]
+        database = TrialDatabase(db_path)
+        store = ArtifactStore(database)
+        key = database.execute(
+            "SELECT key FROM artifacts ORDER BY key LIMIT 1"
+        ).fetchone()[0]
+        with open(os.path.join(store.blob_dir, key + ".bin"), "r+b") as blob:
+            first = blob.read(1)
+            blob.seek(0)
+            blob.write(bytes([first[0] ^ 0xFF]))
+        database.close()
+        assert result_signature(tune_result(True, db=db_path))[:4] == clean
+        database = TrialDatabase(db_path)
+        assert ArtifactStore(database).stats()["quarantined"] >= 1
         database.close()

@@ -7,6 +7,10 @@ the session's final result must stay bit-identical to a fault-free
 single-host run, because every containment path re-executes pure,
 seed-driven work and the coordinator merges in strict wave order."""
 
+import os
+import socket
+import subprocess
+import sys
 import threading
 import time
 
@@ -15,10 +19,13 @@ import pytest
 import repro.fleet.host as host_module
 from repro import faults
 from repro.errors import FleetError
+from repro.faults.plan import CRASH_EXIT_CODE
 from repro.fleet.client import FleetClient
 from repro.fleet.host import HostPool, RemoteHost
 from repro.fleet.server import FleetServer
-from repro.service import JobQueue, SessionSpec, SessionStore
+from repro.service import (
+    JobQueue, SessionCoordinator, SessionSpec, SessionStore,
+)
 from repro.service.sessions import S_DONE
 from repro.storage import TrialDatabase
 
@@ -219,3 +226,113 @@ class TestStaleLeaseChaos:
             assert sum(m.jobs_done for m in members) == len(result.trials)
         finally:
             database.close()
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _reference_summary():
+    """The stored result summary of a clean single-host run — the same
+    shape the hub persists, so dict-vs-dict comparison is exact."""
+    with TrialDatabase() as database:
+        session_id = SessionStore(database).create(SessionSpec(**SPEC))
+        SessionCoordinator(database, session_id, workers=0).run()
+        return SessionStore(database).get(session_id).result
+
+
+@pytest.mark.slow
+class TestReconnectStormChaos:
+    def test_reconnect_storm_session_completes_identically(self, tmp_path):
+        reference = fingerprint(single_host_reference())
+        # Every dispatch request first tears its connection down and
+        # rebuilds it — a hub flapping in and out of reach.  The clean
+        # reconnect path (re-handshake per request) must stay invisible
+        # to the result.
+        faults.configure("seed=11;fleet.reconnect_storm=1.0")
+        result, session_id, database, _ = run_fleet_session(
+            tmp_path, "storm"
+        )
+        try:
+            assert fingerprint(result) == reference
+            assert SessionStore(database).get(session_id).state == S_DONE
+        finally:
+            database.close()
+
+
+@pytest.mark.slow
+class TestHubCrashChaos:
+    # The result fields that must survive a hub kill -9 bit-for-bit
+    # (everything except deployment bookkeeping like worker counts).
+    RESULT_KEYS = (
+        "num_trials", "failed_trials", "best_accuracy", "best_score",
+        "best_configuration", "tuning_runtime_s", "tuning_energy_j",
+        "stall_s",
+    )
+
+    def test_hub_killed_mid_run_restart_completes_identically(
+        self, tmp_path
+    ):
+        """The tentpole end to end: the coordinator hub is SIGKILLed
+        mid-campaign (first ``complete`` of job 2, before the write), a
+        fresh hub process is started over the same database, and the
+        fenced/epoch/replay machinery heals the fleet to a result
+        bit-identical to a clean single-host run."""
+        reference = _reference_summary()
+        db_path = str(tmp_path / "hub.sqlite")
+        with TrialDatabase(db_path) as database:
+            session_id = SessionStore(database).create(SessionSpec(**SPEC))
+        port = _free_port()
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        cmd = [
+            sys.executable, "-m", "repro", "fleet", "serve",
+            "--db", db_path, "--port", str(port), "--drain",
+            "--lease-ttl", "2.0",
+        ]
+        # The fault plan reaches ONLY the hub (via its environment): die
+        # on the first epoch-1 complete of job 2.  The restarted hub
+        # draws epoch 2, so the same site never fires again.
+        hub_env = dict(env, REPRO_FAULTS="seed=1;fleet.hub_crash=1.0@1:2")
+        first = subprocess.Popen(
+            cmd, env=hub_env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            with HostPool("127.0.0.1", port, str(tmp_path), hosts=2):
+                assert first.wait(timeout=240) == CRASH_EXIT_CODE
+                second = subprocess.Popen(
+                    cmd, env=env,
+                    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                )
+                try:
+                    assert second.wait(timeout=240) == 0
+                except Exception:
+                    second.kill()
+                    raise
+        finally:
+            if first.poll() is None:
+                first.kill()
+        with TrialDatabase(db_path) as database:
+            record = SessionStore(database).get(session_id)
+            assert record.state == S_DONE
+            summary = record.result
+            assert (
+                {key: summary[key] for key in self.RESULT_KEYS}
+                == {key: reference[key] for key in self.RESULT_KEYS}
+            )
+            # The second incarnation recorded the restart.
+            from repro.fleet.registry import HubState, MachineRegistry
+
+            assert HubState(database).current_epoch() == 2
+            assert MachineRegistry(database).stats().get(
+                "hub.restarts"
+            ) == 1.0

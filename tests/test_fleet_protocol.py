@@ -149,9 +149,19 @@ class TestLeaseProtocol:
         assert stored.result == blob
         assert stored.lease_owner == "m1/w3"  # prefix-drainable owner
         assert server.registry.get("m1").jobs_done == 1
-        # A second completion of the same job is rejected.
-        assert not server.handle_line(frame(
+        # A second completion by the *same* owner is an idempotent
+        # replay (the worker cannot know whether its first send landed
+        # before a hub crash): acknowledged without a second write.
+        replay = server.handle_line(frame(
             "complete", machine_id="m1", worker="w3",
+            job_id=job["id"], result=pack_bytes(b"other-bits"),
+        ))
+        assert replay["ok"] and replay["accepted"] and replay["duplicate"]
+        assert server.queue.get("sess", 1).result == blob  # first wins
+        assert server.registry.get("m1").jobs_done == 1  # not re-counted
+        # A different worker claiming the finished job is still rejected.
+        assert not server.handle_line(frame(
+            "complete", machine_id="m1", worker="w9",
             job_id=job["id"], result=pack_bytes(blob),
         ))["accepted"]
 
