@@ -49,6 +49,13 @@ SPEEDUP_FLOORS = {
     # than retraining.
     "artifact.IC": 1.5,
     "artifact.IC_memo": 2.0,
+    # Asynchronous scheduling: virtual-time makespan of a 64-wide IC
+    # bracket list-scheduled over 8 workers with one slowed 5x.  ASHA
+    # (no rung barriers) must finish >= 1.3x faster than the
+    # wave-synchronous path, which stalls at every barrier until the
+    # straggler catches up.  Deterministic — the simulation is exact, so
+    # this floor has no noise margin to absorb.
+    "scheduler.asha": 1.3,
 }
 
 #: Minimum absolute throughput per metric (machine dependent only in the
@@ -58,6 +65,12 @@ SPEEDUP_FLOORS = {
 #: cheaper than the steady-state evaluation they replace.
 ABSOLUTE_FLOORS = {
     "traffic.replay": ("requests_per_sec", 50_000.0),
+    # Equal-quality clause of the asha gate: the best score ASHA finds
+    # must stay within ~10% of the synchronous bracket's (quality is
+    # wave-best/asha-best on lower-is-better scores; promotion trial ids
+    # differ between the schedulers, which reseeds model init, so the
+    # gate is a ratio floor rather than bit-equality).
+    "scheduler.asha": ("quality", 0.9),
 }
 
 
@@ -68,6 +81,8 @@ def _metrics(report: dict):
         yield f"e2e.{name}", entry
     for name, entry in report.get("artifact", {}).items():
         yield f"artifact.{name}", entry
+    for name, entry in report.get("scheduler", {}).items():
+        yield f"scheduler.{name}", entry
     for name, entry in report.get("traffic", {}).items():
         yield f"traffic.{name}", entry
 

@@ -36,7 +36,7 @@ import shutil
 import statistics
 import tempfile
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -255,10 +255,11 @@ def run_artifact(scale: str) -> Dict[str, dict]:
     (``--reuse-checkpoints`` on a fresh store) and memo (the same session
     replayed against the populated store).
 
-    Unlike the kernel benchmarks these are single-shot wall-clock
-    sessions — the cold/warm work difference (40 vs 20.8 budget units
-    over the 31-trial bracket) is far larger than scheduler noise.
-    ``speedup`` is cold-over-{warm,memo}, gated by ``check_regression``.
+    Unlike the kernel benchmarks these are whole-session wall-clock
+    timings (best of two runs per mode) — the cold/warm work difference
+    (40 vs 20.8 budget units over the 31-trial bracket) is far larger
+    than scheduler noise.  ``speedup`` is cold-over-{warm,memo}, gated
+    by ``check_regression``.
     """
     from repro.core import ModelTuningServer
     from repro.storage import TrialDatabase
@@ -268,7 +269,7 @@ def run_artifact(scale: str) -> Dict[str, dict]:
     # *work* ratio (40 vs 20.8 budget units over the bracket), so the
     # measured wall-clock ratio approaches it only where training time
     # dwarfs the per-trial fixed costs (model build, eval, store I/O).
-    samples = 9600 if scale == "full" else 1200
+    samples = 9600 if scale == "full" else 2400
 
     def session(database: Optional[TrialDatabase] = None,
                 reuse: bool = False) -> float:
@@ -285,18 +286,27 @@ def run_artifact(scale: str) -> Dict[str, dict]:
         server.run()
         return time.perf_counter() - start
 
-    cold_s = session()
-    tempdir = tempfile.mkdtemp(prefix="repro-perf-artifacts-")
-    try:
-        path = os.path.join(tempdir, "artifacts.sqlite")
-        database = TrialDatabase(path)
-        warm_s = session(database=database, reuse=True)
-        database.close()
-        database = TrialDatabase(path)
-        memo_s = session(database=database, reuse=True)
-        database.close()
-    finally:
-        shutil.rmtree(tempdir, ignore_errors=True)
+    # Min-of-2 per mode: the cold/warm work ratio is systematic, noise
+    # spikes only ever slow a run down.  Warm must see a *fresh* store
+    # each repeat (a second pass over a populated store is memo, not
+    # warm), so the store is rebuilt per repeat and the last one feeds
+    # the memo timings.
+    cold_s = min(session() for _ in range(2))
+    warm_runs, memo_runs = [], []
+    for _ in range(2):
+        tempdir = tempfile.mkdtemp(prefix="repro-perf-artifacts-")
+        try:
+            path = os.path.join(tempdir, "artifacts.sqlite")
+            database = TrialDatabase(path)
+            warm_runs.append(session(database=database, reuse=True))
+            database.close()
+            database = TrialDatabase(path)
+            memo_runs.append(session(database=database, reuse=True))
+            database.close()
+        finally:
+            shutil.rmtree(tempdir, ignore_errors=True)
+    warm_s = min(warm_runs)
+    memo_s = min(memo_runs)
 
     results = {
         "IC": {
@@ -317,6 +327,134 @@ def run_artifact(scale: str) -> Dict[str, dict]:
     print(
         f"artifact IC_memo  cold {cold_s:7.2f}s  memo {memo_s:7.2f}s  "
         f"speedup {results['IC_memo']['speedup']:.2f}x"
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: asynchronous (ASHA) vs wave-synchronous halving under a straggler
+# ---------------------------------------------------------------------------
+
+def run_scheduler(scale: str) -> Dict[str, dict]:
+    """Virtual-time makespan of one IC bracket, synchronous vs ASHA, on a
+    heterogeneous worker pool with one straggler.
+
+    Wall-clock cannot measure parallel scheduling honestly on a loaded
+    (or single-core) benchmark host, so this follows the repo's
+    virtual-time convention (DESIGN.md §5): both schedulers run inline —
+    bit-deterministic, every trial carrying its emulator-virtual
+    duration — and the measured quantity is the **simulated makespan**
+    of those trials list-scheduled over an 8-worker pool whose first
+    worker is 5x slower (the straggler every shared cluster has).  A
+    64-wide bracket keeps rung widths above the pool size, so the
+    barrier stall — not the longest promotion chain — dominates.  The
+    synchronous wave path may not start a rung before the previous rung
+    fully completes (the coordinator's barrier); ASHA carries no
+    barriers, only true dependencies (a promotion cannot start before
+    its parent's result has landed).  Identical pool, identical
+    assignment policy, identical trial durations per scheduler's own
+    schedule — the ratio isolates exactly the barrier stall.
+
+    ``speedup`` is wave-over-asha makespan (gated at >= 1.3x) and
+    ``quality`` is wave-best-score over asha-best-score (lower scores
+    are better, so >= ~1 means ASHA's answer is at least as good;
+    promotion trial ids differ between the two schedulers, which
+    reseeds model init, so bit-equality is not expected and the gate is
+    a ratio floor).  Both numbers are bit-reproducible.
+    """
+    from repro.service import SessionCoordinator, SessionSpec, SessionStore
+    from repro.storage import TrialDatabase
+
+    samples = 2400 if scale == "full" else 480
+    pool_workers = 8
+    slow_factor = 5.0
+    #: Wide bracket (vs the eta**rungs = 16 default): rung widths must
+    #: exceed the pool for the barrier stall to be the dominant cost —
+    #: a pool-sized bracket is dominated by the longest promotion chain,
+    #: which no scheduler can compress.
+    num_configs = 64
+
+    def session(scheduler: str):
+        tempdir = tempfile.mkdtemp(prefix="repro-perf-scheduler-")
+        try:
+            database = TrialDatabase(
+                os.path.join(tempdir, "session.sqlite")
+            )
+            spec = SessionSpec(
+                workload="IC", samples=samples, seed=7,
+                scheduler=scheduler, num_configs=num_configs,
+            )
+            session_id = SessionStore(database).create(spec)
+            result = SessionCoordinator(
+                database, session_id, workers=0
+            ).run()
+            record = SessionStore(database).get(session_id)
+            database.close()
+            return result, record.result["decision_log"]
+        finally:
+            shutil.rmtree(tempdir, ignore_errors=True)
+
+    def assign(free: List[float], ready: float, duration: float) -> float:
+        """Place on the worker that frees first; returns the end time.
+
+        This is lease-queue order: a worker takes the head of the queue
+        the moment it frees, blind to how long the unit will run.
+        Earliest-*finish* placement would be omniscient — it would route
+        long trials away from the straggler and hide exactly the stall
+        this gate measures.
+        """
+        w = min(range(pool_workers), key=lambda i: (max(free[i], ready), i))
+        factor = slow_factor if w == 0 else 1.0
+        end = max(free[w], ready) + duration * factor
+        free[w] = end
+        return end
+
+    def wave_makespan(result) -> float:
+        free = [0.0] * pool_workers
+        barrier = 0.0
+        rung_key, rung_end = None, 0.0
+        for trial in result.trials:
+            if (trial.bracket, trial.rung) != rung_key:
+                rung_key = (trial.bracket, trial.rung)
+                barrier = max(barrier, rung_end)
+            rung_end = max(
+                rung_end, assign(free, barrier, trial.trial_runtime_s)
+            )
+        return max(free)
+
+    def asha_makespan(result, decision_log) -> float:
+        parent_of = {
+            entry[4]: entry[1]
+            for entry in decision_log
+            if entry[4] is not None
+        }
+        free = [0.0] * pool_workers
+        done: Dict[int, float] = {}
+        for trial in result.trials:  # issue order (inline = pin order)
+            ready = done.get(parent_of.get(trial.trial_id), 0.0)
+            done[trial.trial_id] = assign(
+                free, ready, trial.trial_runtime_s
+            )
+        return max(free)
+
+    wave_result, _ = session("sha")
+    asha_result, decision_log = session("asha")
+    wave_s = wave_makespan(wave_result)
+    asha_s = asha_makespan(asha_result, decision_log)
+
+    results = {
+        "asha": {
+            "wave_s": wave_s,
+            "asha_s": asha_s,
+            "speedup": wave_s / asha_s,
+            "quality": wave_result.best_score / asha_result.best_score,
+        }
+    }
+    print(
+        f"scheduler IC      wave {wave_s:7.2f}s  "
+        f"asha {asha_s:7.2f}s  (virtual)  "
+        f"speedup {results['asha']['speedup']:.2f}x  "
+        f"quality {results['asha']['quality']:.3f}"
     )
     return results
 
@@ -387,6 +525,7 @@ def main() -> None:
         "micro": run_micro(args.scale, args.repeats),
         "e2e": run_e2e(args.scale, e2e_repeats),
         "artifact": run_artifact(args.scale),
+        "scheduler": run_scheduler(args.scale),
         "traffic": run_traffic(args.scale, args.repeats),
     }
     with open(args.out, "w") as handle:

@@ -72,6 +72,8 @@ def _tune_service(args) -> int:
             target_accuracy=args.target,
             warm_start=args.warm_start,
             reuse_checkpoints=args.reuse_checkpoints,
+            scheduler=args.scheduler,
+            num_configs=args.num_configs,
             traffic=args.traffic,
             traffic_metric=args.traffic_metric,
             slo_p99_s=args.slo_p99,
@@ -79,7 +81,8 @@ def _tune_service(args) -> int:
         )
         session_id = SessionStore(database).create(spec)
         result = SessionCoordinator(
-            database, session_id, workers=args.workers
+            database, session_id, workers=args.workers,
+            pin_order=args.pin_order,
         ).run()
     finally:
         database.close()
@@ -118,6 +121,14 @@ def _cmd_tune(args) -> int:
         print("--traffic is only supported by --system edgetune",
               file=sys.stderr)
         return 2
+    if args.scheduler is not None and args.system != "edgetune":
+        print("--scheduler is only supported by --system edgetune",
+              file=sys.stderr)
+        return 2
+    if args.num_configs is not None and args.scheduler not in ("sha", "asha"):
+        print("--num-configs only applies to --scheduler sha/asha",
+              file=sys.stderr)
+        return 2
     if args.workers:
         return _tune_service(args)
     if args.warm_start and args.db is None:
@@ -142,6 +153,11 @@ def _cmd_tune(args) -> int:
     )
     try:
         if args.system == "edgetune":
+            extra = {}
+            if args.scheduler is not None:
+                extra["algorithm"] = args.scheduler
+            if args.num_configs is not None:
+                extra["num_configs"] = args.num_configs
             tuner = EdgeTune(device=args.device, budget=args.budget,
                              tuning_metric=args.metric,
                              warm_start=args.warm_start,
@@ -149,7 +165,7 @@ def _cmd_tune(args) -> int:
                              traffic=args.traffic,
                              traffic_metric=args.traffic_metric,
                              slo=_slo_from_args(args),
-                             **common)
+                             **extra, **common)
         elif args.system == "tune":
             tuner = TuneBaseline(budget=build_budget(args.budget), **common)
         elif args.system == "hyperpower":
@@ -233,6 +249,19 @@ def main(argv=None) -> int:
                       help="warm-resume promoted trials from their parent "
                            "rung's checkpoint via the artifact cache "
                            "(changes scores vs. retrain-from-scratch)")
+    tune.add_argument("--scheduler", default=None,
+                      help="override the edgetune search algorithm, e.g. "
+                           "'asha' for asynchronous successive halving "
+                           "(default: the system's own, bohb)")
+    tune.add_argument("--num-configs", type=int, default=None,
+                      help="bracket width for --scheduler sha/asha: how "
+                           "many fresh configurations enter the bottom "
+                           "rung (default: eta ** num_rungs)")
+    tune.add_argument("--pin-order", action="store_true",
+                      help="with an asynchronous scheduler, integrate "
+                           "results strictly in issue order (replay mode: "
+                           "decision log is identical across worker "
+                           "counts, at the cost of async speedup)")
     tune.add_argument("--traffic", default=None,
                       help="serving-load scenario to tune under, e.g. "
                            "'diurnal:rate=40,peak=4,duration=120,seed=7' "

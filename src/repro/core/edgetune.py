@@ -50,6 +50,7 @@ class EdgeTune:
         database: Optional[TrialDatabase] = None,
         emulator: Optional[Emulator] = None,
         max_trials: Optional[int] = None,
+        num_configs: Optional[int] = None,
         target_accuracy: Optional[float] = None,
         samples: Optional[int] = None,
         stop_on_target: bool = True,
@@ -105,6 +106,7 @@ class EdgeTune:
             seed=seed,
             include_system_parameters=True,
             max_trials=max_trials,
+            num_configs=num_configs,
             target_accuracy=target_accuracy,
             samples=samples,
             system_name="edgetune",

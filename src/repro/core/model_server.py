@@ -369,6 +369,7 @@ class ModelTuningServer:
         samples: Optional[int] = None,
         system_name: str = "edgetune",
         eta: int = 2,
+        num_configs: Optional[int] = None,
         server_device: str = "titan-server",
         stop_on_target: bool = True,
         warm_start: bool = False,
@@ -392,6 +393,16 @@ class ModelTuningServer:
         self.samples = samples
         self.system_name = system_name
         self.eta = eta
+        #: Bracket width override for the halving schedulers.  ``None``
+        #: keeps the scheduler's own default (``eta ** num_rungs``); only
+        #: ``sha``/``asha`` accept the knob, so reject it early for any
+        #: other algorithm instead of failing later inside ``prepare``.
+        if num_configs is not None and algorithm not in ("sha", "asha"):
+            raise TuningError(
+                "num_configs only applies to the 'sha'/'asha' schedulers, "
+                f"not {algorithm!r}"
+            )
+        self.num_configs = num_configs
         self.server_device = server_device
         self.stop_on_target = stop_on_target
         #: Transfer tuning knowledge from prior sessions (§3.4's reuse
@@ -468,6 +479,9 @@ class ModelTuningServer:
         space = self.workload.training_space(
             include_system=self.include_system_parameters
         )
+        scheduler_kwargs: Dict[str, Any] = {}
+        if self.num_configs is not None:
+            scheduler_kwargs["num_configs"] = self.num_configs
         scheduler = build_scheduler(
             self.algorithm,
             space,
@@ -475,6 +489,7 @@ class ModelTuningServer:
             max_fidelity=self.budget.max_iteration,
             eta=self.eta,
             num_trials=self.max_trials,
+            **scheduler_kwargs,
         )
         if self.warm_start:
             records = self.warm_start_records
@@ -528,6 +543,36 @@ class ModelTuningServer:
                 break
             wave.append(trial)
         return wave
+
+    def next_trials(
+        self,
+        state: RunState,
+        in_flight: int = 0,
+        limit: Optional[int] = None,
+    ) -> List[ScheduledTrial]:
+        """Drain runnable trials without demanding progress (async path).
+
+        The asynchronous coordinator calls this every loop turn; unlike
+        :meth:`next_wave` an empty answer while reports are outstanding
+        is normal (the scheduler is waiting on them), not a stall.
+        ``in_flight`` counts issued-but-unintegrated trials so the
+        ``max_trials`` cap holds across ``records + in flight + issued``.
+        """
+        trials: List[ScheduledTrial] = []
+        while limit is None or len(trials) < limit:
+            if state.stopped:
+                break
+            if (
+                self.max_trials is not None
+                and len(state.records) + in_flight + len(trials)
+                >= self.max_trials
+            ):
+                break
+            trial = state.scheduler.next_trial()
+            if trial is None:
+                break
+            trials.append(trial)
+        return trials
 
     def make_task(
         self, trial: ScheduledTrial, state: Optional[RunState] = None
@@ -599,9 +644,13 @@ class ModelTuningServer:
         """
         configuration = trial.configuration
         budget = self.budget.budget(trial.fidelity)
-        if (trial.bracket, trial.rung) != state.rung_key:
+        asynchronous = bool(getattr(state.scheduler, "asynchronous", False))
+        if not asynchronous and (trial.bracket, trial.rung) != state.rung_key:
             # Synchronous halving: a new rung starts only after every
             # trial (and pending inference job) of the previous one.
+            # Asynchronous schedulers (ASHA) have no rung barriers —
+            # interleaved rungs must not thrash the barrier, so a
+            # promoted trial starts as soon as the GPU pool can place it.
             state.rung_key = (trial.bracket, trial.rung)
             state.barrier = max(state.barrier, state.rung_end)
 

@@ -1,5 +1,6 @@
-"""Search algorithms: grid, random, TPE, successive halving, HyperBand, BOHB."""
+"""Search algorithms: grid, random, TPE, SHA, ASHA, HyperBand, BOHB."""
 
+from .asha import ASHAScheduler
 from .base import (
     ScheduledTrial,
     Searcher,
@@ -33,6 +34,7 @@ __all__ = [
     "TPESampler",
     "ParzenEstimator",
     "SuccessiveHalvingScheduler",
+    "ASHAScheduler",
     "rung_fidelities",
     "HyperBandScheduler",
     "MedianStoppingScheduler",

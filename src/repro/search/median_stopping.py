@@ -9,6 +9,7 @@ than the median of all completed scores at the same fidelity.
 
 from __future__ import annotations
 
+import logging
 import statistics
 from typing import Dict, List, Optional
 
@@ -17,6 +18,8 @@ from ..rng import SeedLike
 from ..space import ParameterSpace
 from .base import ScheduledTrial, Searcher, TrialReport, TrialScheduler
 from .successive_halving import rung_fidelities
+
+logger = logging.getLogger(__name__)
 
 
 class MedianStoppingScheduler(TrialScheduler):
@@ -85,9 +88,15 @@ class MedianStoppingScheduler(TrialScheduler):
     def report(self, report: TrialReport) -> None:
         trial = self._awaiting.pop(report.trial.trial_id, None)
         if trial is None:
-            raise TuningError(
-                f"report for unknown trial {report.trial.trial_id}"
+            # Same tolerance as the halving schedulers: a completion for
+            # a trial issued past a checkpoint restore is skipped, not a
+            # crash (the restored scheduler re-issues it itself).
+            logger.warning(
+                "ignoring report for unknown trial %d "
+                "(issued before a checkpoint restore, or duplicate)",
+                report.trial.trial_id,
             )
+            return
         self.searcher.observe(trial.configuration, report.score)
         rung = self._rung_of[trial.trial_id]
         scores = self._scores_at.setdefault(rung, [])

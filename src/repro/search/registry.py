@@ -12,6 +12,7 @@ from typing import Dict, Optional
 from ..errors import SearchSpaceError
 from ..rng import SeedLike
 from ..space import ParameterSpace
+from .asha import ASHAScheduler
 from .base import Searcher, SearcherScheduler, TrialScheduler
 from .bohb import BOHBScheduler
 from .grid import GridSearcher
@@ -23,7 +24,7 @@ from .tpe import TPESampler
 
 SEARCHER_NAMES = ("grid", "random", "tpe")
 SCHEDULER_NAMES = (
-    "grid", "random", "tpe", "sha", "hyperband", "bohb", "median",
+    "grid", "random", "tpe", "sha", "asha", "hyperband", "bohb", "median",
 )
 
 
@@ -56,8 +57,9 @@ def build_scheduler(
     """Build a trial scheduler by name.
 
     ``grid``/``random``/``tpe`` wrap the searcher to run ``num_trials``
-    full-fidelity trials (fixed-budget tuning); ``sha``, ``hyperband`` and
-    ``bohb`` are the multi-fidelity schedulers.
+    full-fidelity trials (fixed-budget tuning); ``sha``, ``asha``,
+    ``hyperband`` and ``bohb`` are the multi-fidelity schedulers
+    (``asha`` is the barrier-free asynchronous variant).
     """
     key = name.lower()
     if key in SEARCHER_NAMES:
@@ -73,6 +75,17 @@ def build_scheduler(
     if key == "sha":
         searcher = build_searcher("random", space, seed=seed)
         return SuccessiveHalvingScheduler(
+            space, searcher, eta=eta, min_fidelity=min_fidelity,
+            max_fidelity=max_fidelity, seed=seed, **kwargs,
+        )
+    if key == "asha":
+        # A random (observation-independent) searcher keeps the asha
+        # determinism contract: the suggestion stream depends only on
+        # the seed, never on the order observations arrive in.  An
+        # adaptive searcher (TPE) would make suggestions a function of
+        # integration order — see DESIGN.md §8.
+        searcher = build_searcher("random", space, seed=seed)
+        return ASHAScheduler(
             space, searcher, eta=eta, min_fidelity=min_fidelity,
             max_fidelity=max_fidelity, seed=seed, **kwargs,
         )

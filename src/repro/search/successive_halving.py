@@ -8,6 +8,7 @@ until one trial runs at full fidelity.
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Dict, List, Optional, Tuple
 
@@ -15,6 +16,8 @@ from ..errors import SearchSpaceError, TuningError
 from ..rng import SeedLike
 from ..space import Configuration, ParameterSpace
 from .base import ScheduledTrial, Searcher, TrialReport, TrialScheduler
+
+logger = logging.getLogger(__name__)
 
 
 def rung_fidelities(min_fidelity: int, max_fidelity: int, eta: int) -> List[int]:
@@ -89,7 +92,14 @@ class SuccessiveHalvingScheduler(TrialScheduler):
     def _promote(self) -> None:
         """Close the current rung and seed the next with the survivors."""
         survivors = max(1, int(math.ceil(len(self._reports) / self.eta)))
-        ordered = sorted(self._reports, key=lambda r: r.score)
+        # Ties break by trial id, so the survivor set is a pure function
+        # of the *set* of reports, never of their arrival order (reports
+        # arrive in issue order under the wave coordinator, where the
+        # stable sort produced the same ranking; this keeps the rung
+        # outcome order-independent for any driver).
+        ordered = sorted(
+            self._reports, key=lambda r: (r.score, r.trial.trial_id)
+        )
         self._rung += 1
         if self._rung >= len(self.fidelities):
             self._exhausted = True
@@ -137,9 +147,17 @@ class SuccessiveHalvingScheduler(TrialScheduler):
     def report(self, report: TrialReport) -> None:
         trial = self._awaiting.pop(report.trial.trial_id, None)
         if trial is None:
-            raise TuningError(
-                f"report for unknown trial {report.trial.trial_id}"
+            # After a mid-rung state_dict restore, completions for trials
+            # issued past the snapshot are not in ``_awaiting``; they must
+            # neither KeyError nor silently restart the rung.  The restored
+            # scheduler re-issues the same trials deterministically, so
+            # skipping the stray report loses nothing.
+            logger.warning(
+                "ignoring report for unknown trial %d "
+                "(issued before a checkpoint restore, or duplicate)",
+                report.trial.trial_id,
             )
+            return
         self._reports.append(report)
         self.searcher.observe(report.trial.configuration, report.score)
         # Promote eagerly when a rung completes so `next_trial` never has

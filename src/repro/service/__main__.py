@@ -54,6 +54,8 @@ def _cmd_submit(args) -> int:
             target_accuracy=args.target,
             warm_start=args.warm_start,
             reuse_checkpoints=args.reuse_checkpoints,
+            scheduler=args.scheduler,
+            num_configs=args.num_configs,
             traffic=args.traffic,
             traffic_metric=args.traffic_metric,
             slo_p99_s=args.slo_p99,
@@ -403,6 +405,14 @@ def main(argv=None) -> int:
                              "parent rung's checkpoint (changes scores vs. "
                              "retrain-from-scratch; exact memoization is "
                              "always on)")
+    submit.add_argument("--scheduler", default=None,
+                        help="override the edgetune search algorithm "
+                             "(e.g. 'asha' for asynchronous successive "
+                             "halving; default: the system's own, bohb)")
+    submit.add_argument("--num-configs", type=int, default=None,
+                        help="bracket width for --scheduler sha/asha: how "
+                             "many fresh configurations enter the bottom "
+                             "rung (default: eta ** num_rungs)")
     submit.add_argument("--traffic", default=None,
                         help="serving-load scenario to tune under, e.g. "
                              "'flash:rate=30,mult=8,duration=60,seed=7' "

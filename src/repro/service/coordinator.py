@@ -23,6 +23,7 @@ by tests that need single-process determinism.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import traceback
@@ -33,7 +34,7 @@ from ..core.model_server import (
     ModelTuningServer, RunState, _plain, failure_evaluation,
 )
 from ..core.results import TuningRunResult
-from ..errors import ServiceError
+from ..errors import ServiceError, TuningError
 from ..telemetry.meters import FAILURES_SUBSTITUTED
 from ..search import ScheduledTrial
 from ..storage import TrialDatabase
@@ -46,6 +47,16 @@ from .worker import TrialWorker
 
 #: How long the coordinator sleeps between result polls, seconds.
 COORDINATOR_POLL_S = 0.05
+
+#: Issue lookahead of the asynchronous merge loop: at most this many
+#: trials in flight at once.  A *constant* (never derived from the
+#: worker count) on purpose — the issue schedule is part of what makes
+#: pinned-order decision logs bit-identical across worker counts — and
+#: big enough to keep the default pools saturated while leaving
+#: ``max_trials`` headroom for the promotions each result unlocks
+#: (greedy issuance would spend a capped session's whole budget on
+#: bottom-rung trials before the first promotion could claim a slot).
+ASYNC_MAX_IN_FLIGHT = 8
 
 
 class SessionCoordinator:
@@ -64,6 +75,7 @@ class SessionCoordinator:
         heartbeat_interval_s: Optional[float] = None,
         shard: int = 0,
         remote: bool = False,
+        pin_order: bool = False,
     ):
         if workers > 0 and pool is None and database.path == ":memory:":
             raise ServiceError(
@@ -87,9 +99,23 @@ class SessionCoordinator:
         #: polls, and merges (the wave-ordered integration is identical,
         #: which is what keeps fleet runs bit-identical to local ones).
         self.remote = remote
+        #: Replay mode for asynchronous schedulers: integrate results
+        #: strictly in issue order (waiting for the earliest pending
+        #: trial), which pins the completion order the scheduler sees —
+        #: decision logs become identical for any worker count.  Also
+        #: settable per deployment via ``$REPRO_PIN_COMPLETION_ORDER``.
+        #: The synchronous wave path is always pinned; this flag only
+        #: changes the async merge.
+        pin_env = os.environ.get("REPRO_PIN_COMPLETION_ORDER", "")
+        self.pin_order = bool(pin_order) or pin_env.lower() not in (
+            "", "0", "false",
+        )
         self._pool = pool
         self._owns_pool = pool is None and workers > 0 and not remote
         self._inline: Optional[TrialWorker] = None
+        #: The finished session's scheduler decision log (asynchronous
+        #: schedulers only), surfaced in the session result summary.
+        self._decision_log: Optional[List[List[Any]]] = None
 
     # -- main entry ---------------------------------------------------------
     def run(self) -> TuningRunResult:
@@ -142,28 +168,34 @@ class SessionCoordinator:
             self.meters.counter("trials.resumed").inc(len(state.records))
         self.sessions.set_state(self.session_id, "running")
 
-        while True:
-            if not wave:
-                wave = server.next_wave(state)
+        if getattr(state.scheduler, "asynchronous", False):
+            self._drive_async(server, state, wave)
+        else:
+            while True:
                 if not wave:
+                    wave = server.next_wave(state)
+                    if not wave:
+                        break
+                    self.meters.meter("wave.size").record(len(wave))
+                    for trial in wave:
+                        self.queue.enqueue(
+                            self.session_id,
+                            trial.trial_id,
+                            server.make_task(trial, state).to_json(),
+                            shard=self.shard,
+                        )
+                    self._checkpoint(server, state, wave)
+                wave_started = time.time()
+                self._drain_wave(server, state, wave)
+                self.meters.meter("wave.latency_s").record(
+                    time.time() - wave_started
+                )
+                if state.stopped:
                     break
-                self.meters.meter("wave.size").record(len(wave))
-                for trial in wave:
-                    self.queue.enqueue(
-                        self.session_id,
-                        trial.trial_id,
-                        server.make_task(trial, state).to_json(),
-                        shard=self.shard,
-                    )
-                self._checkpoint(server, state, wave)
-            wave_started = time.time()
-            self._drain_wave(server, state, wave)
-            self.meters.meter("wave.latency_s").record(
-                time.time() - wave_started
-            )
-            if state.stopped:
-                break
 
+        log = getattr(state.scheduler, "decision_log", None)
+        if log is not None:
+            self._decision_log = [list(entry) for entry in log]
         result = server.finalize(state)
         self.sessions.finish(
             self.session_id, self._summarize(server, result)
@@ -268,6 +300,120 @@ class SessionCoordinator:
             del wave[:]
         return True
 
+    # -- asynchronous merge (ASHA) -------------------------------------------
+    def _drive_async(
+        self,
+        server: ModelTuningServer,
+        state: RunState,
+        pending: List[ScheduledTrial],
+    ) -> None:
+        """Barrier-free merge loop for asynchronous schedulers.
+
+        Every turn: drain whatever the scheduler can issue *right now*
+        (promotions decided by the latest result, or fresh bottom-rung
+        trials) and enqueue it — freed workers pick the jobs up
+        immediately — then integrate **one** ready result so any
+        promotion it triggers reaches the queue before the next merge.
+
+        ``pending`` holds issued-but-unintegrated trials in issue order.
+        Ready results integrate earliest-issued-first (a deterministic
+        tie-break, not a barrier); under :attr:`pin_order` only the
+        earliest pending trial ever integrates, which fixes the
+        completion order the scheduler observes and makes decision logs
+        bit-identical across worker counts (the async "replay mode").
+
+        Checkpoint discipline matches the wave path: scheduler state is
+        snapshotted after enqueueing (a crash in between re-issues the
+        same trials; ``enqueue`` is idempotent) and inside the same
+        transaction as every integration.
+        """
+        while True:
+            fresh = server.next_trials(
+                state,
+                in_flight=len(pending),
+                limit=max(0, ASYNC_MAX_IN_FLIGHT - len(pending)),
+            )
+            if fresh:
+                for trial in fresh:
+                    self.queue.enqueue(
+                        self.session_id,
+                        trial.trial_id,
+                        server.make_task(trial, state).to_json(),
+                        shard=self.shard,
+                    )
+                pending.extend(fresh)
+                self._checkpoint(server, state, pending)
+            if not pending:
+                capped = (
+                    server.max_trials is not None
+                    and len(state.records) >= server.max_trials
+                )
+                if not (
+                    state.stopped or capped or state.scheduler.finished
+                ):
+                    raise TuningError(
+                        "asynchronous scheduler stalled with no "
+                        "runnable or in-flight trials"
+                    )
+                return
+            results = self.queue.results_for(
+                self.session_id, [t.trial_id for t in pending]
+            )
+            scan = pending[:1] if self.pin_order else list(pending)
+            integrated = False
+            for trial in scan:
+                if trial.trial_id not in results:
+                    continue
+                pending.remove(trial)
+                evaluation = pickle.loads(results[trial.trial_id])
+                with self.database.transaction():
+                    server.integrate(state, trial, evaluation)
+                    self._checkpoint(server, state, pending)
+                self.meters.counter("trials.integrated").inc()
+                integrated = True
+                break
+            if integrated:
+                if state.stopped:
+                    # Target reached: drop in-flight work unintegrated,
+                    # exactly like the wave path mid-wave.
+                    del pending[:]
+                    return
+                continue
+            if self._substitute_failure_async(server, state, pending):
+                continue
+            self._pump(pending)
+
+    def _substitute_failure_async(
+        self,
+        server: ModelTuningServer,
+        state: RunState,
+        pending: List[ScheduledTrial],
+    ) -> bool:
+        """Integrate a failure record for a dead-lettered pending trial.
+
+        The async twin of :meth:`_substitute_failure`: scanned in issue
+        order (head-only under :attr:`pin_order`, preserving the pinned
+        completion order even for substitutions).
+        """
+        scan = pending[:1] if self.pin_order else list(pending)
+        for trial in scan:
+            job = self.queue.get(self.session_id, trial.trial_id)
+            if job is None or job.state != FAILED:
+                continue
+            pending.remove(trial)
+            with self.database.transaction():
+                server.integrate(
+                    state, trial,
+                    failure_evaluation(trial.trial_id, job.error),
+                )
+                self._checkpoint(server, state, pending)
+            self.meters.counter(FAILURES_SUBSTITUTED).inc()
+            self.meters.counter("trials.integrated").inc()
+            if state.stopped:
+                del pending[:]
+            return True
+        return False
+
     def _pump(self, wave: List[ScheduledTrial]) -> None:
         """Make progress while the wave head's result is not ready yet."""
         if self._inline is not None:
@@ -367,6 +513,7 @@ class SessionCoordinator:
                 getattr(server, "reuse_checkpoints", False)
             ),
             "artifact_cache": artifact_cache,
+            "decision_log": self._decision_log,
             "inference": inference,
             "meters": self.meters.snapshot(),
             "worker_stats": self.queue.worker_stats(self.session_id),

@@ -13,8 +13,12 @@ Ownership protocol:
 * **complete**/**fail** only succeed while the lease is still held, so a
   reclaimed-and-reassigned job cannot be double-completed by a zombie.
 
-All timestamps are wall-clock seconds (``time.time()``); determinism of
-*results* is unaffected because job execution itself is seed-driven.
+All timestamps are wall-clock seconds (``time.time()``) so they stay
+comparable across processes; determinism of *results* is unaffected
+because job execution itself is seed-driven.  The janitor's expiry
+*judgement*, however, is hardened against wall-clock steps (NTP
+step/regression) with a monotonic-clock cross-check — see
+:meth:`JobQueue._janitor_now`.
 """
 
 from __future__ import annotations
@@ -53,6 +57,23 @@ def _env_float(name: str, default: float) -> float:
 #: Overridable per deployment via ``$REPRO_LEASE_TTL_S`` (and per run via
 #: the ``--lease-ttl`` CLI flags).
 DEFAULT_LEASE_TTL_S = _env_float("REPRO_LEASE_TTL_S", 10.0)
+
+#: Divergence between the wall clock and the monotonic extrapolation
+#: beyond which the janitor treats ``time.time()`` as having stepped
+#: (NTP slew stays far below this; only a step/regression trips it).
+CLOCK_SKEW_TOLERANCE_S = 2.0
+
+#: After detecting a step, how long the janitor keeps judging expiry on
+#: the pre-step (monotonic) timeline before adopting the new wall clock.
+#: One grace window is enough for every live worker to re-stamp its
+#: lease (heartbeats run at a quarter TTL) under the stepped clock.
+SKEW_GRACE_S = 2.0 * DEFAULT_LEASE_TTL_S
+
+#: Clock sources, module-level so the skew tests can substitute both
+#: coherently (patching ``time.time`` itself would leak into sqlite
+#: timestamps and every other subsystem).
+_wall_clock = time.time
+_mono_clock = time.monotonic
 
 #: Retry backoff: ``base * 2**(attempt-1)`` capped at ``cap`` seconds.
 BACKOFF_BASE_S = 0.25
@@ -151,6 +172,12 @@ class JobQueue:
 
     def __init__(self, database: TrialDatabase):
         self.database = database
+        # Wall/monotonic anchor pair for the janitor's skew detector:
+        # lease stamps must stay wall-clock (comparable across
+        # processes), but expiry *judgement* must survive a clock step.
+        self._wall_anchor = _wall_clock()
+        self._mono_anchor = _mono_clock()
+        self._skew_grace_until: Optional[float] = None
 
     # -- producer side ------------------------------------------------------
     def enqueue(
@@ -384,14 +411,57 @@ class JobQueue:
         )
 
     # -- janitor side --------------------------------------------------------
+    def _janitor_now(self) -> float:
+        """Wall-clock "now" for lease-expiry checks, hardened against
+        clock steps.
+
+        Lease stamps use ``time.time()`` — a forward NTP step would make
+        every healthy lease look expired (the janitor would mass-reclaim
+        live workers' jobs) and a backward step would keep a dead
+        worker's lease alive for the step duration.  The janitor
+        therefore extrapolates "now" from the monotonic clock anchored
+        at queue construction; while the wall clock agrees with that
+        extrapolation it is used directly, and when they diverge past
+        :data:`CLOCK_SKEW_TOLERANCE_S` the pre-step timeline is held for
+        :data:`SKEW_GRACE_S` — long enough for live workers to
+        re-stamp their leases under the stepped clock — before the new
+        wall clock is adopted as the anchor.
+
+        Known (safe-direction) limitation: a lease stamped *after* a
+        forward step is judged late by up to the step size during the
+        grace window, delaying — never hastening — its reclaim.
+        """
+        wall = _wall_clock()
+        mono = _mono_clock()
+        steady = self._wall_anchor + (mono - self._mono_anchor)
+        if abs(wall - steady) > CLOCK_SKEW_TOLERANCE_S:
+            if self._skew_grace_until is None:
+                self._skew_grace_until = mono + SKEW_GRACE_S
+            if mono < self._skew_grace_until:
+                return steady
+            self._wall_anchor = wall
+            self._mono_anchor = mono
+            self._skew_grace_until = None
+            return wall
+        # Clocks agree again (step reverted, or grace adopted it): track
+        # the wall clock so slow monotonic-vs-NTP drift never
+        # accumulates into a false skew detection.
+        self._wall_anchor = wall
+        self._mono_anchor = mono
+        self._skew_grace_until = None
+        return wall
+
     def reclaim_expired(self, now: Optional[float] = None) -> int:
         """Requeue (or terminally fail) jobs whose lease ran out.
 
         This is how a ``kill -9``'d worker's in-flight trials get retried:
         its leases stop being renewed and any surviving process reclaims
-        them here.
+        them here.  The real-time path judges expiry via
+        :meth:`_janitor_now` (clock-step hardened); an explicit ``now``
+        bypasses the skew detector — it is the simulated-time hook the
+        tests and operators use deliberately.
         """
-        now = time.time() if now is None else now
+        now = self._janitor_now() if now is None else now
         with self.database.transaction() as connection:
             rows = connection.execute(
                 "SELECT id, attempts, max_attempts, lease_owner, "

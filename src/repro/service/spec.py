@@ -42,6 +42,14 @@ class SessionSpec:
     #: train fewer epochs from inherited weights, so scores differ from
     #: the retrain-from-scratch default.
     reuse_checkpoints: bool = False
+    #: Override the edgetune search algorithm (``asha``, ``sha``,
+    #: ``bohb``, ...).  ``None`` keeps the system default.
+    scheduler: Optional[str] = None
+    #: Bracket width for the halving schedulers: how many fresh
+    #: configurations enter the bottom rung.  Only meaningful with
+    #: ``scheduler`` set to ``sha`` or ``asha``; ``None`` keeps the
+    #: scheduler default (``eta ** num_rungs``).
+    num_configs: Optional[int] = None
     #: Serving-load scenario this session tunes under (``repro.traffic``
     #: spec string), with the SLO metric/targets scored against it.
     traffic: Optional[str] = None
@@ -55,6 +63,26 @@ class SessionSpec:
                 f"system {self.system!r} cannot run as a service session; "
                 f"expected one of {SERVICE_SYSTEMS}"
             )
+        if self.scheduler is not None:
+            if self.system != "edgetune":
+                raise ServiceError(
+                    "--scheduler only applies to the edgetune system"
+                )
+            from ..search import SCHEDULER_NAMES
+
+            if self.scheduler not in SCHEDULER_NAMES:
+                raise ServiceError(
+                    f"unknown scheduler {self.scheduler!r}; "
+                    f"expected one of {SCHEDULER_NAMES}"
+                )
+        if self.num_configs is not None:
+            if self.scheduler not in ("sha", "asha"):
+                raise ServiceError(
+                    "--num-configs only applies to the 'sha'/'asha' "
+                    "schedulers (pass --scheduler)"
+                )
+            if self.num_configs < 1:
+                raise ServiceError("--num-configs must be >= 1")
         if self.traffic is not None:
             if self.system != "edgetune":
                 raise ServiceError(
@@ -107,6 +135,11 @@ def build_server(spec: SessionSpec, database: TrialDatabase):
                 p99_target_s=spec.slo_p99_s,
                 deadline_s=spec.slo_deadline_s,
             )
+        extra: Dict[str, Any] = {}
+        if spec.scheduler is not None:
+            extra["algorithm"] = spec.scheduler
+        if spec.num_configs is not None:
+            extra["num_configs"] = spec.num_configs
         server = EdgeTune(
             device=spec.device,
             budget=spec.budget,
@@ -114,6 +147,7 @@ def build_server(spec: SessionSpec, database: TrialDatabase):
             traffic=spec.traffic,
             traffic_metric=spec.traffic_metric,
             slo=slo,
+            **extra,
             **common,
         ).model_server
     elif spec.system == "tune":

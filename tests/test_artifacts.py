@@ -472,6 +472,47 @@ class TestWarmResume:
         assert all(t.start_epoch > 0 for t in warm_tasks)
         assert len(state.artifact_keys) == len(state.records)
 
+    def test_gc_converges_after_forced_cold_fallback(self, tmp_path):
+        """S3: a gc'd/damaged parent forces the child onto the re-keyed
+        cold path; afterwards the store must reach a fixed point — a
+        second ``gc`` pass deletes nothing and ``scrub`` finds the store
+        clean (no perpetual orphan left behind by the fallback)."""
+        database = TrialDatabase(str(tmp_path / "artifacts.sqlite"))
+        store = ArtifactStore(database)
+        parent = make_task(trial_id=0, epochs=1, data_fraction=0.25,
+                           reuse=True)
+        evaluate_trial(parent, artifacts=store)
+        parent_key = trial_key(parent)
+        # The parent's sidecar vanishes out from under the row (disk
+        # cleanup, partial restore, ...).
+        blob_path = store._blob_path(parent_key)
+        assert os.path.exists(blob_path)
+        os.remove(blob_path)
+        # The child's warm lookup misses, drops the dangling row, and
+        # falls back to the cold (lineage-free) evaluation, which is
+        # bit-identical to a child that never had a parent.
+        child = make_task(trial_id=0, epochs=2, data_fraction=0.5,
+                          reuse=True, parent_key=parent_key, start_epoch=1)
+        cold = make_task(trial_id=0, epochs=2, data_fraction=0.5,
+                         reuse=True)
+        fallback_eval, _ = evaluate_trial(child, artifacts=store)
+        cold_eval, _ = evaluate_trial(cold, artifacts=store)
+        assert pickle.dumps(fallback_eval) == pickle.dumps(cold_eval)
+        # gc converges: whatever the first pass collects, the second
+        # pass must find nothing left to do.
+        store.gc()
+        second = store.gc()
+        assert second["artifacts_deleted"] == 0
+        assert second["orphans_removed"] == 0
+        assert second["bytes_freed"] == 0
+        report = store.scrub(repair=True)
+        assert report["quarantined"] == 0
+        assert report["missing"] == 0
+        assert report["orphans_removed"] == 0
+        # And the surviving entries still verify end to end.
+        assert report["verified"] == report["scanned"] > 0
+        database.close()
+
 
 class TestNestedSubsets:
     def test_prefix_nesting_with_order_seed(self):

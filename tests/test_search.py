@@ -175,7 +175,10 @@ class TestSuccessiveHalving:
             if trial.configuration in rung1_configs:
                 assert score <= max(promoted_scores) + 1e-9
 
-    def test_report_for_unknown_trial_rejected(self):
+    def test_report_for_unknown_trial_skipped(self, caplog):
+        """Unknown-trial completions (e.g. issued past a checkpoint
+        restore) are logged and dropped, never a crash — and never
+        restart the rung."""
         space = small_space()
         scheduler = SuccessiveHalvingScheduler(
             space, RandomSearcher(space, seed=0)
@@ -187,8 +190,19 @@ class TestSuccessiveHalving:
             ),
             score=1.0,
         )
-        with pytest.raises(TuningError):
+        with caplog.at_level("WARNING", logger="repro.search"):
             scheduler.report(fake)
+        assert "unknown trial 999" in caplog.text
+        # The stray report left no trace: the real trial is still
+        # awaited and the rung's report list is untouched.
+        assert trial.trial_id in scheduler._awaiting
+        assert scheduler._reports == []
+        scheduler.report(
+            TrialReport(trial=trial, score=quadratic(trial.configuration))
+        )
+        history = drive(scheduler, quadratic, limit=5000)
+        assert scheduler.finished
+        assert history  # the run still completes normally
 
 
 class TestHyperBand:

@@ -1,0 +1,378 @@
+"""Tests for the asynchronous successive-halving scheduler (ASHA).
+
+The determinism contract under test: given a fixed completion order,
+every decision (and every trial id) is a pure function of that order —
+bit-identical across runs and across ``state_dict`` save/restore.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TuningError
+from repro.search import (
+    ASHAScheduler,
+    RandomSearcher,
+    SuccessiveHalvingScheduler,
+    TrialReport,
+    build_scheduler,
+)
+from repro.search.asha import COMPLETE, PAUSE, PROMOTE
+from repro.space import Categorical, Float, Integer, ParameterSpace
+
+
+def small_space():
+    return ParameterSpace(
+        [
+            Float("x", 0.0, 1.0),
+            Integer("n", 1, 8),
+            Categorical("c", ("a", "b")),
+        ]
+    )
+
+
+def make_scheduler(seed=0, **kwargs):
+    space = small_space()
+    return ASHAScheduler(
+        space, RandomSearcher(space, seed=seed), seed=seed, **kwargs
+    )
+
+
+def quadratic(configuration):
+    return (configuration["x"] - 0.6) ** 2 + 0.01 * (
+        configuration["n"] - 4
+    ) ** 2 + (0.0 if configuration["c"] == "a" else 0.2)
+
+
+def drive_serial(scheduler, objective=quadratic, limit=5000):
+    """One-worker driver: every report lands before the next issue."""
+    history = []
+    while True:
+        trial = scheduler.next_trial()
+        if trial is None:
+            break
+        score = objective(trial.configuration) + 0.005 * (
+            scheduler.max_fidelity - trial.fidelity
+        )
+        scheduler.report(TrialReport(trial=trial, score=score))
+        history.append((trial, score))
+        assert len(history) <= limit, "scheduler runaway"
+    assert scheduler.finished
+    return history
+
+
+def drive_pool(scheduler, pick, objective=quadratic, width=4, limit=5000):
+    """Pool-style driver: up to ``width`` trials in flight; ``pick(k)``
+    chooses which in-flight trial completes next (fixing the completion
+    order the determinism contract quantifies over)."""
+    in_flight, history = [], []
+    while True:
+        while len(in_flight) < width:
+            trial = scheduler.next_trial()
+            if trial is None:
+                break
+            in_flight.append(trial)
+        if not in_flight:
+            break
+        trial = in_flight.pop(pick(len(in_flight)))
+        score = objective(trial.configuration) + 0.005 * (
+            scheduler.max_fidelity - trial.fidelity
+        )
+        scheduler.report(TrialReport(trial=trial, score=score))
+        history.append((trial, score))
+        assert len(history) <= limit, "scheduler runaway"
+    assert scheduler.finished
+    return history
+
+
+class TestASHABasics:
+    def test_registry_builds_asha(self):
+        scheduler = build_scheduler("asha", small_space(), seed=3)
+        assert isinstance(scheduler, ASHAScheduler)
+        assert scheduler.asynchronous is True
+
+    def test_serial_run_covers_the_ladder(self):
+        scheduler = make_scheduler(seed=0, eta=2, max_fidelity=16)
+        history = drive_serial(scheduler)
+        per_fidelity = {}
+        for trial, _ in history:
+            per_fidelity[trial.fidelity] = (
+                per_fidelity.get(trial.fidelity, 0) + 1
+            )
+        # All 16 fresh configurations run at the bottom fidelity and at
+        # least one trial reaches the top (n//eta promotion keeps the
+        # frontier non-empty once two results land at each rung).
+        assert per_fidelity[1] == 16
+        assert per_fidelity.get(16, 0) >= 1
+        assert len(history) == scheduler.total_trials_issued
+        # Every result produced at least one logged decision, the log's
+        # result indices are the integers 0..n-1 in order, and each
+        # result's own decision comes before any late promotions it
+        # triggers.
+        indices = [entry[0] for entry in scheduler.decision_log]
+        assert sorted(set(indices)) == list(range(len(history)))
+
+    def test_promotions_carry_lineage(self):
+        scheduler = make_scheduler(seed=1, eta=2, max_fidelity=8)
+        issued = {}
+        while True:
+            trial = scheduler.next_trial()
+            if trial is None:
+                break
+            issued[trial.trial_id] = trial
+            scheduler.report(
+                TrialReport(trial=trial, score=quadratic(trial.configuration))
+            )
+        promotions = [t for t in issued.values() if t.rung > 0]
+        assert promotions, "a halving run must promote something"
+        for child in promotions:
+            parent = issued[child.parent_id]
+            assert parent.rung == child.rung - 1
+            assert child.parent_fidelity == parent.fidelity
+            assert child.fidelity == scheduler.fidelities[child.rung]
+            assert child.configuration == parent.configuration
+            # Promotion ids live above the fresh-id block.
+            assert child.trial_id >= scheduler.num_configs
+
+    def test_paused_trial_promoted_when_frontier_grows(self):
+        """A result outside the frontier is paused, not killed: enough
+        worse results later can grow the frontier back over it."""
+        scheduler = make_scheduler(seed=2, eta=2, max_fidelity=4)
+        first = scheduler.next_trial()
+        second = scheduler.next_trial()
+        # First landing: n=1 -> keep=0 -> pause, however good.
+        scheduler.report(TrialReport(trial=first, score=0.1))
+        assert scheduler.decision_log[-1] == (
+            0, first.trial_id, 0, PAUSE, None,
+        )
+        # Second landing is worse: n=2 -> keep=1, frontier = {first}, so
+        # the *earlier, paused* trial is promoted now (and the landing
+        # trial's own pause is logged first).
+        scheduler.report(TrialReport(trial=second, score=0.9))
+        tail = scheduler.decision_log[-2:]
+        assert tail[0] == (1, second.trial_id, 0, PAUSE, None)
+        assert tail[1][:4] == (1, first.trial_id, 0, PROMOTE)
+        child = scheduler.next_trial()
+        assert child.parent_id == first.trial_id
+        assert child.rung == 1
+
+    def test_top_rung_results_complete(self):
+        scheduler = make_scheduler(seed=0, eta=2, max_fidelity=16)
+        drive_serial(scheduler)
+        completions = [
+            entry for entry in scheduler.decision_log
+            if entry[3] == COMPLETE
+        ]
+        assert completions
+        top = len(scheduler.fidelities) - 1
+        assert all(entry[2] == top for entry in completions)
+
+    def test_unknown_report_logged_and_skipped(self, caplog):
+        scheduler = make_scheduler(seed=0)
+        trial = scheduler.next_trial()
+        fake = type(trial)(
+            trial_id=999, configuration=trial.configuration, fidelity=1
+        )
+        with caplog.at_level("WARNING", logger="repro.search"):
+            scheduler.report(TrialReport(trial=fake, score=1.0))
+        assert "unknown trial 999" in caplog.text
+        # No decision was logged, no result index consumed.
+        assert scheduler.decision_log == []
+        assert trial.trial_id in scheduler._awaiting
+
+    def test_empty_searcher_raises(self):
+        space = ParameterSpace([Categorical("c", ("a",))])
+
+        class Empty(RandomSearcher):
+            def suggest(self):
+                return None
+
+        scheduler = ASHAScheduler(space, Empty(space, seed=0), seed=0)
+        with pytest.raises(TuningError):
+            scheduler.next_trial()
+
+
+class TestASHADeterminism:
+    def test_decision_log_identical_across_runs(self):
+        logs = []
+        for _ in range(2):
+            scheduler = make_scheduler(seed=5, eta=2, max_fidelity=16)
+            drive_pool(scheduler, pick=lambda n: n // 2)
+            logs.append(list(scheduler.decision_log))
+        assert logs[0] == logs[1]
+        assert logs[0]
+
+    def test_state_dict_roundtrip_resumes_bit_identically(self):
+        """Snapshot mid-stream, restore into a twin, continue both with
+        the same completion order: identical logs and identical ids."""
+        reference = make_scheduler(seed=7, eta=2, max_fidelity=16)
+        resumed = make_scheduler(seed=7, eta=2, max_fidelity=16)
+        # Advance both to the same mid-rung point.
+        for scheduler in (reference, resumed):
+            for _ in range(5):
+                trial = scheduler.next_trial()
+                scheduler.report(
+                    TrialReport(
+                        trial=trial, score=quadratic(trial.configuration)
+                    )
+                )
+        blob = resumed.state_dict()
+        twin = make_scheduler(seed=7, eta=2, max_fidelity=16)
+        twin.load_state_dict(blob)
+        drive_serial(reference)
+        drive_serial(twin)
+        assert twin.decision_log == reference.decision_log
+        assert twin.total_trials_issued == reference.total_trials_issued
+
+    def test_restore_then_unknown_completion_is_skipped(self):
+        """S2: save, issue + complete past the snapshot, restore — the
+        stray completion must neither KeyError nor restart the rung, and
+        the restored scheduler re-issues the same trial itself."""
+        scheduler = make_scheduler(seed=9, eta=2, max_fidelity=8)
+        for _ in range(3):
+            trial = scheduler.next_trial()
+            scheduler.report(
+                TrialReport(trial=trial, score=quadratic(trial.configuration))
+            )
+        blob = scheduler.state_dict()
+        log_at_snapshot = list(scheduler.decision_log)
+        # Past the snapshot: issue and complete one more trial.
+        beyond = scheduler.next_trial()
+        scheduler.report(
+            TrialReport(trial=beyond, score=quadratic(beyond.configuration))
+        )
+        # Crash + restore.  The in-flight completion for ``beyond`` is
+        # redelivered to the restored scheduler, which never issued it.
+        restored = make_scheduler(seed=9, eta=2, max_fidelity=8)
+        restored.load_state_dict(blob)
+        restored.report(
+            TrialReport(trial=beyond, score=quadratic(beyond.configuration))
+        )
+        assert restored.decision_log == log_at_snapshot  # no new decision
+        # The restored scheduler re-issues the identical trial...
+        reissued = restored.next_trial()
+        assert reissued.trial_id == beyond.trial_id
+        assert reissued.configuration == beyond.configuration
+        assert reissued.fidelity == beyond.fidelity
+        # ...and the run still completes.
+        restored.report(
+            TrialReport(
+                trial=reissued, score=quadratic(reissued.configuration)
+            )
+        )
+        drive_serial(restored)
+
+    @settings(max_examples=25, deadline=None)
+    @given(choices=st.lists(st.integers(0, 3), min_size=8, max_size=64),
+           cut=st.integers(2, 10))
+    def test_any_fixed_order_is_replayable(self, choices, cut):
+        """Hypothesis: for *any* completion order (encoded by ``choices``)
+        the decision log replays bit-identically, including across a
+        save/restore at an arbitrary point mid-stream."""
+
+        def pick_from(sequence):
+            state = {"i": 0}
+
+            def pick(n):
+                value = sequence[state["i"] % len(sequence)]
+                state["i"] += 1
+                return value % n
+
+            return pick
+
+        reference = make_scheduler(seed=11, eta=2, max_fidelity=8)
+        drive_pool(reference, pick_from(choices))
+
+        # Replay the same order, snapshotting/restoring after ``cut``
+        # completions.
+        scheduler = make_scheduler(seed=11, eta=2, max_fidelity=8)
+        pick = pick_from(choices)
+        in_flight, completed = [], 0
+        while True:
+            while len(in_flight) < 4:
+                trial = scheduler.next_trial()
+                if trial is None:
+                    break
+                in_flight.append(trial)
+            if not in_flight:
+                break
+            trial = in_flight.pop(pick(len(in_flight)))
+            scheduler.report(
+                TrialReport(
+                    trial=trial,
+                    score=quadratic(trial.configuration)
+                    + 0.005 * (scheduler.max_fidelity - trial.fidelity),
+                )
+            )
+            completed += 1
+            if completed == cut:
+                twin = make_scheduler(seed=11, eta=2, max_fidelity=8)
+                twin.load_state_dict(scheduler.state_dict())
+                scheduler = twin
+                # The twin never issued the in-flight trials, but the
+                # snapshot's ``_awaiting`` carries them, so completions
+                # keep landing normally.
+        assert scheduler.finished
+        assert scheduler.decision_log == reference.decision_log
+
+
+class TestSyncWaveOrderIndependence:
+    """S4: the synchronous halving path must give the same outcome for
+    *any* permutation of completion order within a rung — including tied
+    scores, where the trial-id tie-break decides."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        perm=st.permutations(list(range(8))),
+        levels=st.lists(st.integers(0, 2), min_size=8, max_size=8),
+    )
+    def test_sha_final_outcome_is_permutation_invariant(self, perm, levels):
+        def score_of(trial):
+            # Coarse levels manufacture ties on purpose: the survivor
+            # set must still be unique thanks to the trial-id tie-break.
+            return float(levels[trial.trial_id % 8]) + 0.01 * trial.rung
+
+        def run(order):
+            space = small_space()
+            scheduler = SuccessiveHalvingScheduler(
+                space, RandomSearcher(space, seed=4),
+                num_configs=8, eta=2, max_fidelity=4, seed=4,
+            )
+            outcome = []
+            while not scheduler.finished:
+                rung = []
+                while True:
+                    trial = scheduler.next_trial()
+                    if trial is None:
+                        break
+                    rung.append(trial)
+                if not rung:
+                    break
+                for index in order(len(rung)):
+                    trial = rung[index]
+                    scheduler.report(
+                        TrialReport(trial=trial, score=score_of(trial))
+                    )
+                    outcome.append(
+                        (trial.rung, trial.configuration, score_of(trial))
+                    )
+            # Compare per-rung *sets* of configurations plus the final
+            # best: both must not depend on within-rung completion order.
+            by_rung = {}
+            for rung, configuration, _ in outcome:
+                by_rung.setdefault(rung, set()).add(
+                    tuple(sorted(configuration.items()))
+                )
+            best = min(
+                (score, tuple(sorted(c.items())))
+                for rung, c, score in outcome
+            )
+            return by_rung, best
+
+        in_order = run(lambda n: list(range(n)))
+        permuted = run(
+            lambda n: sorted(range(n), key=lambda i: perm[i % 8])
+        )
+        assert in_order == permuted

@@ -185,3 +185,145 @@ class TestCrashResume:
         assert [entry["attempt"] for entry in history] == [1, 2, 3]
         assert all("cannot evaluate trial" in entry["error"]
                    for entry in history)
+
+
+class TestAsyncScheduling:
+    """The ASHA merge path: barrier-free integration, replay-mode
+    determinism, crash resume, decision-log surfacing."""
+
+    def asha_session(self, db, **overrides):
+        base = dict(samples=160, max_trials=12, scheduler="asha")
+        base.update(overrides)
+        return make_session(db, **base)
+
+    def test_asha_session_completes_and_surfaces_decision_log(self):
+        db = TrialDatabase()
+        session_id, _ = self.asha_session(db)
+        result = SessionCoordinator(db, session_id, workers=0).run()
+        record = SessionStore(db).get(session_id)
+        assert record.state == S_DONE
+        assert result.num_trials == 12
+        log = record.result["decision_log"]
+        assert log, "async sessions must surface their decision log"
+        for index, trial_id, rung, decision, child in log:
+            assert decision in ("promote", "pause", "complete")
+            assert (child is not None) == (decision == "promote")
+        # Promotions ran at higher fidelities (no rung barriers, but the
+        # ladder is still climbed).
+        assert any(t.fidelity > 1 for t in result.trials)
+
+    def test_pinned_order_identical_across_worker_counts(self, tmp_path):
+        """Replay mode: with the completion order pinned, 1-worker and
+        4-worker ASHA runs are bit-identical, decision log included."""
+        outcomes = []
+        for workers in (1, 4):
+            path = os.path.join(tmp_path, f"asha-{workers}.sqlite")
+            with TrialDatabase(path) as db:
+                session_id, _ = self.asha_session(db)
+                result = SessionCoordinator(
+                    db, session_id, workers=workers, pin_order=True
+                ).run()
+                record = SessionStore(db).get(session_id)
+                assert record.state == S_DONE
+                outcomes.append(
+                    (fingerprint(result), record.result["decision_log"])
+                )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][1]
+
+    def test_pin_order_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PIN_COMPLETION_ORDER", "1")
+        db = TrialDatabase()
+        session_id, _ = self.asha_session(db)
+        coordinator = SessionCoordinator(db, session_id, workers=0)
+        assert coordinator.pin_order is True
+        monkeypatch.setenv("REPRO_PIN_COMPLETION_ORDER", "0")
+        assert SessionCoordinator(db, session_id).pin_order is False
+
+    def test_sync_sessions_have_no_decision_log(self):
+        db = TrialDatabase()
+        session_id, _ = make_session(db, samples=160, max_trials=6)
+        SessionCoordinator(db, session_id, workers=0).run()
+        record = SessionStore(db).get(session_id)
+        assert record.result["decision_log"] is None
+
+    def test_asha_crash_resume_matches_uninterrupted_run(self, monkeypatch):
+        """Checkpoint discipline on the async path: crash mid-run, resume,
+        and the pinned decision log + result match an uninterrupted run."""
+        reference_db = TrialDatabase()
+        ref_id, _ = self.asha_session(reference_db)
+        reference = SessionCoordinator(
+            reference_db, ref_id, workers=0, pin_order=True
+        ).run()
+        ref_log = SessionStore(reference_db).get(ref_id).result[
+            "decision_log"
+        ]
+
+        db = TrialDatabase()
+        session_id, _ = self.asha_session(db)
+        original = ModelTuningServer.integrate
+        calls = {"n": 0}
+
+        def crashing(self, state, trial, evaluation, model=None):
+            record = original(self, state, trial, evaluation, model=model)
+            calls["n"] += 1
+            if calls["n"] >= 6:
+                raise RuntimeError("simulated coordinator crash")
+            return record
+
+        monkeypatch.setattr(ModelTuningServer, "integrate", crashing)
+        with pytest.raises(RuntimeError):
+            SessionCoordinator(
+                db, session_id, workers=0, pin_order=True
+            ).run()
+        monkeypatch.setattr(ModelTuningServer, "integrate", original)
+
+        store = SessionStore(db)
+        assert store.get(session_id).state == S_FAILED
+        assert store.get(session_id).has_checkpoint
+        resumed = SessionCoordinator(
+            db, session_id, workers=0, pin_order=True
+        ).run()
+        record = store.get(session_id)
+        assert record.state == S_DONE
+        assert fingerprint(resumed) == fingerprint(reference)
+        assert record.result["decision_log"] == ref_log
+
+    def test_num_configs_widens_the_bottom_rung(self):
+        """The bracket-width knob reaches the scheduler: a wider bracket
+        enters more fresh configurations at the bottom rung."""
+        db = TrialDatabase()
+        session_id, _ = self.asha_session(
+            db, max_trials=None, num_configs=6
+        )
+        result = SessionCoordinator(db, session_id, workers=0).run()
+        fresh = [t for t in result.trials if t.fidelity == 1]
+        assert len(fresh) == 6
+
+    def test_num_configs_requires_a_halving_scheduler(self):
+        with pytest.raises(ServiceError):
+            SessionSpec(num_configs=8)
+        with pytest.raises(ServiceError):
+            SessionSpec(scheduler="bohb", num_configs=8)
+        with pytest.raises(ServiceError):
+            SessionSpec(scheduler="asha", num_configs=0)
+        spec = SessionSpec(scheduler="sha", num_configs=8)
+        assert SessionSpec.from_dict(spec.to_dict()).num_configs == 8
+
+    def test_asha_poison_trial_substituted(self, monkeypatch):
+        """Dead-lettered jobs are substituted on the async path too."""
+        db = TrialDatabase()
+        session_id, _ = self.asha_session(db, max_trials=4)
+
+        def broken(task, *args, **kwargs):
+            raise ValueError(f"cannot evaluate trial {task.trial_id}")
+
+        monkeypatch.setattr(worker_module, "evaluate_trial", broken)
+        result = SessionCoordinator(
+            db, session_id, workers=0, poll_interval_s=0.01,
+            pin_order=True,
+        ).run()
+        record = SessionStore(db).get(session_id)
+        assert record.state == S_DONE
+        assert all(t.failure is not None for t in result.trials)
+        assert JobQueue(db).dead_letters(session_id)

@@ -291,3 +291,112 @@ class TestSessions:
             store.get(old)
         assert store.get(fresh).id == fresh
         assert queue.get(fresh, 1) is not None
+
+
+class TestClockSkewHardening:
+    """S1: the janitor's expiry judgement must survive wall-clock steps.
+
+    Lease *stamps* stay wall-clock (cross-process comparable); only the
+    janitor's notion of "now" is cross-checked against the monotonic
+    clock.  Both skew orderings are pinned: a forward step must not
+    mass-expire healthy leases, a backward step must not keep a dead
+    worker's lease alive.
+    """
+
+    class Clocks:
+        def __init__(self, wall=1000.0, mono=500.0):
+            self.wall = wall
+            self.mono = mono
+
+        def advance(self, dt):
+            """Normal passage of time: both clocks tick together."""
+            self.wall += dt
+            self.mono += dt
+
+        def step_wall(self, dt):
+            """An NTP step: only the wall clock jumps."""
+            self.wall += dt
+
+    def patched_queue(self, monkeypatch):
+        from repro.service import queue as queue_module
+
+        clocks = self.Clocks()
+        monkeypatch.setattr(queue_module, "_wall_clock", lambda: clocks.wall)
+        monkeypatch.setattr(queue_module, "_mono_clock", lambda: clocks.mono)
+        db = TrialDatabase()
+        return clocks, db, JobQueue(db)  # anchors read the fakes
+
+    def test_forward_step_does_not_mass_expire_healthy_leases(
+        self, monkeypatch
+    ):
+        from repro.service.queue import SKEW_GRACE_S
+
+        clocks, db, queue = self.patched_queue(monkeypatch)
+        queue.enqueue("s", 1, "p", now=clocks.wall)
+        job = queue.lease("w", ttl_s=60.0, now=clocks.wall)
+        assert job is not None
+        clocks.advance(10.0)
+        clocks.step_wall(3600.0)  # NTP jumps the wall clock an hour ahead
+        # Wall-clock "now" is far past the lease stamp, but the healthy
+        # lease must survive: the janitor holds the pre-step timeline.
+        assert queue.reclaim_expired() == 0
+        assert db.execute(
+            "SELECT state FROM jobs WHERE trial_id = 1"
+        ).fetchone()[0] == LEASED
+        # The worker heartbeats during the grace window, re-stamping its
+        # lease under the stepped clock...
+        clocks.advance(5.0)
+        assert queue.heartbeat(job.id, "w", ttl_s=60.0, now=clocks.wall)
+        # ...so once the grace window lapses and the janitor adopts the
+        # stepped wall clock, the lease is still honoured.
+        clocks.advance(SKEW_GRACE_S + 1.0)
+        assert queue.heartbeat(job.id, "w", ttl_s=60.0, now=clocks.wall)
+        assert queue.reclaim_expired() == 0
+
+    def test_forward_step_still_reclaims_after_grace_without_heartbeat(
+        self, monkeypatch
+    ):
+        from repro.service.queue import SKEW_GRACE_S
+
+        clocks, db, queue = self.patched_queue(monkeypatch)
+        queue.enqueue("s", 1, "p", now=clocks.wall)
+        assert queue.lease("w", ttl_s=60.0, now=clocks.wall) is not None
+        clocks.step_wall(3600.0)
+        assert queue.reclaim_expired() == 0  # grace holds
+        # A worker that never re-stamps through the whole grace window is
+        # genuinely dead: adopting the stepped clock reclaims its lease.
+        clocks.advance(SKEW_GRACE_S + 61.0)
+        assert queue.reclaim_expired() == 1
+        assert db.execute(
+            "SELECT state FROM jobs WHERE trial_id = 1"
+        ).fetchone()[0] == QUEUED
+
+    def test_backward_step_still_reclaims_dead_lease(self, monkeypatch):
+        clocks, db, queue = self.patched_queue(monkeypatch)
+        queue.enqueue("s", 1, "p", now=clocks.wall)
+        assert queue.lease("w", ttl_s=60.0, now=clocks.wall) is not None
+        # The worker dies; the wall clock then steps back an hour.  A
+        # purely wall-clock janitor would judge the lease alive for the
+        # next hour; the monotonic timeline says it expired 10s ago.
+        clocks.step_wall(-3600.0)
+        clocks.advance(70.0)
+        assert queue.reclaim_expired() == 1
+        assert db.execute(
+            "SELECT state FROM jobs WHERE trial_id = 1"
+        ).fetchone()[0] == QUEUED
+
+    def test_agreeing_clocks_use_wall_time_directly(self, monkeypatch):
+        clocks, db, queue = self.patched_queue(monkeypatch)
+        queue.enqueue("s", 1, "p", now=clocks.wall)
+        assert queue.lease("w", ttl_s=60.0, now=clocks.wall) is not None
+        clocks.advance(59.0)
+        assert queue.reclaim_expired() == 0
+        clocks.advance(2.0)  # natural expiry, no skew anywhere
+        assert queue.reclaim_expired() == 1
+
+    def test_explicit_now_bypasses_the_skew_detector(self, monkeypatch):
+        """Simulated-time callers (tests, operators) keep full control."""
+        clocks, db, queue = self.patched_queue(monkeypatch)
+        queue.enqueue("s", 1, "p", now=clocks.wall)
+        assert queue.lease("w", ttl_s=60.0, now=clocks.wall) is not None
+        assert queue.reclaim_expired(now=clocks.wall + 61.0) == 1
