@@ -38,6 +38,7 @@ the historical serial semantics.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
@@ -193,7 +194,34 @@ def failure_evaluation(trial_id: int, error: Optional[str]) -> TrialEvaluation:
 #: capped — a worker serving interleaved sessions holds at most this many
 #: materialised datasets.
 _DATASET_CACHE: Dict[Tuple[str, int, Optional[int]], Tuple[Dataset, Dataset]] = {}
+
+
+def _dataset_cache_max() -> int:
+    """Size cap, overridable per deployment via ``$REPRO_DATASET_CACHE_MAX``
+    (batched groups reuse one split K times — a worker serving interleaved
+    sessions may want more than the default four)."""
+    raw = os.environ.get("REPRO_DATASET_CACHE_MAX", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _DATASET_CACHE_MAX
+
+
 _DATASET_CACHE_MAX = 4
+
+#: Lifetime telemetry for the dataset memo (process-local, monotonic).
+#: Surfaced by the worker meters and ``service status --json`` so the
+#: cache-reuse that batched groups rely on is observable.
+_DATASET_CACHE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def dataset_cache_stats() -> Dict[str, int]:
+    """Snapshot of the dataset-memo meters (hits/misses/evictions/size)."""
+    stats = dict(_DATASET_CACHE_COUNTERS)
+    stats["size"] = len(_DATASET_CACHE)
+    return stats
 
 
 def load_task_datasets(task: TrialTask) -> Tuple[Dataset, Dataset]:
@@ -206,11 +234,15 @@ def load_task_datasets(task: TrialTask) -> Tuple[Dataset, Dataset]:
     cache_key = (task.workload_id, task.seed, task.samples)
     cached = _DATASET_CACHE.get(cache_key)
     if cached is None:
+        _DATASET_CACHE_COUNTERS["misses"] += 1
         workload = get_workload(task.workload_id)
         cached = workload.load(seed=task.seed, samples=task.samples)
-        while len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+        while len(_DATASET_CACHE) >= _dataset_cache_max():
             _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+            _DATASET_CACHE_COUNTERS["evictions"] += 1
         _DATASET_CACHE[cache_key] = cached
+    else:
+        _DATASET_CACHE_COUNTERS["hits"] += 1
     return cached
 
 
@@ -377,6 +409,7 @@ class ModelTuningServer:
         reuse_checkpoints: bool = False,
         artifacts: Optional[ArtifactStore] = None,
         traffic: Optional[str] = None,
+        trial_batch: Optional[int] = None,
     ):
         self.workload = workload
         self.algorithm = algorithm
@@ -422,6 +455,10 @@ class ModelTuningServer:
         #: tunes under (stamped onto every :class:`TrialTask`); ``None``
         #: preserves the historical steady-state trial keys bit-exactly.
         self.traffic_spec = traffic
+        #: Stacking width K for batched-trial execution (``None`` = auto
+        #: via ``$REPRO_TRIAL_BATCH``/default; 1 disables).  Resolved at
+        #: :meth:`run` time so the environment is read when it matters.
+        self.trial_batch = trial_batch
         if artifacts is not None:
             self.artifacts: Optional[ArtifactStore] = artifacts
         elif self.reuse_checkpoints or self.database.path != ":memory:":
@@ -867,8 +904,29 @@ class ModelTuningServer:
 
     # -- full run ----------------------------------------------------------------
     def run(self) -> TuningRunResult:
-        """Execute the tuning loop serially to completion (one process)."""
+        """Execute the tuning loop in-process to completion.
+
+        With an effective ``trial_batch`` > 1 and a synchronous
+        scheduler, each wave's tasks are partitioned by
+        :func:`~repro.core.trial_batch.batch_signature` and
+        signature-sharers train as one stacked run — integration stays
+        in wave order, so results are bit-identical to the serial loop.
+        Asynchronous schedulers and adaptive searchers that must observe
+        each report before their next suggestion (``wave_safe`` False,
+        e.g. plain TPE) keep the one-at-a-time path here; their batched
+        execution happens worker-side in the service, where waves are
+        the contract anyway.
+        """
+        from .trial_batch import resolve_trial_batch
+
         state = self.prepare()
+        limit = resolve_trial_batch(self.trial_batch)
+        if (
+            limit > 1
+            and not getattr(state.scheduler, "asynchronous", False)
+            and getattr(state.scheduler, "wave_safe", True)
+        ):
+            return self._run_batched(state, limit)
         while True:
             trial = self._next_trial(state)
             if trial is None:
@@ -881,6 +939,35 @@ class ModelTuningServer:
                 artifacts=self.artifacts,
             )
             self.integrate(state, trial, evaluation, model=model)
+        return self.finalize(state)
+
+    def _run_batched(self, state: RunState, limit: int) -> TuningRunResult:
+        """Wave-at-a-time driver with stacked trial execution.
+
+        Evaluating a whole wave before integrating matches the service
+        coordinator's contract (evaluations are order-independent; only
+        :meth:`integrate` order matters), which PR 1 pinned bit-identical
+        to the serial loop.
+        """
+        from .trial_batch import evaluate_task_groups
+
+        while True:
+            wave = self.next_wave(state)
+            if not wave:
+                break
+            tasks = [self.make_task(trial, state) for trial in wave]
+            outputs = evaluate_task_groups(
+                tasks,
+                state.train_set,
+                state.eval_set,
+                limit,
+                workload=self.workload,
+                artifacts=self.artifacts,
+            )
+            for trial, (evaluation, model) in zip(wave, outputs):
+                if state.stopped:
+                    break
+                self.integrate(state, trial, evaluation, model=model)
         return self.finalize(state)
 
     @staticmethod

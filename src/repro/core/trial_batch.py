@@ -1,0 +1,308 @@
+"""The ``TrialBatch`` execution unit: group and stack trial evaluations.
+
+Sits between the scheduler/queue layer (which thinks in single
+:class:`~repro.core.model_server.TrialTask`\\ s) and the batched training
+path (:func:`repro.nn.batched.train_model_batch`).  Three pieces:
+
+* :func:`batch_signature` — the grouping key.  Two tasks may share a
+  stacked run only when every *shape-determining* input matches: model
+  family and its shape hyperparameters, real batch size, epochs,
+  data fraction, dataset seed/samples.  Scalar hyperparameters (lr via
+  ``train_batch_size`` is shape-relevant and therefore *in* the
+  signature; dropout is per-lane) ride along the lane axis.  ``None``
+  means "not stackable — use the serial path".
+* :func:`group_tasks` — partition a task list into execution groups of
+  at most K signature-sharers plus serial singletons.
+* :func:`evaluate_trial_batch` — the K-wide twin of
+  :func:`~repro.core.model_server.evaluate_trial`: per-member artifact
+  memo check first, one stacked training run for the misses, K per-trial
+  evaluations out.  Artifact keys stay per-trial (the cache must hit
+  identically whether a trial ran stacked or serial), so each member is
+  stored under exactly the key the serial path would have used.
+
+Bit-identity per member with the serial path is the invariant; the
+signature gates (fast backend, no warm-resume lineage) exclude every
+path the batched trainer does not mirror.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..artifacts import ArtifactStore, trial_key
+from ..nn import kernels
+from ..nn.batched import UnstackableModelError, train_model_batch
+from ..rng import derive_seed
+from ..workloads import Workload, get_workload
+from .model_server import (
+    TrialEvaluation,
+    TrialTask,
+    _plain,
+    evaluate_trial,
+)
+
+#: Stacking width when the CLI/spec leaves ``--trial-batch`` on auto.
+DEFAULT_TRIAL_BATCH = 8
+
+
+def resolve_trial_batch(
+    value: Optional[int] = None, default: int = DEFAULT_TRIAL_BATCH
+) -> int:
+    """Effective stacking width K: explicit value, else ``$REPRO_TRIAL_BATCH``,
+    else ``default``.  Any K <= 1 disables batching (returns 1).
+
+    The in-process driver passes the auto default (batching is
+    bit-identical, so it is safe to turn on); queue workers pass
+    ``default=1`` so service-side grouping is opt-in per session
+    (``--trial-batch`` on submit/workers, or the environment override).
+    """
+    if value is None:
+        raw = os.environ.get("REPRO_TRIAL_BATCH", "").strip()
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                value = default
+        else:
+            value = default
+    value = int(value)
+    return value if value > 1 else 1
+
+
+def batch_signature(
+    task: TrialTask, workload: Optional[Workload] = None
+) -> Optional[Tuple]:
+    """Grouping key for ``task``, or ``None`` when it must run serially.
+
+    Serial-only cases: warm-resume lineage (``reuse``/``parent_key``/
+    ``start_epoch`` change the training loop in ways the batched path
+    does not mirror), non-stackable model families (recurrent), and the
+    reference kernel backend (the batched twins mirror the fast paths).
+    """
+    if task.reuse or task.parent_key is not None or task.start_epoch:
+        return None
+    if kernels.get_backend() != "fast":
+        return None
+    workload = workload or get_workload(task.workload_id)
+    family = workload.family
+    if not family.stackable:
+        return None
+    merged = dict(family.default_hyperparameters)
+    merged.update(
+        (k, v) for k, v in task.values.items() if k in merged
+    )
+    shape_values = tuple(
+        _plain(merged[name]) for name in family.shape_hyperparameters
+    )
+    configured_batch = int(task.values["train_batch_size"])
+    real_batch, _ = workload.effective_training(configured_batch)
+    return (
+        task.workload_id,
+        family.name,
+        shape_values,
+        real_batch,
+        int(task.epochs),
+        float(task.data_fraction),
+        int(task.seed),
+        task.samples,
+        task.traffic,
+    )
+
+
+def group_tasks(
+    tasks: Sequence[TrialTask],
+    limit: int,
+    workload: Optional[Workload] = None,
+) -> List[List[int]]:
+    """Partition ``tasks`` into execution groups (lists of indices).
+
+    Signature-sharers are grouped up to ``limit`` wide, in first-seen
+    order; unstackable tasks become singletons at their own position.
+    Every index appears exactly once.
+    """
+    buckets: Dict[Any, List[int]] = {}
+    order: List[Any] = []
+    for index, task in enumerate(tasks):
+        signature = None
+        if limit > 1:
+            signature = batch_signature(task, workload=workload)
+        key = ("solo", index) if signature is None else ("sig", signature)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = bucket = []
+            order.append(key)
+        bucket.append(index)
+    groups: List[List[int]] = []
+    for key in order:
+        bucket = buckets[key]
+        for start in range(0, len(bucket), max(limit, 1)):
+            groups.append(bucket[start:start + max(limit, 1)])
+    return groups
+
+
+def evaluate_trial_batch(
+    tasks: Sequence[TrialTask],
+    train_set=None,
+    eval_set=None,
+    workload: Optional[Workload] = None,
+    artifacts: Optional[ArtifactStore] = None,
+) -> List[Tuple[TrialEvaluation, Any]]:
+    """Evaluate K signature-matched tasks as one stacked training run.
+
+    Returns ``[(evaluation, model), ...]`` aligned with ``tasks``; each
+    element is bit-identical to ``evaluate_trial(task, ...)`` run alone.
+    Members already memoized in the artifact store are served from it
+    (and excluded from the stack); a single remaining miss falls through
+    to the serial path.  Stacking failures (defensive — the signature
+    should prevent them) also fall back to per-task serial evaluation.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workload = workload or get_workload(tasks[0].workload_id)
+    if train_set is None or eval_set is None:
+        head = tasks[0]
+        train_set, eval_set = workload.load(
+            seed=head.seed, samples=head.samples
+        )
+    results: List[Optional[Tuple[TrialEvaluation, Any]]] = [None] * len(tasks)
+    pending: List[Tuple[int, TrialTask, Optional[str]]] = []
+    for index, task in enumerate(tasks):
+        key: Optional[str] = None
+        if artifacts is not None:
+            key = trial_key(task)
+            cached = artifacts.load_trial(key)
+            if cached is not None:
+                results[index] = (cached[0], cached[1])
+                continue
+        pending.append((index, task, key))
+    if len(pending) == 1:
+        index, task, _ = pending[0]
+        results[index] = evaluate_trial(
+            task, train_set, eval_set,
+            workload=workload, artifacts=artifacts,
+        )
+        return results
+    if pending:
+        try:
+            evaluated = _train_stacked(
+                pending, train_set, eval_set, workload
+            )
+        except UnstackableModelError:
+            for index, task, _ in pending:
+                results[index] = evaluate_trial(
+                    task, train_set, eval_set,
+                    workload=workload, artifacts=artifacts,
+                )
+            return results
+        for (index, task, key), (evaluation, model) in zip(
+            pending, evaluated
+        ):
+            if artifacts is not None and key is not None:
+                artifacts.store_trial(
+                    key,
+                    evaluation,
+                    model,
+                    None,
+                    workload=task.workload_id,
+                    epochs=task.epochs,
+                    data_fraction=task.data_fraction,
+                )
+            results[index] = (evaluation, model)
+    return results
+
+
+def _train_stacked(
+    pending: Sequence[Tuple[int, TrialTask, Optional[str]]],
+    train_set,
+    eval_set,
+    workload: Workload,
+) -> List[Tuple[TrialEvaluation, Any]]:
+    """One stacked training run over the pending members.
+
+    Mirrors the serial ``evaluate_trial`` body: same model/loss
+    construction, same ``effective_training`` resolution (the signature
+    guarantees every member resolves to the same real batch/lr), same
+    per-trial training seeds.
+    """
+    family = workload.family
+    models = [
+        family.instantiate(
+            train_set.sample_shape,
+            train_set.num_classes,
+            dict(task.values),
+            seed=workload.model_seed(task.seed, task.trial_id),
+        )
+        for _, task, _ in pending
+    ]
+    loss = family.make_loss(train_set.num_classes)
+    head = pending[0][1]
+    configured_batch = int(head.values["train_batch_size"])
+    real_batch, learning_rate = workload.effective_training(configured_batch)
+    seeds = [
+        derive_seed(task.seed, "train", task.trial_id)
+        for _, task, _ in pending
+    ]
+    train_results = train_model_batch(
+        models,
+        loss,
+        train_set,
+        eval_set,
+        epochs=head.epochs,
+        batch_size=real_batch,
+        lr=learning_rate,
+        data_fraction=head.data_fraction,
+        seeds=seeds,
+    )
+    out: List[Tuple[TrialEvaluation, Any]] = []
+    for (_, task, _), model, result in zip(pending, models, train_results):
+        out.append((
+            TrialEvaluation(
+                trial_id=task.trial_id,
+                accuracy=result.accuracy,
+                final_loss=result.final_loss,
+                samples_seen=result.samples_seen,
+                forward_flops_per_sample=result.forward_flops_per_sample,
+                train_total_flops=result.train_total_flops,
+                parameter_count=result.parameter_count,
+                diverged=result.diverged,
+                failure="training diverged (non-finite loss)"
+                if result.diverged else None,
+            ),
+            model,
+        ))
+    return out
+
+
+def evaluate_task_groups(
+    tasks: Sequence[TrialTask],
+    train_set,
+    eval_set,
+    limit: int,
+    workload: Optional[Workload] = None,
+    artifacts: Optional[ArtifactStore] = None,
+) -> List[Tuple[TrialEvaluation, Any]]:
+    """Evaluate a task list with stacking, preserving task order.
+
+    The driver for the in-process ``run()`` path: partitions the list
+    with :func:`group_tasks`, evaluates each group (stacked or serial),
+    and returns results aligned with ``tasks``.
+    """
+    tasks = list(tasks)
+    results: List[Optional[Tuple[TrialEvaluation, Any]]] = [None] * len(tasks)
+    for indices in group_tasks(tasks, limit, workload=workload):
+        group = [tasks[i] for i in indices]
+        if len(group) == 1:
+            outputs = [evaluate_trial(
+                group[0], train_set, eval_set,
+                workload=workload, artifacts=artifacts,
+            )]
+        else:
+            outputs = evaluate_trial_batch(
+                group, train_set, eval_set,
+                workload=workload, artifacts=artifacts,
+            )
+        for index, value in zip(indices, outputs):
+            results[index] = value
+    return results

@@ -10,7 +10,7 @@ RNN → stride, YOLO → dropout).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping
+from typing import Any, Callable, Dict, Mapping, Tuple
 
 from ...errors import WorkloadError
 from ...rng import SeedLike
@@ -33,6 +33,14 @@ class ModelFamily:
     model_parameter: Parameter
     default_hyperparameters: Mapping[str, Any]
     task: str = "classification"
+    #: Hyperparameters that change tensor *shapes* (layer widths/depths).
+    #: Trials agreeing on these (plus budget and data) can be stacked into
+    #: one batched training run; the remaining hyperparameters are scalars
+    #: (lr, momentum, dropout) that batch along the lane axis.
+    shape_hyperparameters: Tuple[str, ...] = ()
+    #: Whether the family's layer tree has batched twins in
+    #: :mod:`repro.nn.batched` (recurrent families do not).
+    stackable: bool = False
 
     def instantiate(
         self,
@@ -78,6 +86,8 @@ MODEL_FAMILIES: Dict[str, ModelFamily] = {
             "num_layers", RESNET_LAYER_CHOICES, kind="model"
         ),
         default_hyperparameters={"num_layers": 18, "width": 32},
+        shape_hyperparameters=("num_layers", "width"),
+        stackable=True,
     ),
     "m5": ModelFamily(
         name="m5",
@@ -89,6 +99,8 @@ MODEL_FAMILIES: Dict[str, ModelFamily] = {
             "embedding_dim", M5_EMBEDDING_CHOICES, kind="model"
         ),
         default_hyperparameters={"embedding_dim": 32},
+        shape_hyperparameters=("embedding_dim",),
+        stackable=True,
     ),
     "textrnn": ModelFamily(
         name="textrnn",
@@ -115,6 +127,8 @@ MODEL_FAMILIES: Dict[str, ModelFamily] = {
         ),
         default_hyperparameters={"dropout": 0.1, "trunk_channels": 12},
         task="detection",
+        shape_hyperparameters=("trunk_channels",),
+        stackable=True,
     ),
 }
 

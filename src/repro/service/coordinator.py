@@ -76,6 +76,7 @@ class SessionCoordinator:
         shard: int = 0,
         remote: bool = False,
         pin_order: bool = False,
+        trial_batch: Optional[int] = None,
     ):
         if workers > 0 and pool is None and database.path == ":memory:":
             raise ServiceError(
@@ -110,6 +111,9 @@ class SessionCoordinator:
         self.pin_order = bool(pin_order) or pin_env.lower() not in (
             "", "0", "false",
         )
+        #: Stacking width K for batched-trial execution; ``None`` defers
+        #: to the session spec (then ``$REPRO_TRIAL_BATCH``/auto).
+        self.trial_batch = trial_batch
         self._pool = pool
         self._owns_pool = pool is None and workers > 0 and not remote
         self._inline: Optional[TrialWorker] = None
@@ -126,6 +130,10 @@ class SessionCoordinator:
                 f"session {self.session_id!r} is already done"
             )
         server = build_server(record.spec, self.database)
+        trial_batch = (
+            self.trial_batch if self.trial_batch is not None
+            else getattr(record.spec, "trial_batch", None)
+        )
         try:
             if self._owns_pool:
                 self._pool = WorkerPool(
@@ -134,6 +142,7 @@ class SessionCoordinator:
                     lease_ttl_s=self.lease_ttl_s,
                     trial_timeout_s=self.trial_timeout_s,
                     heartbeat_interval_s=self.heartbeat_interval_s,
+                    trial_batch=trial_batch,
                 ).start()
             elif self.workers == 0 and not self.remote:
                 self._inline = TrialWorker(
@@ -141,6 +150,7 @@ class SessionCoordinator:
                     worker_id="inline",
                     lease_ttl_s=self.lease_ttl_s,
                     trial_timeout_s=self.trial_timeout_s,
+                    trial_batch=trial_batch,
                 )
             result = self._run(server, record)
         except Exception:
@@ -423,7 +433,7 @@ class SessionCoordinator:
                 session_id=self.session_id,
             )
             if leased is not None:
-                self._inline.run_job(leased)
+                self._inline.run_leased(leased)
                 return
         else:
             self.meters.counter("workers.respawned").inc(
@@ -529,6 +539,7 @@ def serve(
     idle_timeout_s: Optional[float] = None,
     trial_timeout_s: Optional[float] = None,
     heartbeat_interval_s: Optional[float] = None,
+    trial_batch: Optional[int] = None,
 ) -> List[TuningRunResult]:
     """Claim and run queued sessions until stopped.
 
@@ -545,6 +556,7 @@ def serve(
             database.path, workers, lease_ttl_s=lease_ttl_s,
             trial_timeout_s=trial_timeout_s,
             heartbeat_interval_s=heartbeat_interval_s,
+            trial_batch=trial_batch,
         ).start()
     results: List[TuningRunResult] = []
     idle_since = time.time()
@@ -570,6 +582,7 @@ def serve(
                 pool=pool,
                 trial_timeout_s=trial_timeout_s,
                 heartbeat_interval_s=heartbeat_interval_s,
+                trial_batch=trial_batch,
             )
             try:
                 results.append(coordinator.run())

@@ -32,6 +32,7 @@ class WorkerPool:
         name_prefix: str = "worker",
         trial_timeout_s: Optional[float] = None,
         heartbeat_interval_s: Optional[float] = None,
+        trial_batch: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError(f"worker pool needs >= 1 workers, got {workers}")
@@ -42,6 +43,7 @@ class WorkerPool:
         self.name_prefix = name_prefix
         self.trial_timeout_s = trial_timeout_s
         self.heartbeat_interval_s = heartbeat_interval_s
+        self.trial_batch = trial_batch
         self._spawned = 0
         self._processes: List[multiprocessing.Process] = []
 
@@ -57,6 +59,7 @@ class WorkerPool:
                 "poll_interval_s": self.poll_interval_s,
                 "trial_timeout_s": self.trial_timeout_s,
                 "heartbeat_interval_s": self.heartbeat_interval_s,
+                "trial_batch": self.trial_batch,
             },
             name=worker_id,
             daemon=True,

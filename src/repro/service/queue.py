@@ -264,6 +264,84 @@ class JobQueue:
         job.lease_epoch = int(epoch)
         return job
 
+    def peek_queued(
+        self,
+        session_id: Optional[str] = None,
+        shard: Optional[int] = None,
+        limit: int = 16,
+        now: Optional[float] = None,
+    ) -> List[Job]:
+        """Snapshot the oldest runnable queued jobs without claiming them.
+
+        The batched-trial worker uses this to find stackable groupmates
+        for a job it already holds; each candidate is then claimed
+        individually via :meth:`lease_by_id` (which re-checks state, so a
+        stale snapshot only costs a missed groupmate, never a double
+        claim).
+        """
+        now = time.time() if now is None else now
+        query = (
+            f"SELECT {_JOB_COLUMNS} FROM jobs "
+            "WHERE state = ? AND next_retry_at <= ?"
+        )
+        args: List[Any] = [QUEUED, now]
+        if session_id is not None:
+            query += " AND session_id = ?"
+            args.append(session_id)
+        if shard is not None:
+            query += " AND shard = ?"
+            args.append(int(shard))
+        query += " ORDER BY id LIMIT ?"
+        args.append(int(limit))
+        rows = self.database.execute(query, tuple(args)).fetchall()
+        return [Job.from_row(row) for row in rows]
+
+    def lease_by_id(
+        self,
+        job_id: int,
+        worker_id: str,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        now: Optional[float] = None,
+        epoch: int = 0,
+        fresh_only: bool = False,
+    ) -> Optional[Job]:
+        """Atomically claim one specific queued job (group formation).
+
+        Returns ``None`` when the job is no longer runnable — already
+        leased by a sibling, finished, or backed off.  ``fresh_only``
+        additionally refuses jobs that have been attempted before, which
+        keeps retries out of batch groups (a retried member must run
+        serially so its fault-injection and dead-letter accounting follow
+        the pinned serial semantics).
+        """
+        now = time.time() if now is None else now
+        with self.database.transaction() as connection:
+            row = connection.execute(
+                f"SELECT {_JOB_COLUMNS} FROM jobs "
+                "WHERE id = ? AND state = ? AND next_retry_at <= ?",
+                (int(job_id), QUEUED, now),
+            ).fetchone()
+            if row is None:
+                return None
+            job = Job.from_row(row)
+            if fresh_only and job.attempts != 0:
+                return None
+            connection.execute(
+                "UPDATE jobs SET state = ?, lease_owner = ?, "
+                "lease_expires_at = ?, attempts = attempts + 1, "
+                "started_at = ?, lease_epoch = ? "
+                "WHERE id = ? AND state = ?",
+                (LEASED, worker_id, now + ttl_s, now, int(epoch),
+                 job.id, QUEUED),
+            )
+        job.state = LEASED
+        job.lease_owner = worker_id
+        job.lease_expires_at = now + ttl_s
+        job.attempts += 1
+        job.started_at = now
+        job.lease_epoch = int(epoch)
+        return job
+
     def heartbeat(
         self,
         job_id: int,

@@ -56,6 +56,10 @@ class SessionSpec:
     traffic_metric: str = "p99"
     slo_p99_s: Optional[float] = None
     slo_deadline_s: Optional[float] = None
+    #: Stacking width K for batched-trial execution on the workers
+    #: (``--trial-batch``).  ``None`` = auto (``$REPRO_TRIAL_BATCH`` or
+    #: the built-in default); 1 disables grouping.
+    trial_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.system not in SERVICE_SYSTEMS:
@@ -98,6 +102,8 @@ class SessionSpec:
             raise ServiceError(
                 "SLO targets need a traffic scenario to replay"
             )
+        if self.trial_batch is not None and self.trial_batch < 1:
+            raise ServiceError("--trial-batch must be >= 1")
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

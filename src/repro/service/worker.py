@@ -20,15 +20,26 @@ crash bit-identical.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import threading
 import time
 import traceback
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..artifacts import ArtifactStore
-from ..core.model_server import TrialTask, evaluate_trial, load_task_datasets
+from ..core.model_server import (
+    TrialTask,
+    dataset_cache_stats,
+    evaluate_trial,
+    load_task_datasets,
+)
+from ..core.trial_batch import (
+    batch_signature,
+    evaluate_trial_batch,
+    resolve_trial_batch,
+)
 from ..faults import fault_point
 from ..storage import TrialDatabase
 from .failures import run_with_deadline
@@ -108,6 +119,7 @@ class TrialWorker:
         database: Optional[TrialDatabase] = None,
         trial_timeout_s: Optional[float] = None,
         heartbeat_interval_s: Optional[float] = None,
+        trial_batch: Optional[int] = None,
     ):
         if database is None and db_path is None:
             raise ValueError("TrialWorker needs a db_path or a database")
@@ -136,6 +148,18 @@ class TrialWorker:
             self.worker_id, capabilities=local_capabilities()
         )
         self._machine_touched_at = time.time()
+        #: Stacking width K for batched-trial execution.  Opt-in for
+        #: queue workers (``None`` falls back to ``$REPRO_TRIAL_BATCH``,
+        #: else stays serial): the session spec or the ``--trial-batch``
+        #: flag is what turns grouping on service-side.
+        self.trial_batch = resolve_trial_batch(trial_batch, default=1)
+        #: Batch-group occupancy meters (also pushed to the fleet-stats
+        #: table so ``service status`` sees fleet-wide occupancy).
+        self.groups_formed = 0
+        self.group_members = 0
+        self.serial_fallbacks = 0
+        self.max_group = 0
+        self._dataset_cache_last = dataset_cache_stats()
 
     def _touch_machine(self) -> None:
         """Throttled machine-liveness heartbeat (cheap: one UPDATE at
@@ -180,6 +204,150 @@ class TrialWorker:
             self.jobs_done += 1
             self.registry.record_done(self.worker_id)
 
+    # -- batched execution --------------------------------------------------
+    def run_leased(self, job: Job) -> None:
+        """Execute a freshly leased job, stacking groupmates when enabled."""
+        if self.trial_batch <= 1:
+            self.run_job(job)
+            return
+        group = self._form_group(job)
+        if len(group) <= 1:
+            self.serial_fallbacks += 1
+            self.registry.bump("batch.serial_fallback")
+            self.run_job(job)
+        else:
+            self.run_job_group(group)
+        self._publish_dataset_cache_stats()
+
+    def _form_group(self, head: Job) -> List[Job]:
+        """Claim up to K-1 stackable groupmates for an already-leased job.
+
+        Only first-attempt jobs group (retries — including the survivors
+        of a failed group — re-run serially, keeping fault-injection and
+        dead-letter semantics identical to the serial worker), and only
+        when no per-trial deadline is configured (the group shares one
+        training loop, which a member-level deadline cannot cut).
+        """
+        if self.trial_timeout_s is not None or head.attempts != 1:
+            return [head]
+        try:
+            head_task = TrialTask.from_json(head.payload)
+            signature = batch_signature(head_task)
+        except Exception:
+            return [head]
+        if signature is None:
+            return [head]
+        group = [head]
+        candidates = self.queue.peek_queued(
+            session_id=head.session_id,
+            limit=max(16, 4 * self.trial_batch),
+        )
+        for candidate in candidates:
+            if len(group) >= self.trial_batch:
+                break
+            if candidate.id == head.id or candidate.attempts != 0:
+                continue
+            try:
+                task = TrialTask.from_json(candidate.payload)
+                if batch_signature(task) != signature:
+                    continue
+            except Exception:
+                continue
+            leased = self.queue.lease_by_id(
+                candidate.id, self.worker_id,
+                ttl_s=self.lease_ttl_s, fresh_only=True,
+            )
+            if leased is not None:
+                group.append(leased)
+        return group
+
+    def run_job_group(self, jobs: List[Job]) -> None:
+        """Execute K signature-matched leased jobs as one stacked run.
+
+        Failure containment mirrors the serial worker per member: fault
+        sites fire with each member's own key/attempt (an injected crash
+        kills the process, every lease expires, and all members retry
+        serially); a training error fails *every* member, whose serial
+        retries then isolate any poisoned one into the dead-letter queue
+        alone.
+        """
+        completed: List[Tuple[Job, bytes]] = []
+        with contextlib.ExitStack() as heartbeats:
+            for job in jobs:
+                heartbeats.enter_context(_Heartbeat(
+                    self.queue, job.id, self.worker_id, self.lease_ttl_s,
+                    interval_s=self.heartbeat_interval_s,
+                    on_beat=self._touch_machine,
+                ))
+            live: List[Tuple[Job, TrialTask]] = []
+            for job in jobs:
+                try:
+                    fault_point("worker.crash", key=job.trial_id,
+                                attempt=job.attempts)
+                    fault_point("worker.fail", key=job.trial_id,
+                                attempt=job.attempts)
+                    fault_point("worker.hang", key=job.trial_id,
+                                attempt=job.attempts)
+                    live.append((job, TrialTask.from_json(job.payload)))
+                except Exception:
+                    self.jobs_failed += 1
+                    self.queue.fail(
+                        job.id, self.worker_id,
+                        traceback.format_exc(limit=8),
+                    )
+            if live:
+                try:
+                    train_set, eval_set = load_task_datasets(live[0][1])
+                    outputs = evaluate_trial_batch(
+                        [task for _, task in live], train_set, eval_set,
+                        artifacts=self.artifacts,
+                    )
+                    for (job, _), (evaluation, model) in zip(live, outputs):
+                        evaluation.model_blob = pickle.dumps(
+                            model, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                        completed.append((job, pickle.dumps(
+                            evaluation, protocol=pickle.HIGHEST_PROTOCOL
+                        )))
+                except Exception:
+                    error = traceback.format_exc(limit=8)
+                    completed = []
+                    for job, _ in live:
+                        self.jobs_failed += 1
+                        self.queue.fail(job.id, self.worker_id, error)
+        for job, blob in completed:
+            if self.queue.complete(job.id, self.worker_id, blob):
+                self.jobs_done += 1
+                self.registry.record_done(self.worker_id)
+        self.groups_formed += 1
+        self.group_members += len(jobs)
+        self.max_group = max(self.max_group, len(jobs))
+        self.registry.bump("batch.groups")
+        self.registry.bump("batch.members", float(len(jobs)))
+        self.registry.bump_max("batch.max_k", float(len(jobs)))
+
+    def _publish_dataset_cache_stats(self) -> None:
+        """Push dataset-memo deltas into the shared fleet-stats table."""
+        stats = dataset_cache_stats()
+        for key in ("hits", "misses", "evictions"):
+            delta = stats[key] - self._dataset_cache_last.get(key, 0)
+            if delta:
+                self.registry.bump(f"dataset_cache.{key}", float(delta))
+        self._dataset_cache_last = stats
+
+    def batch_stats(self) -> dict:
+        """This worker's batch-group occupancy meters."""
+        members = self.group_members
+        return {
+            "trial_batch": self.trial_batch,
+            "groups": self.groups_formed,
+            "members": members,
+            "mean_k": (members / self.groups_formed)
+            if self.groups_formed else 0.0,
+            "max_k": self.max_group,
+            "serial_fallback": self.serial_fallbacks,
+        }
+
     def _evaluate(self, task: TrialTask, attempt: int) -> Tuple:
         """Run one trial, under the wall-clock deadline when configured."""
 
@@ -223,7 +391,7 @@ class TrialWorker:
                     break
                 time.sleep(self.poll_interval_s)
                 continue
-            self.run_job(job)
+            self.run_leased(job)
             idle_since = time.time()
         return self.jobs_done
 
@@ -240,6 +408,7 @@ def worker_main(
     idle_timeout_s: Optional[float] = None,
     trial_timeout_s: Optional[float] = None,
     heartbeat_interval_s: Optional[float] = None,
+    trial_batch: Optional[int] = None,
 ) -> int:
     """Process entry point for pool workers (importable, hence spawn-safe)."""
     worker = TrialWorker(
@@ -249,6 +418,7 @@ def worker_main(
         poll_interval_s=poll_interval_s,
         trial_timeout_s=trial_timeout_s,
         heartbeat_interval_s=heartbeat_interval_s,
+        trial_batch=trial_batch,
     )
     try:
         return worker.run_forever(idle_timeout_s=idle_timeout_s)
